@@ -1,0 +1,39 @@
+//! Change-detection micro-benchmark: Earth+'s downsampled comparison vs
+//! SatRoI's full-resolution comparison (the Figure 16 difference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earthplus::{ChangeDetector, ReferenceImage};
+use earthplus_raster::{Band, IlluminationAligner, LocationId, PlanetBand, TileGrid, TileMask};
+use earthplus_scene::{LocationScene, SceneConfig};
+use earthplus_scene::terrain::LocationArchetype;
+
+fn bench_change(c: &mut Criterion) {
+    let scene = LocationScene::new(SceneConfig::quick(5, LocationArchetype::Agriculture));
+    let band = Band::Planet(PlanetBand::Red);
+    let reference_full = scene.ground_reflectance(band, 50.0);
+    let capture = scene.ground_reflectance(band, 55.0);
+    let reference =
+        ReferenceImage::from_capture(LocationId(0), band, 50.0, &reference_full, 51).unwrap();
+    let detector = ChangeDetector::new(0.01, 64);
+    let grid = TileGrid::new(256, 256, 64).unwrap();
+
+    let mut group = c.benchmark_group("change_detection");
+    group.bench_function("earthplus_downsampled", |b| {
+        b.iter(|| detector.detect(&capture, &reference, None).unwrap())
+    });
+    group.bench_function("satroi_full_resolution", |b| {
+        b.iter(|| {
+            let aligner = IlluminationAligner::new();
+            let model = aligner
+                .fit_robust(&reference_full, &capture, None, 0.02)
+                .unwrap();
+            let aligned = model.apply_to(&reference_full);
+            let scores = grid.tile_mean_abs_diff(&aligned, &capture).unwrap();
+            TileMask::from_scores(&grid, &scores, 0.01)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_change);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Cloud-detection micro-benchmark: the cheap on-board decision tree vs
+//! the accurate ground detector (paper Figure 16: 0.12 s vs 0.39 s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earthplus_cloud::{train_onboard_detector, GroundCloudDetector, TrainingConfig};
+use earthplus_scene::{LocationScene, SceneConfig};
+use earthplus_scene::terrain::LocationArchetype;
+
+fn bench_cloud(c: &mut Criterion) {
+    let scene = LocationScene::new(SceneConfig::quick(9, LocationArchetype::Forest));
+    let onboard = train_onboard_detector(&scene, &TrainingConfig::default());
+    let ground = GroundCloudDetector::new(64);
+    let capture = scene.capture_with_coverage(60.0, 0.4);
+
+    let mut group = c.benchmark_group("cloud_detection");
+    group.bench_function("onboard_cheap_tree", |b| {
+        b.iter(|| onboard.detect(&capture.image).unwrap())
+    });
+    group.bench_function("ground_accurate", |b| {
+        b.iter(|| ground.detect(&capture.image).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cloud);
+criterion_main!(benches);

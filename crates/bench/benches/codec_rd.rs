@@ -1,0 +1,38 @@
+//! Codec rate–distortion micro-benchmark: encode/decode throughput at the
+//! per-tile γ budgets used in the evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use earthplus_codec::{decode, encode, encode_with_budget, tile_budget_bytes, CodecConfig};
+use earthplus_raster::{Band, PlanetBand};
+use earthplus_scene::{LocationScene, SceneConfig};
+use earthplus_scene::terrain::LocationArchetype;
+
+fn bench_codec(c: &mut Criterion) {
+    let scene = LocationScene::new(SceneConfig::quick(3, LocationArchetype::River));
+    let capture = scene.capture_with_coverage(10.0, 0.0);
+    let band = capture.image.band(Band::Planet(PlanetBand::Red)).unwrap();
+    let tile = band.crop(64, 64, 64, 64, 0.0);
+
+    let mut group = c.benchmark_group("codec_rd");
+    for gamma in [0.5f64, 1.0, 2.0, 4.0] {
+        let budget = tile_budget_bytes(gamma, 64 * 64);
+        group.bench_with_input(
+            BenchmarkId::new("encode_tile", format!("{gamma}bpp")),
+            &budget,
+            |b, &budget| {
+                b.iter(|| encode_with_budget(&tile, &CodecConfig::lossy(), budget).unwrap())
+            },
+        );
+    }
+    let full = encode(&tile, &CodecConfig::lossy()).unwrap();
+    group.bench_function("decode_tile_full", |b| b.iter(|| decode(&full)));
+    let truncated = full.truncated(full.payload_len() / 4);
+    group.bench_function("decode_tile_quarter_rate", |b| b.iter(|| decode(&truncated)));
+    group.bench_function("encode_full_band_256", |b| {
+        b.iter(|| encode(band, &CodecConfig::lossy()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

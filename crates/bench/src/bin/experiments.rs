@@ -1,0 +1,52 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments all            # everything (writes results/*.csv)
+//! experiments fig11b fig19   # a subset
+//! experiments --list
+//! ```
+
+use earthplus_bench::experiments;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments <id>... | all | --list");
+        eprintln!("known ids: {}", experiments::ALL_IDS.join(", "));
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let out_dir = PathBuf::from("results");
+    let mut failures = 0;
+    for id in ids {
+        let started = Instant::now();
+        match experiments::run(id) {
+            Ok(result) => {
+                println!("{}", result.to_table());
+                if let Err(e) = result.write_csv(&out_dir) {
+                    eprintln!("warning: could not write {id}.csv: {e}");
+                }
+                println!("({id} finished in {:.1}s)\n", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,337 @@
+//! CART decision tree for binary classification.
+//!
+//! The paper's on-board detector is "a cheap decision-tree-based detector"
+//! (§5). This is a small, dependency-free CART implementation with Gini
+//! impurity splitting, depth and leaf-size limits, and — crucial for
+//! Earth+ — *leaf purity* exposed at prediction time, so the on-board
+//! detector can classify a tile as cloudy only when the training data is
+//! nearly unanimous (precision over recall: a false "cloudy" discards real
+//! changes forever, while a miss merely wastes downlink).
+
+use crate::features::{FeatureVector, FEATURE_COUNT};
+
+/// A labelled training sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Feature vector.
+    pub features: FeatureVector,
+    /// Class label (`true` = positive / cloud).
+    pub label: bool,
+}
+
+/// Tree construction limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: u32,
+    /// Minimum samples required to split a node further.
+    pub min_samples_split: usize,
+    /// Number of candidate thresholds examined per feature.
+    pub candidate_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 16,
+            candidate_thresholds: 24,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Fraction of positive samples that reached this leaf.
+        positive_fraction: f32,
+        /// Number of training samples in the leaf.
+        count: u32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained binary decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+impl DecisionTree {
+    /// Trains a tree on the given samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train(samples: &[Sample], config: &TreeConfig) -> Self {
+        assert!(!samples.is_empty(), "cannot train on zero samples");
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        DecisionTree {
+            root: build(samples, indices, config, 0),
+        }
+    }
+
+    /// The probability-like score (training-set positive fraction of the
+    /// reached leaf) for a feature vector.
+    pub fn score(&self, features: &FeatureVector) -> f32 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf {
+                    positive_fraction, ..
+                } => return *positive_fraction,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Hard classification at the 0.5 score level.
+    pub fn predict(&self, features: &FeatureVector) -> bool {
+        self.score(features) > 0.5
+    }
+
+    /// Classification at a custom score threshold — the precision knob.
+    pub fn predict_with_threshold(&self, features: &FeatureVector, threshold: f32) -> bool {
+        self.score(features) >= threshold
+    }
+
+    /// Number of decision nodes (splits) in the tree.
+    pub fn split_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth of the tree.
+    pub fn depth(&self) -> u32 {
+        fn depth(node: &Node) -> u32 {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+fn build(samples: &[Sample], indices: Vec<usize>, config: &TreeConfig, depth: u32) -> Node {
+    let total = indices.len();
+    let positives = indices.iter().filter(|&&i| samples[i].label).count();
+    let make_leaf = || Node::Leaf {
+        positive_fraction: positives as f32 / total.max(1) as f32,
+        count: total as u32,
+    };
+    if depth >= config.max_depth
+        || total < config.min_samples_split
+        || positives == 0
+        || positives == total
+    {
+        return make_leaf();
+    }
+
+    // Best split over all features and a grid of candidate thresholds.
+    let parent_impurity = gini(positives, total);
+    let mut best: Option<(usize, f32, f64)> = None;
+    for feature in 0..FEATURE_COUNT {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &i in &indices {
+            let v = samples[i].features[feature];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi <= lo {
+            continue;
+        }
+        for k in 1..=config.candidate_thresholds {
+            let threshold = lo + (hi - lo) * k as f32 / (config.candidate_thresholds + 1) as f32;
+            let mut left_pos = 0usize;
+            let mut left_n = 0usize;
+            for &i in &indices {
+                if samples[i].features[feature] <= threshold {
+                    left_n += 1;
+                    if samples[i].label {
+                        left_pos += 1;
+                    }
+                }
+            }
+            let right_n = total - left_n;
+            if left_n == 0 || right_n == 0 {
+                continue;
+            }
+            let right_pos = positives - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let gain = parent_impurity - weighted;
+            if gain > 1e-9 && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                best = Some((feature, threshold, gain));
+            }
+        }
+    }
+
+    match best {
+        None => make_leaf(),
+        Some((feature, threshold, _)) => {
+            let (left, right): (Vec<usize>, Vec<usize>) = indices
+                .into_iter()
+                .partition(|&i| samples[i].features[feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(samples, left, config, depth + 1)),
+                right: Box::new(build(samples, right, config, depth + 1)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(i: u64, seed: u64) -> f32 {
+        (mix(i ^ seed.wrapping_mul(0xC2B2_AE3D)) >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Cloud-like synthetic task: positive iff bright AND cold.
+    fn synthetic_samples(n: u64, seed: u64) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let bright = unit(i, seed);
+                let cold = unit(i, seed ^ 1);
+                let texture = unit(i, seed ^ 2) * 0.2;
+                Sample {
+                    features: [bright, cold, texture],
+                    label: bright > 0.6 && cold < 0.3,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_conjunctive_rule() {
+        let train = synthetic_samples(4000, 7);
+        let tree = DecisionTree::train(&train, &TreeConfig::default());
+        let test = synthetic_samples(2000, 99);
+        let correct = test
+            .iter()
+            .filter(|s| tree.predict(&s.features) == s.label)
+            .count();
+        let accuracy = correct as f64 / test.len() as f64;
+        assert!(accuracy > 0.97, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn high_threshold_gives_high_precision() {
+        let train = synthetic_samples(4000, 11);
+        let tree = DecisionTree::train(&train, &TreeConfig::default());
+        let test = synthetic_samples(4000, 55);
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        for s in &test {
+            if tree.predict_with_threshold(&s.features, 0.97) {
+                if s.label {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        assert!(tp > 0, "threshold too strict: nothing detected");
+        let precision = tp as f64 / (tp + fp) as f64;
+        assert!(precision > 0.98, "precision {precision}");
+    }
+
+    #[test]
+    fn pure_training_set_yields_single_leaf() {
+        let samples: Vec<Sample> = (0..100)
+            .map(|i| Sample {
+                features: [i as f32 / 100.0, 0.0, 0.0],
+                label: true,
+            })
+            .collect();
+        let tree = DecisionTree::train(&samples, &TreeConfig::default());
+        assert_eq!(tree.split_count(), 0);
+        assert!(tree.predict(&[0.5, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn respects_depth_limit() {
+        let train = synthetic_samples(4000, 3);
+        let config = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::train(&train, &config);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn score_is_a_fraction() {
+        let train = synthetic_samples(1000, 5);
+        let tree = DecisionTree::train(&train, &TreeConfig::default());
+        for s in &train {
+            let sc = tree.score(&s.features);
+            assert!((0.0..=1.0).contains(&sc));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train on zero samples")]
+    fn empty_training_panics() {
+        DecisionTree::train(&[], &TreeConfig::default());
+    }
+
+    #[test]
+    fn single_feature_split() {
+        // Perfectly separable on feature 0.
+        let samples: Vec<Sample> = (0..200)
+            .map(|i| {
+                let v = i as f32 / 200.0;
+                Sample {
+                    features: [v, 0.5, 0.5],
+                    label: v > 0.5,
+                }
+            })
+            .collect();
+        let tree = DecisionTree::train(&samples, &TreeConfig::default());
+        assert!(tree.predict(&[0.9, 0.5, 0.5]));
+        assert!(!tree.predict(&[0.1, 0.5, 0.5]));
+    }
+}

@@ -1,0 +1,44 @@
+//! Cloud detection for the Earth+ reproduction.
+//!
+//! Earth+ splits cloud detection asymmetrically (§4.3, §5):
+//!
+//! * on the **satellite**, a cheap decision-tree detector runs on the
+//!   64×-downsampled capture and flags only easy heavy clouds, tuned so
+//!   over 99 % of what it flags really is cloud — false "cloud" labels
+//!   discard real content, while misses merely cost downlink;
+//! * on the **ground**, an accurate and much more expensive detector
+//!   re-examines downloaded imagery so that only genuinely cloud-free
+//!   (< 1 %) images enter the constellation-wide reference pool.
+//!
+//! This crate provides both ([`OnboardCloudDetector`],
+//! [`GroundCloudDetector`]), the CART tree they build on
+//! ([`DecisionTree`]), the per-tile feature extraction, and the training
+//! loop that fits the on-board tree against scene ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use earthplus_cloud::{train_onboard_detector, TrainingConfig};
+//! use earthplus_scene::{LocationScene, SceneConfig};
+//! use earthplus_scene::terrain::LocationArchetype;
+//!
+//! let scene = LocationScene::new(SceneConfig::quick(1, LocationArchetype::River));
+//! let detector = train_onboard_detector(&scene, &TrainingConfig::default());
+//! let capture = scene.capture(50.0);
+//! let detection = detector.detect(&capture.image).unwrap();
+//! assert!(detection.coverage <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decision_tree;
+pub mod detectors;
+pub mod features;
+pub mod morphology;
+pub mod training;
+
+pub use decision_tree::{DecisionTree, Sample, TreeConfig};
+pub use detectors::{CloudDetection, GroundCloudDetector, OnboardCloudDetector};
+pub use features::{tile_features, FeatureVector, FEATURE_COUNT};
+pub use training::{collect_samples, train_onboard_detector, TrainingConfig};

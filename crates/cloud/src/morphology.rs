@@ -1,0 +1,106 @@
+//! Binary morphology on pixel masks (4-connected dilate / erode).
+
+/// Dilates a row-major boolean mask by one pixel (4-neighbourhood).
+pub fn dilate(mask: &[bool], width: usize, height: usize) -> Vec<bool> {
+    assert_eq!(mask.len(), width * height, "mask size mismatch");
+    let mut out = mask.to_vec();
+    for y in 0..height {
+        for x in 0..width {
+            if mask[y * width + x] {
+                continue;
+            }
+            let neighbour = (x > 0 && mask[y * width + x - 1])
+                || (x + 1 < width && mask[y * width + x + 1])
+                || (y > 0 && mask[(y - 1) * width + x])
+                || (y + 1 < height && mask[(y + 1) * width + x]);
+            if neighbour {
+                out[y * width + x] = true;
+            }
+        }
+    }
+    out
+}
+
+/// Erodes a row-major boolean mask by one pixel (4-neighbourhood; image
+/// borders count as background).
+pub fn erode(mask: &[bool], width: usize, height: usize) -> Vec<bool> {
+    assert_eq!(mask.len(), width * height, "mask size mismatch");
+    let mut out = mask.to_vec();
+    for y in 0..height {
+        for x in 0..width {
+            if !mask[y * width + x] {
+                continue;
+            }
+            let all_neighbours = x > 0
+                && mask[y * width + x - 1]
+                && x + 1 < width
+                && mask[y * width + x + 1]
+                && y > 0
+                && mask[(y - 1) * width + x]
+                && y + 1 < height
+                && mask[(y + 1) * width + x];
+            if !all_neighbours {
+                out[y * width + x] = false;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&str]) -> (Vec<bool>, usize, usize) {
+        let h = rows.len();
+        let w = rows[0].len();
+        let mask = rows
+            .iter()
+            .flat_map(|r| r.chars().map(|c| c == '#'))
+            .collect();
+        (mask, w, h)
+    }
+
+    #[test]
+    fn dilate_grows_blob() {
+        let (mask, w, h) = from_rows(&["....", ".#..", "....", "...."]);
+        let d = dilate(&mask, w, h);
+        assert_eq!(d.iter().filter(|&&m| m).count(), 5); // plus shape
+        assert!(d[1 * w + 1] && d[0 * w + 1] && d[2 * w + 1] && d[1 * w] && d[1 * w + 2]);
+    }
+
+    #[test]
+    fn erode_removes_lone_pixel() {
+        let (mask, w, h) = from_rows(&["....", ".#..", "....", "...."]);
+        let e = erode(&mask, w, h);
+        assert!(e.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn dilate_then_erode_closes_hole() {
+        let (mask, w, h) = from_rows(&[
+            "#####",
+            "##.##", // one-pixel hole
+            "#####",
+            "#####",
+            "#####",
+        ]);
+        let closed = erode(&dilate(&mask, w, h), w, h);
+        assert!(closed[1 * w + 2], "hole not closed");
+    }
+
+    #[test]
+    fn erode_shrinks_from_border() {
+        let (mask, w, h) = from_rows(&["###", "###", "###"]);
+        let e = erode(&mask, w, h);
+        // Border pixels lack a full neighbourhood; only the centre stays.
+        assert_eq!(e.iter().filter(|&&m| m).count(), 1);
+        assert!(e[1 * w + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask size mismatch")]
+    fn size_mismatch_panics() {
+        dilate(&[true; 5], 2, 2);
+    }
+}

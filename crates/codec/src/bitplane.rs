@@ -1,0 +1,399 @@
+//! Embedded bitplane coding of quantized coefficients.
+//!
+//! Coefficients are coded sign–magnitude, most-significant bitplane first,
+//! with two passes per plane (JPEG-2000-style):
+//!
+//! 1. **significance pass** — for coefficients not yet significant, code
+//!    whether this plane makes them significant (and, if so, the sign);
+//! 2. **refinement pass** — for already-significant coefficients, code the
+//!    plane's magnitude bit.
+//!
+//! The encoder records a truncation offset after every pass. Cutting the
+//! payload at any recorded offset yields a valid lower-rate stream; the
+//! decoder decodes exactly the passes that are fully contained in the bytes
+//! it was given. These per-pass boundaries are the *quality layers* the
+//! Earth+ ground station uses to download fewer layers when the downlink
+//! degrades (§5, *Handling bandwidth fluctuation*).
+
+use crate::rangecoder::{BitModel, RangeDecoder, RangeEncoder};
+
+/// Decoder lookahead margin, in bytes: the range decoder primes itself with
+/// five bytes, so each recorded pass boundary must include them.
+const LOOKAHEAD: usize = 5;
+
+/// Maximum magnitude bitplanes supported.
+pub const MAX_PLANES: u8 = 28;
+
+/// Result of bitplane-encoding a coefficient block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedPlanes {
+    /// Range-coded payload (embedded stream).
+    pub payload: Vec<u8>,
+    /// Number of magnitude bitplanes encoded.
+    pub planes: u8,
+    /// Cumulative payload byte offsets after each coding pass (two passes
+    /// per plane: significance, then refinement), including the decoder
+    /// lookahead margin. Monotone non-decreasing.
+    pub pass_offsets: Vec<u32>,
+}
+
+impl EncodedPlanes {
+    /// The number of passes whose data is entirely contained within
+    /// `available_bytes` of payload.
+    pub fn passes_within(&self, available_bytes: usize) -> usize {
+        self.pass_offsets
+            .iter()
+            .take_while(|&&o| o as usize <= available_bytes)
+            .count()
+    }
+
+    /// The largest payload length `<= budget` that ends exactly at a pass
+    /// boundary (0 when even the first pass does not fit).
+    pub fn truncation_point(&self, budget: usize) -> usize {
+        self.pass_offsets
+            .iter()
+            .map(|&o| o as usize)
+            .take_while(|&o| o <= budget)
+            .last()
+            .unwrap_or(0)
+    }
+}
+
+struct Contexts {
+    /// Significance contexts indexed by the number of significant causal
+    /// neighbours (0, 1, 2+).
+    significance: [BitModel; 3],
+    /// Refinement context.
+    refinement: BitModel,
+}
+
+impl Contexts {
+    fn new() -> Self {
+        Contexts {
+            significance: [BitModel::new(); 3],
+            refinement: BitModel::new(),
+        }
+    }
+}
+
+#[inline]
+fn neighbor_context(sig: &[bool], width: usize, idx: usize) -> usize {
+    let x = idx % width;
+    let mut n = 0usize;
+    if x > 0 && sig[idx - 1] {
+        n += 1;
+    }
+    if idx >= width && sig[idx - width] {
+        n += 1;
+    }
+    if x + 1 < width && idx >= width && sig[idx - width + 1] {
+        n += 1;
+    }
+    n.min(2)
+}
+
+/// Encodes quantized coefficients (`width` is the row length used for
+/// neighbour context modelling).
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `coefficients.len()`.
+pub fn encode_planes(coefficients: &[i32], width: usize) -> EncodedPlanes {
+    assert!(width > 0, "width must be positive");
+    assert_eq!(
+        coefficients.len() % width,
+        0,
+        "coefficient count must be a multiple of width"
+    );
+    let n = coefficients.len();
+    let max_mag = coefficients.iter().map(|&c| c.unsigned_abs()).max().unwrap_or(0);
+    let planes = (32 - max_mag.leading_zeros()).min(MAX_PLANES as u32) as u8;
+
+    let mut enc = RangeEncoder::new();
+    let mut ctx = Contexts::new();
+    let mut sig = vec![false; n];
+    let mut pass_offsets = Vec::with_capacity(planes as usize * 2);
+
+    for plane in (0..planes).rev() {
+        let bit_mask = 1u32 << plane;
+        // Pass 1: significance.
+        let mut newly_significant = Vec::new();
+        for i in 0..n {
+            if sig[i] {
+                continue;
+            }
+            let mag = coefficients[i].unsigned_abs();
+            let becomes = mag & bit_mask != 0;
+            let c = neighbor_context(&sig, width, i);
+            enc.encode(&mut ctx.significance[c], becomes);
+            if becomes {
+                enc.encode_raw(coefficients[i] < 0);
+                newly_significant.push(i);
+            }
+        }
+        for i in newly_significant {
+            sig[i] = true;
+        }
+        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
+        // Pass 2: refinement of previously-significant coefficients.
+        for i in 0..n {
+            if !sig[i] {
+                continue;
+            }
+            let mag = coefficients[i].unsigned_abs();
+            // Skip those that became significant in THIS plane: their
+            // current bit was already conveyed by the significance pass.
+            if (mag >> plane).count_ones() == 1 && mag & bit_mask != 0 {
+                continue;
+            }
+            enc.encode(&mut ctx.refinement, mag & bit_mask != 0);
+        }
+        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
+    }
+
+    let mut payload = enc.finish();
+    // Pad to the final recorded offset: offsets include the decoder
+    // lookahead margin, so a full (untruncated) stream must physically
+    // contain every offset for the availability check to admit all passes.
+    if let Some(&last) = pass_offsets.last() {
+        if payload.len() < last as usize {
+            payload.resize(last as usize, 0);
+        }
+    }
+    EncodedPlanes {
+        payload,
+        planes,
+        pass_offsets,
+    }
+}
+
+/// Decodes coefficients from an (optionally truncated) payload.
+///
+/// Only passes entirely contained in `payload` (per `pass_offsets`) are
+/// decoded; missing low-order planes reconstruct as zero bits, with a +½
+/// mid-tread bias on the lowest decoded plane applied by the dequantizer.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `count`.
+pub fn decode_planes(
+    payload: &[u8],
+    count: usize,
+    width: usize,
+    planes: u8,
+    pass_offsets: &[u32],
+) -> Vec<i32> {
+    assert!(width > 0, "width must be positive");
+    assert_eq!(count % width, 0, "count must be a multiple of width");
+    let available: usize = pass_offsets
+        .iter()
+        .take_while(|&&o| o as usize <= payload.len())
+        .count();
+    let mut dec = RangeDecoder::new(payload);
+    let mut ctx = Contexts::new();
+    let mut sig = vec![false; count];
+    let mut neg = vec![false; count];
+    let mut mag = vec![0u32; count];
+    // Plane index (from the top) at which each coefficient became
+    // significant; used by callers for reconstruction bias. We fold it into
+    // magnitude directly here.
+    let mut pass_idx = 0usize;
+    'outer: for plane in (0..planes).rev() {
+        let bit = 1u32 << plane;
+        // Significance pass.
+        if pass_idx >= available {
+            break 'outer;
+        }
+        let mut newly = Vec::new();
+        for i in 0..count {
+            if sig[i] {
+                continue;
+            }
+            let c = neighbor_context(&sig, width, i);
+            if dec.decode(&mut ctx.significance[c]) {
+                neg[i] = dec.decode_raw();
+                mag[i] |= bit;
+                newly.push(i);
+            }
+        }
+        for i in newly {
+            sig[i] = true;
+        }
+        pass_idx += 1;
+        // Refinement pass.
+        if pass_idx >= available {
+            break 'outer;
+        }
+        for i in 0..count {
+            if !sig[i] {
+                continue;
+            }
+            if (mag[i] >> plane).count_ones() == 1 && mag[i] & bit != 0 {
+                continue;
+            }
+            if dec.decode(&mut ctx.refinement) {
+                mag[i] |= bit;
+            }
+        }
+        pass_idx += 1;
+    }
+    (0..count)
+        .map(|i| {
+            let m = mag[i] as i32;
+            if neg[i] {
+                -m
+            } else {
+                m
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::hash_unit;
+
+    fn sample_coefficients(n: usize, seed: u64) -> Vec<i32> {
+        // Laplacian-ish: mostly small, occasionally large, like wavelet
+        // detail coefficients.
+        (0..n)
+            .map(|i| {
+                let u = hash_unit(i as u64, seed);
+                let mag = if u < 0.7 {
+                    0
+                } else if u < 0.9 {
+                    (u * 10.0) as i32
+                } else {
+                    (u * 4000.0) as i32
+                };
+                if hash_unit(i as u64, seed ^ 1) < 0.5 {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_roundtrip() {
+        let coeffs = sample_coefficients(64 * 64, 42);
+        let enc = encode_planes(&coeffs, 64);
+        let dec = decode_planes(&enc.payload, coeffs.len(), 64, enc.planes, &enc.pass_offsets);
+        assert_eq!(dec, coeffs);
+    }
+
+    #[test]
+    fn all_zero_block_is_tiny() {
+        let coeffs = vec![0i32; 4096];
+        let enc = encode_planes(&coeffs, 64);
+        assert_eq!(enc.planes, 0);
+        assert!(enc.payload.len() <= 8, "payload {}", enc.payload.len());
+        let dec = decode_planes(&enc.payload, 4096, 64, enc.planes, &enc.pass_offsets);
+        assert_eq!(dec, coeffs);
+    }
+
+    #[test]
+    fn single_large_coefficient() {
+        let mut coeffs = vec![0i32; 256];
+        coeffs[100] = -123_456;
+        let enc = encode_planes(&coeffs, 16);
+        let dec = decode_planes(&enc.payload, 256, 16, enc.planes, &enc.pass_offsets);
+        assert_eq!(dec, coeffs);
+    }
+
+    #[test]
+    fn offsets_are_monotone() {
+        let coeffs = sample_coefficients(32 * 32, 7);
+        let enc = encode_planes(&coeffs, 32);
+        assert_eq!(enc.pass_offsets.len(), enc.planes as usize * 2);
+        assert!(enc.pass_offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*enc.pass_offsets.last().unwrap() as usize >= enc.payload.len());
+    }
+
+    #[test]
+    fn truncation_monotonically_improves() {
+        let coeffs = sample_coefficients(64 * 64, 9);
+        let enc = encode_planes(&coeffs, 64);
+        let error = |budget: usize| -> f64 {
+            let cut = enc.truncation_point(budget).min(enc.payload.len());
+            let dec =
+                decode_planes(&enc.payload[..cut], coeffs.len(), 64, enc.planes, &enc.pass_offsets);
+            coeffs
+                .iter()
+                .zip(&dec)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let full = enc.payload.len();
+        let e_full = error(full + 16);
+        let e_half = error(full / 2);
+        let e_tenth = error(full / 10);
+        assert_eq!(e_full, 0.0, "full budget must be lossless");
+        assert!(e_half <= e_tenth, "half {e_half} tenth {e_tenth}");
+        assert!(e_tenth > 0.0, "savage truncation must lose something");
+    }
+
+    #[test]
+    fn truncated_decode_never_over_reports_magnitude_plane() {
+        // With only the first significance pass, every decoded value is
+        // either 0 or has only the top plane bit set.
+        let coeffs = sample_coefficients(32 * 32, 11);
+        let enc = encode_planes(&coeffs, 32);
+        let cut = enc.pass_offsets[0] as usize;
+        let dec = decode_planes(
+            &enc.payload[..cut.min(enc.payload.len())],
+            coeffs.len(),
+            32,
+            enc.planes,
+            &enc.pass_offsets,
+        );
+        let top = 1i32 << (enc.planes - 1);
+        for &v in &dec {
+            assert!(v == 0 || v.abs() == top, "unexpected value {v}");
+        }
+    }
+
+    #[test]
+    fn passes_within_counts_correctly() {
+        let coeffs = sample_coefficients(16 * 16, 3);
+        let enc = encode_planes(&coeffs, 16);
+        assert_eq!(enc.passes_within(0), 0);
+        assert_eq!(
+            enc.passes_within(usize::MAX),
+            enc.pass_offsets.len()
+        );
+    }
+
+    #[test]
+    fn compresses_sparse_blocks_well() {
+        // 95% zeros, small values elsewhere: far below 16 bits/coefficient.
+        let coeffs: Vec<i32> = (0..4096)
+            .map(|i| {
+                if hash_unit(i as u64, 5) < 0.05 {
+                    ((hash_unit(i as u64, 6) * 63.0) as i32) + 1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let enc = encode_planes(&coeffs, 64);
+        let bits_per_coeff = enc.payload.len() as f64 * 8.0 / 4096.0;
+        assert!(bits_per_coeff < 1.5, "bits/coeff {bits_per_coeff}");
+    }
+
+    #[test]
+    fn width_must_divide_count() {
+        let r = std::panic::catch_unwind(|| encode_planes(&[1, 2, 3], 2));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn negative_values_roundtrip() {
+        let coeffs: Vec<i32> = (-50..50).collect();
+        let enc = encode_planes(&coeffs, 10);
+        let dec = decode_planes(&enc.payload, 100, 10, enc.planes, &enc.pass_offsets);
+        assert_eq!(dec, coeffs);
+    }
+}

@@ -1,0 +1,426 @@
+//! Discrete wavelet transforms (lifting implementations).
+//!
+//! Two transforms, matching the JPEG-2000 standard the paper's encoder
+//! (Kakadu) implements:
+//!
+//! * **CDF 5/3** — integer-to-integer lifting; exactly reversible, used for
+//!   lossless coding.
+//! * **CDF 9/7** — floating-point lifting; better energy compaction, used
+//!   for lossy coding.
+//!
+//! Both operate in place on a 2-D coefficient buffer with the conventional
+//! multi-level Mallat layout: after `levels` decompositions, the top-left
+//! `ceil(w/2^levels) × ceil(h/2^levels)` corner holds the LL band and each
+//! level's detail bands surround it. Odd lengths are handled with symmetric
+//! boundary extension, so any size ≥ 1 is valid.
+
+/// Which wavelet to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wavelet {
+    /// Reversible integer 5/3 transform.
+    Cdf53,
+    /// Irreversible 9/7 transform.
+    Cdf97,
+}
+
+// CDF 9/7 lifting constants (JPEG-2000 Part 1).
+const ALPHA: f32 = -1.586_134_342;
+const BETA: f32 = -0.052_980_118;
+const GAMMA: f32 = 0.882_911_075;
+const DELTA: f32 = 0.443_506_852;
+const KAPPA: f32 = 1.230_174_105;
+
+/// A 2-D coefficient buffer (row-major `f32`; the 5/3 path keeps values on
+/// the integer lattice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficients {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Coefficients {
+    /// Wraps a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn new(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "coefficient buffer size");
+        Coefficients {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Width in samples.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in samples.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Immutable view of the buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes self, returning the buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+/// Maximum usable decomposition depth for the given dimensions (each level
+/// halves the LL band; stop before a dimension reaches 1).
+pub fn max_levels(width: usize, height: usize) -> u8 {
+    let mut levels = 0u8;
+    let (mut w, mut h) = (width, height);
+    while w >= 2 && h >= 2 && levels < 12 {
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+        levels += 1;
+    }
+    levels
+}
+
+/// Forward multi-level transform in place.
+///
+/// # Panics
+///
+/// Panics if `levels` exceeds [`max_levels`] for the buffer.
+pub fn forward(coeffs: &mut Coefficients, wavelet: Wavelet, levels: u8) {
+    assert!(
+        levels <= max_levels(coeffs.width, coeffs.height),
+        "too many DWT levels"
+    );
+    let (mut w, mut h) = (coeffs.width, coeffs.height);
+    for _ in 0..levels {
+        forward_single(coeffs, wavelet, w, h);
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+}
+
+/// Inverse multi-level transform in place (mirror of [`forward`]).
+///
+/// # Panics
+///
+/// Panics if `levels` exceeds [`max_levels`] for the buffer.
+pub fn inverse(coeffs: &mut Coefficients, wavelet: Wavelet, levels: u8) {
+    assert!(
+        levels <= max_levels(coeffs.width, coeffs.height),
+        "too many DWT levels"
+    );
+    // Rebuild the per-level sizes, then undo from the deepest level out.
+    let mut sizes = Vec::with_capacity(levels as usize);
+    let (mut w, mut h) = (coeffs.width, coeffs.height);
+    for _ in 0..levels {
+        sizes.push((w, h));
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+    for &(w, h) in sizes.iter().rev() {
+        inverse_single(coeffs, wavelet, w, h);
+    }
+}
+
+fn forward_single(coeffs: &mut Coefficients, wavelet: Wavelet, w: usize, h: usize) {
+    let stride = coeffs.width;
+    let mut line = vec![0.0f32; w.max(h)];
+    // Rows.
+    for y in 0..h {
+        for x in 0..w {
+            line[x] = coeffs.data[y * stride + x];
+        }
+        lift_forward(&mut line[..w], wavelet);
+        deinterleave(&mut coeffs.data[y * stride..y * stride + w], &line[..w]);
+    }
+    // Columns.
+    for x in 0..w {
+        for y in 0..h {
+            line[y] = coeffs.data[y * stride + x];
+        }
+        lift_forward(&mut line[..h], wavelet);
+        // Deinterleave vertically: low-pass into the top half, high-pass
+        // into the bottom half.
+        let half = h.div_ceil(2);
+        for y in 0..h {
+            let dst = if y % 2 == 0 { y / 2 } else { half + y / 2 };
+            coeffs.data[dst * stride + x] = line[y];
+        }
+    }
+}
+
+fn deinterleave(dst: &mut [f32], interleaved: &[f32]) {
+    let n = interleaved.len();
+    let half = n.div_ceil(2);
+    for i in 0..n {
+        let v = interleaved[i];
+        let dst_idx = if i % 2 == 0 { i / 2 } else { half + i / 2 };
+        dst[dst_idx] = v;
+    }
+}
+
+fn interleave(dst: &mut [f32], planar: &[f32]) {
+    let n = planar.len();
+    let half = n.div_ceil(2);
+    for i in 0..n {
+        let v = if i % 2 == 0 {
+            planar[i / 2]
+        } else {
+            planar[half + i / 2]
+        };
+        dst[i] = v;
+    }
+}
+
+fn inverse_single(coeffs: &mut Coefficients, wavelet: Wavelet, w: usize, h: usize) {
+    let stride = coeffs.width;
+    let mut planar = vec![0.0f32; w.max(h)];
+    let mut line = vec![0.0f32; w.max(h)];
+    // Columns first (mirror of the forward order).
+    for x in 0..w {
+        for y in 0..h {
+            planar[y] = coeffs.data[y * stride + x];
+        }
+        interleave(&mut line[..h], &planar[..h]);
+        lift_inverse(&mut line[..h], wavelet);
+        for y in 0..h {
+            coeffs.data[y * stride + x] = line[y];
+        }
+    }
+    // Rows.
+    for y in 0..h {
+        planar[..w].copy_from_slice(&coeffs.data[y * stride..y * stride + w]);
+        interleave(&mut line[..w], &planar[..w]);
+        lift_inverse(&mut line[..w], wavelet);
+        coeffs.data[y * stride..y * stride + w].copy_from_slice(&line[..w]);
+    }
+}
+
+/// Symmetric extension index for out-of-range neighbours.
+#[inline]
+fn sym(i: isize, n: isize) -> usize {
+    let mut i = i;
+    if i < 0 {
+        i = -i;
+    }
+    if i >= n {
+        i = 2 * (n - 1) - i;
+    }
+    i.max(0) as usize
+}
+
+fn lift_forward(line: &mut [f32], wavelet: Wavelet) {
+    let n = line.len();
+    if n < 2 {
+        return;
+    }
+    let ni = n as isize;
+    match wavelet {
+        Wavelet::Cdf53 => {
+            // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+            for i in (1..n).step_by(2) {
+                let left = line[sym(i as isize - 1, ni)];
+                let right = line[sym(i as isize + 1, ni)];
+                line[i] -= ((left + right) / 2.0).floor();
+            }
+            // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+            for i in (0..n).step_by(2) {
+                let left = line[sym(i as isize - 1, ni)];
+                let right = line[sym(i as isize + 1, ni)];
+                line[i] += ((left + right + 2.0) / 4.0).floor();
+            }
+        }
+        Wavelet::Cdf97 => {
+            for (step, coef) in [(1usize, ALPHA), (0, BETA), (1, GAMMA), (0, DELTA)] {
+                for i in (step..n).step_by(2) {
+                    let left = line[sym(i as isize - 1, ni)];
+                    let right = line[sym(i as isize + 1, ni)];
+                    line[i] += coef * (left + right);
+                }
+            }
+            for (i, v) in line.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *v *= KAPPA;
+                } else {
+                    *v /= KAPPA;
+                }
+            }
+        }
+    }
+}
+
+fn lift_inverse(line: &mut [f32], wavelet: Wavelet) {
+    let n = line.len();
+    if n < 2 {
+        return;
+    }
+    let ni = n as isize;
+    match wavelet {
+        Wavelet::Cdf53 => {
+            for i in (0..n).step_by(2) {
+                let left = line[sym(i as isize - 1, ni)];
+                let right = line[sym(i as isize + 1, ni)];
+                line[i] -= ((left + right + 2.0) / 4.0).floor();
+            }
+            for i in (1..n).step_by(2) {
+                let left = line[sym(i as isize - 1, ni)];
+                let right = line[sym(i as isize + 1, ni)];
+                line[i] += ((left + right) / 2.0).floor();
+            }
+        }
+        Wavelet::Cdf97 => {
+            for (i, v) in line.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *v /= KAPPA;
+                } else {
+                    *v *= KAPPA;
+                }
+            }
+            for (step, coef) in [(0usize, DELTA), (1, GAMMA), (0, BETA), (1, ALPHA)] {
+                for i in (step..n).step_by(2) {
+                    let left = line[sym(i as isize - 1, ni)];
+                    let right = line[sym(i as isize + 1, ni)];
+                    line[i] -= coef * (left + right);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::hash_unit;
+
+    fn test_image(w: usize, h: usize, seed: u64) -> Vec<f32> {
+        (0..w * h)
+            .map(|i| (hash_unit(i as u64, seed) * 4095.0).round())
+            .collect()
+    }
+
+    fn roundtrip_error(w: usize, h: usize, wavelet: Wavelet, levels: u8) -> f32 {
+        let original = test_image(w, h, 7);
+        let mut c = Coefficients::new(w, h, original.clone());
+        forward(&mut c, wavelet, levels);
+        inverse(&mut c, wavelet, levels);
+        original
+            .iter()
+            .zip(c.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn cdf53_perfect_reconstruction_even_sizes() {
+        assert_eq!(roundtrip_error(64, 64, Wavelet::Cdf53, 3), 0.0);
+        assert_eq!(roundtrip_error(128, 32, Wavelet::Cdf53, 4), 0.0);
+    }
+
+    #[test]
+    fn cdf53_perfect_reconstruction_odd_sizes() {
+        assert_eq!(roundtrip_error(65, 47, Wavelet::Cdf53, 3), 0.0);
+        assert_eq!(roundtrip_error(33, 17, Wavelet::Cdf53, 2), 0.0);
+        assert_eq!(roundtrip_error(5, 3, Wavelet::Cdf53, 1), 0.0);
+    }
+
+    #[test]
+    fn cdf53_integer_lattice_preserved() {
+        let mut c = Coefficients::new(32, 32, test_image(32, 32, 3));
+        forward(&mut c, Wavelet::Cdf53, 3);
+        for &v in c.as_slice() {
+            assert!((v - v.round()).abs() < 1e-4, "non-integer coeff {v}");
+        }
+    }
+
+    #[test]
+    fn cdf97_near_perfect_reconstruction() {
+        let err = roundtrip_error(64, 64, Wavelet::Cdf97, 3);
+        assert!(err < 1e-2, "max error {err}");
+        let err = roundtrip_error(51, 37, Wavelet::Cdf97, 2);
+        assert!(err < 1e-2, "max error {err}");
+    }
+
+    #[test]
+    fn smooth_signal_energy_compacts_into_ll() {
+        // A smooth gradient should leave almost all energy in the LL band.
+        let w = 64;
+        let data: Vec<f32> = (0..w * w)
+            .map(|i| {
+                let x = (i % w) as f32 / w as f32;
+                let y = (i / w) as f32 / w as f32;
+                1000.0 * (x + y)
+            })
+            .collect();
+        let mut c = Coefficients::new(w, w, data);
+        forward(&mut c, Wavelet::Cdf97, 3);
+        let ll = w / 8;
+        let mut ll_energy = 0.0f64;
+        let mut total = 0.0f64;
+        for y in 0..w {
+            for x in 0..w {
+                let e = (c.as_slice()[y * w + x] as f64).powi(2);
+                total += e;
+                if x < ll && y < ll {
+                    ll_energy += e;
+                }
+            }
+        }
+        assert!(ll_energy / total > 0.99, "LL fraction {}", ll_energy / total);
+    }
+
+    #[test]
+    fn max_levels_sane() {
+        assert_eq!(max_levels(64, 64), 6);
+        assert_eq!(max_levels(1, 64), 0);
+        assert!(max_levels(4000, 4000) >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many DWT levels")]
+    fn forward_rejects_excess_levels() {
+        let mut c = Coefficients::new(8, 8, vec![0.0; 64]);
+        forward(&mut c, Wavelet::Cdf53, 7);
+    }
+
+    #[test]
+    fn single_pixel_and_line_degenerate_cases() {
+        // Must not panic; zero levels is the only legal depth.
+        let mut c = Coefficients::new(1, 1, vec![5.0]);
+        forward(&mut c, Wavelet::Cdf53, 0);
+        inverse(&mut c, Wavelet::Cdf53, 0);
+        assert_eq!(c.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn sym_extension_indices() {
+        assert_eq!(sym(-1, 8), 1);
+        assert_eq!(sym(-2, 8), 2);
+        assert_eq!(sym(8, 8), 6);
+        assert_eq!(sym(9, 8), 5);
+        assert_eq!(sym(3, 8), 3);
+    }
+
+    #[test]
+    fn deinterleave_interleave_roundtrip() {
+        let src: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let mut planar = vec![0.0; 9];
+        deinterleave(&mut planar, &src);
+        // Evens first, then odds.
+        assert_eq!(planar, vec![0.0, 2.0, 4.0, 6.0, 8.0, 1.0, 3.0, 5.0, 7.0]);
+        let mut back = vec![0.0; 9];
+        interleave(&mut back, &planar);
+        assert_eq!(back, src);
+    }
+}

@@ -1,0 +1,508 @@
+//! Whole-image wavelet codec with embedded rate control.
+
+use crate::bitplane::{decode_planes, encode_planes, EncodedPlanes};
+use crate::dwt::{self, Coefficients, Wavelet};
+use crate::CodecError;
+use bytes::{Buf, BufMut};
+use earthplus_raster::Raster;
+
+/// Magic number identifying an encoded image ("EP" wavelet codec v1).
+const MAGIC: u32 = 0x4550_5743;
+
+/// Codec configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecConfig {
+    /// Wavelet family.
+    pub wavelet: Wavelet,
+    /// Decomposition levels (clamped to the valid maximum per image).
+    pub levels: u8,
+    /// Quantizer step size in scaled-integer units (1.0 quantizes 9/7
+    /// coefficients of `input_levels`-scaled data onto the integer grid).
+    pub quant_step: f32,
+    /// Input scaling: `[0, 1]` samples are multiplied by this and rounded;
+    /// 4095 matches a 12-bit sensor.
+    pub input_levels: u16,
+}
+
+impl CodecConfig {
+    /// Lossy 9/7 configuration (the workhorse for downlink encoding).
+    pub fn lossy() -> Self {
+        CodecConfig {
+            wavelet: Wavelet::Cdf97,
+            levels: 5,
+            quant_step: 1.0,
+            input_levels: 4095,
+        }
+    }
+
+    /// Reversible 5/3 configuration: exact on the 12-bit sensor lattice
+    /// when decoded at full rate.
+    pub fn lossless() -> Self {
+        CodecConfig {
+            wavelet: Wavelet::Cdf53,
+            levels: 5,
+            quant_step: 1.0,
+            input_levels: 4095,
+        }
+    }
+
+    /// Whether this configuration reconstructs exactly at full rate
+    /// (reversible 5/3 transform with unit quantization).
+    pub fn is_reversible(&self) -> bool {
+        self.wavelet == Wavelet::Cdf53 && self.quant_step == 1.0
+    }
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        Self::lossy()
+    }
+}
+
+/// An encoded image: header plus embedded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedImage {
+    width: u32,
+    height: u32,
+    wavelet: Wavelet,
+    levels: u8,
+    planes: u8,
+    quant_step: f32,
+    input_levels: u16,
+    pass_offsets: Vec<u32>,
+    payload: Vec<u8>,
+}
+
+impl EncodedImage {
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Payload length in bytes (excluding header).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total serialized size: header plus payload.
+    pub fn size_bytes(&self) -> usize {
+        self.header_len() + self.payload.len()
+    }
+
+    /// Number of quality layers (coding passes) in the stream.
+    pub fn layer_count(&self) -> usize {
+        self.pass_offsets.len()
+    }
+
+    fn header_len(&self) -> usize {
+        // magic(4) + ver(1) + wavelet(1) + levels(1) + planes(1) + w(4) +
+        // h(4) + step(4) + input_levels(2) + n_offsets(2) + offsets(4n) +
+        // payload_len(4)
+        28 + 4 * self.pass_offsets.len()
+    }
+
+    /// Returns a copy truncated to at most `max_payload_bytes`, cut at the
+    /// largest pass boundary that fits (rate control and downlink-layer
+    /// dropping both use this).
+    pub fn truncated(&self, max_payload_bytes: usize) -> EncodedImage {
+        let cut = self
+            .pass_offsets
+            .iter()
+            .map(|&o| o as usize)
+            .take_while(|&o| o <= max_payload_bytes)
+            .last()
+            .unwrap_or(0)
+            .min(self.payload.len());
+        let mut out = self.clone();
+        out.payload.truncate(cut);
+        out
+    }
+
+    /// Returns a copy keeping only the first `layers` coding passes.
+    pub fn with_layers(&self, layers: usize) -> EncodedImage {
+        let cut = if layers == 0 {
+            0
+        } else {
+            self.pass_offsets
+                .get(layers.min(self.pass_offsets.len()) - 1)
+                .map(|&o| o as usize)
+                .unwrap_or(self.payload.len())
+                .min(self.payload.len())
+        };
+        let mut out = self.clone();
+        out.payload.truncate(cut);
+        out
+    }
+
+    /// Serializes to a self-describing byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.size_bytes());
+        buf.put_u32(MAGIC);
+        buf.put_u8(1);
+        buf.put_u8(match self.wavelet {
+            Wavelet::Cdf53 => 0,
+            Wavelet::Cdf97 => 1,
+        });
+        buf.put_u8(self.levels);
+        buf.put_u8(self.planes);
+        buf.put_u32(self.width);
+        buf.put_u32(self.height);
+        buf.put_f32(self.quant_step);
+        buf.put_u16(self.input_levels);
+        buf.put_u16(self.pass_offsets.len() as u16);
+        for &o in &self.pass_offsets {
+            buf.put_u32(o);
+        }
+        buf.put_u32(self.payload.len() as u32);
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parses a byte vector produced by [`EncodedImage::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] on truncated or corrupt input.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<EncodedImage, CodecError> {
+        let need = |buf: &[u8], n: usize| -> Result<(), CodecError> {
+            if buf.remaining() < n {
+                Err(CodecError::Malformed {
+                    reason: "unexpected end of stream".to_owned(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        need(bytes, 28)?;
+        if bytes.get_u32() != MAGIC {
+            return Err(CodecError::Malformed {
+                reason: "bad magic".to_owned(),
+            });
+        }
+        let version = bytes.get_u8();
+        if version != 1 {
+            return Err(CodecError::Malformed {
+                reason: format!("unsupported version {version}"),
+            });
+        }
+        let wavelet = match bytes.get_u8() {
+            0 => Wavelet::Cdf53,
+            1 => Wavelet::Cdf97,
+            w => {
+                return Err(CodecError::Malformed {
+                    reason: format!("unknown wavelet {w}"),
+                })
+            }
+        };
+        let levels = bytes.get_u8();
+        let planes = bytes.get_u8();
+        let width = bytes.get_u32();
+        let height = bytes.get_u32();
+        let quant_step = bytes.get_f32();
+        let input_levels = bytes.get_u16();
+        let n_offsets = bytes.get_u16() as usize;
+        need(bytes, 4 * n_offsets + 4)?;
+        let pass_offsets = (0..n_offsets).map(|_| bytes.get_u32()).collect();
+        let payload_len = bytes.get_u32() as usize;
+        need(bytes, payload_len)?;
+        let payload = bytes[..payload_len].to_vec();
+        Ok(EncodedImage {
+            width,
+            height,
+            wavelet,
+            levels,
+            planes,
+            quant_step,
+            input_levels,
+            pass_offsets,
+            payload,
+        })
+    }
+}
+
+/// Encodes a `[0, 1]` raster into a fully-embedded stream (all bitplanes).
+///
+/// Combine with [`EncodedImage::truncated`] for rate control, or use
+/// [`encode_with_budget`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::EmptyImage`] for a zero-sized raster.
+pub fn encode(image: &Raster, config: &CodecConfig) -> Result<EncodedImage, CodecError> {
+    if image.is_empty() {
+        return Err(CodecError::EmptyImage);
+    }
+    let (w, h) = image.dimensions();
+    let levels = config.levels.min(dwt::max_levels(w, h));
+    let scale = config.input_levels as f32;
+    let data: Vec<f32> = image.as_slice().iter().map(|&v| (v * scale).round()).collect();
+    let mut coeffs = Coefficients::new(w, h, data);
+    dwt::forward(&mut coeffs, config.wavelet, levels);
+    let step = config.quant_step.max(1e-6);
+    let quantized: Vec<i32> = coeffs
+        .as_slice()
+        .iter()
+        .map(|&c| {
+            // Deadzone quantizer: truncate toward zero.
+            let q = (c.abs() / step).floor() as i32;
+            if c < 0.0 {
+                -q
+            } else {
+                q
+            }
+        })
+        .collect();
+    let EncodedPlanes {
+        payload,
+        planes,
+        pass_offsets,
+    } = encode_planes(&quantized, w);
+    Ok(EncodedImage {
+        width: w as u32,
+        height: h as u32,
+        wavelet: config.wavelet,
+        levels,
+        planes,
+        quant_step: step,
+        input_levels: config.input_levels,
+        pass_offsets,
+        payload,
+    })
+}
+
+/// Encodes and truncates to a byte budget (payload bytes).
+///
+/// # Errors
+///
+/// Propagates [`encode`] errors.
+pub fn encode_with_budget(
+    image: &Raster,
+    config: &CodecConfig,
+    max_payload_bytes: usize,
+) -> Result<EncodedImage, CodecError> {
+    Ok(encode(image, config)?.truncated(max_payload_bytes))
+}
+
+/// Decodes an encoded image (possibly truncated) back to a `[0, 1]` raster.
+pub fn decode(encoded: &EncodedImage) -> Raster {
+    let w = encoded.width as usize;
+    let h = encoded.height as usize;
+    if w == 0 || h == 0 {
+        return Raster::new(w, h);
+    }
+    let count = w * h;
+    let available_passes = encoded
+        .pass_offsets
+        .iter()
+        .take_while(|&&o| o as usize <= encoded.payload.len())
+        .count();
+    let quantized = decode_planes(
+        &encoded.payload,
+        count,
+        w,
+        encoded.planes,
+        &encoded.pass_offsets,
+    );
+    // Reconstruction bias: magnitudes are floored at the lowest decoded
+    // plane; centre them in their uncertainty interval.
+    let total_passes = encoded.planes as usize * 2;
+    let lowest_plane = encoded.planes as usize - available_passes.min(total_passes).div_ceil(2);
+    let reversible =
+        encoded.wavelet == Wavelet::Cdf53 && encoded.quant_step == 1.0 && lowest_plane == 0;
+    let bias = if reversible {
+        0.0
+    } else if lowest_plane > 0 {
+        (1u32 << lowest_plane) as f32 * 0.5
+    } else {
+        0.5
+    };
+    let step = encoded.quant_step;
+    let data: Vec<f32> = quantized
+        .iter()
+        .map(|&q| {
+            if q == 0 {
+                0.0
+            } else if q > 0 {
+                (q as f32 + bias) * step
+            } else {
+                (q as f32 - bias) * step
+            }
+        })
+        .collect();
+    let mut coeffs = Coefficients::new(w, h, data);
+    dwt::inverse(&mut coeffs, encoded.wavelet, encoded.levels);
+    let scale = encoded.input_levels as f32;
+    let data: Vec<f32> = coeffs
+        .into_vec()
+        .into_iter()
+        .map(|v| (v / scale).clamp(0.0, 1.0))
+        .collect();
+    Raster::from_vec(w, h, data).expect("dimensions preserved through transform")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::hash_unit;
+    use earthplus_raster::psnr;
+
+    fn natural_image(w: usize, h: usize, seed: u64) -> Raster {
+        // Smooth base + texture + an edge: exercises all subbands.
+        Raster::from_fn(w, h, |x, y| {
+            let fx = x as f32 / w as f32;
+            let fy = y as f32 / h as f32;
+            let smooth = 0.4 + 0.3 * (fx * 4.0).sin() * (fy * 3.0).cos();
+            let texture = (hash_unit((y * w + x) as u64, seed) - 0.5) * 0.05;
+            let edge = if fx > 0.5 { 0.15 } else { 0.0 };
+            (smooth + texture + edge).clamp(0.0, 1.0)
+        })
+    }
+
+    #[test]
+    fn lossless_is_exact_on_sensor_lattice() {
+        // Quantize input onto the 12-bit grid first (the sensor already
+        // does this in the pipeline).
+        let img = natural_image(64, 64, 1).map(|v| (v * 4095.0).round() / 4095.0);
+        let enc = encode(&img, &CodecConfig::lossless()).unwrap();
+        let dec = decode(&enc);
+        let max_err = img
+            .as_slice()
+            .iter()
+            .zip(dec.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.5 / 4095.0, "max err {max_err}");
+    }
+
+    #[test]
+    fn lossy_full_rate_is_high_quality() {
+        let img = natural_image(128, 128, 2);
+        let enc = encode(&img, &CodecConfig::lossy()).unwrap();
+        let dec = decode(&enc);
+        let q = psnr(&img, &dec).unwrap();
+        assert!(q > 45.0, "full-rate PSNR {q}");
+    }
+
+    #[test]
+    fn rate_distortion_is_monotone() {
+        let img = natural_image(128, 128, 3);
+        let full = encode(&img, &CodecConfig::lossy()).unwrap();
+        let rates = [0.1, 0.25, 0.5, 1.0f64];
+        let mut last_psnr = 0.0;
+        for r in rates {
+            let budget = (full.payload_len() as f64 * r) as usize;
+            let dec = decode(&full.truncated(budget));
+            let q = psnr(&img, &dec).unwrap();
+            assert!(
+                q >= last_psnr - 0.3,
+                "PSNR not monotone: {q} after {last_psnr} at rate {r}"
+            );
+            last_psnr = q;
+        }
+        assert!(last_psnr > 40.0);
+    }
+
+    #[test]
+    fn truncation_cuts_at_pass_boundaries() {
+        let img = natural_image(64, 64, 4);
+        let enc = encode(&img, &CodecConfig::lossy()).unwrap();
+        let t = enc.truncated(enc.payload_len() / 3);
+        assert!(t.payload_len() <= enc.payload_len() / 3);
+        assert!(t
+            .pass_offsets
+            .iter()
+            .any(|&o| o as usize == t.payload_len()));
+    }
+
+    #[test]
+    fn with_layers_zero_is_empty_but_decodable() {
+        let img = natural_image(64, 64, 5);
+        let enc = encode(&img, &CodecConfig::lossy()).unwrap();
+        let none = enc.with_layers(0);
+        assert_eq!(none.payload_len(), 0);
+        let dec = decode(&none);
+        assert_eq!(dec.dimensions(), (64, 64));
+    }
+
+    #[test]
+    fn more_layers_never_hurt() {
+        let img = natural_image(64, 64, 6);
+        let enc = encode(&img, &CodecConfig::lossy()).unwrap();
+        let mut last = -1.0;
+        for layers in [2, 6, 10, enc.layer_count()] {
+            let dec = decode(&enc.with_layers(layers));
+            let q = psnr(&img, &dec).unwrap();
+            assert!(q >= last - 0.3, "layers {layers}: {q} < {last}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let img = natural_image(48, 32, 7);
+        let enc = encode(&img, &CodecConfig::lossy()).unwrap();
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes.len(), enc.size_bytes());
+        let parsed = EncodedImage::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, enc);
+        assert_eq!(decode(&parsed).as_slice(), decode(&enc).as_slice());
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(EncodedImage::from_bytes(&[]).is_err());
+        assert!(EncodedImage::from_bytes(&[0u8; 16]).is_err());
+        let img = natural_image(16, 16, 8);
+        let mut bytes = encode(&img, &CodecConfig::lossy()).unwrap().to_bytes();
+        bytes.truncate(bytes.len() - 5);
+        assert!(EncodedImage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_image_is_an_error() {
+        let img = Raster::new(0, 0);
+        assert!(matches!(
+            encode(&img, &CodecConfig::lossy()),
+            Err(CodecError::EmptyImage)
+        ));
+    }
+
+    #[test]
+    fn odd_dimensions_roundtrip() {
+        let img = natural_image(67, 41, 9);
+        let enc = encode(&img, &CodecConfig::lossy()).unwrap();
+        let dec = decode(&enc);
+        assert_eq!(dec.dimensions(), (67, 41));
+        assert!(psnr(&img, &dec).unwrap() > 40.0);
+    }
+
+    #[test]
+    fn compression_beats_raw_at_high_quality() {
+        let img = natural_image(128, 128, 10);
+        let enc = encode(&img, &CodecConfig::lossy()).unwrap();
+        // Find the smallest truncation still above 35 dB and compare with
+        // raw 12-bit storage.
+        let raw_bytes = 128 * 128 * 12 / 8;
+        let mut budget = enc.payload_len();
+        loop {
+            let half = budget / 2;
+            let dec = decode(&enc.truncated(half));
+            if psnr(&img, &dec).unwrap() < 35.0 {
+                break;
+            }
+            budget = half;
+            if budget < 64 {
+                break;
+            }
+        }
+        assert!(
+            budget * 3 < raw_bytes,
+            "35dB needs {budget} bytes vs raw {raw_bytes}"
+        );
+    }
+}

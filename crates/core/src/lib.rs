@@ -1,0 +1,81 @@
+//! # Earth+ — constellation-wide reference-based on-board compression
+//!
+//! A full reproduction of *"Earth+: On-Board Satellite Imagery Compression
+//! Leveraging Historical Earth Observations"* (ASPLOS 2025). Instead of
+//! compressing every capture independently, Earth+ compares each new image
+//! against a **fresh, cloud-free reference** — possibly captured by a
+//! *different* satellite and uploaded over the narrow ground-to-satellite
+//! uplink — and downloads only the 64×64 tiles that changed.
+//!
+//! The crate wires together the workspace substrates:
+//!
+//! * [`change`] — downsampled-reference change detection with threshold θ;
+//! * [`mod@reference`] — the ground reference pool and the on-board cache;
+//! * [`uplink`] — delta-compressed reference uploads under 250 kbps;
+//! * [`system`] — the Earth+ strategy (on-board pipeline + ground segment);
+//! * [`baselines`] — Kodan, SatRoI, and Download-Everything;
+//! * [`simulator`] — the mission driver running all strategies on
+//!   identical captures;
+//! * [`metrics`] / [`storage`] — the paper's evaluation metrics.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use earthplus::prelude::*;
+//! use earthplus_cloud::{train_onboard_detector, TrainingConfig};
+//!
+//! let dataset = earthplus_scene::large_constellation(7, 256);
+//! let sim_config = SimulationConfig::for_dataset(&dataset, 7);
+//! let sim = MissionSimulator::from_dataset(&dataset, sim_config);
+//! let detector = train_onboard_detector(&sim.scenes()[0], &TrainingConfig::default());
+//!
+//! let targets: Vec<_> = dataset
+//!     .locations
+//!     .iter()
+//!     .flat_map(|l| l.bands.iter().map(|&b| (l.location, b)))
+//!     .collect();
+//! let mut earthplus = EarthPlusStrategy::new(EarthPlusConfig::paper(), detector.clone(), targets);
+//! let mut kodan = KodanStrategy::new(EarthPlusConfig::paper());
+//! let report = sim.run(&mut [&mut earthplus, &mut kodan]);
+//! let saving = earthplus::metrics::downlink_saving(
+//!     report.records("kodan"),
+//!     report.records("earth+"),
+//! );
+//! println!("Earth+ saves {saving:.1}x downlink vs Kodan");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod change;
+pub mod config;
+pub mod metrics;
+pub mod reference;
+pub mod simulator;
+pub mod storage;
+pub mod strategy;
+pub mod system;
+pub mod uplink;
+
+pub use baselines::{DownloadEverythingStrategy, KodanStrategy, SatRoiStrategy};
+pub use change::{ChangeDetection, ChangeDetector};
+pub use config::{DovesSpec, EarthPlusConfig};
+pub use reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
+pub use simulator::{MissionReport, MissionSimulator, SimulationConfig};
+pub use storage::StorageModel;
+pub use strategy::{
+    CaptureContext, CaptureReport, CompressionStrategy, GroundBelief, StageTimings,
+    StorageBreakdown,
+};
+pub use system::EarthPlusStrategy;
+pub use uplink::{compute_delta, ReferenceDelta, UplinkPlanner, UplinkReport};
+
+/// Everything a simulation driver typically needs.
+pub mod prelude {
+    pub use crate::baselines::{DownloadEverythingStrategy, KodanStrategy, SatRoiStrategy};
+    pub use crate::config::{DovesSpec, EarthPlusConfig};
+    pub use crate::simulator::{MissionReport, MissionSimulator, SimulationConfig};
+    pub use crate::strategy::{CaptureReport, CompressionStrategy};
+    pub use crate::system::EarthPlusStrategy;
+}

@@ -1,0 +1,215 @@
+//! The mission simulator: drives a constellation over a dataset and runs
+//! compression strategies side by side on identical captures.
+
+use crate::strategy::{CaptureContext, CaptureReport, CompressionStrategy, StorageBreakdown};
+use crate::uplink::UplinkReport;
+use earthplus_orbit::{Constellation, ContactSchedule, LinkModel, SatelliteId};
+use earthplus_scene::{DatasetConfig, LocationScene};
+use std::collections::HashMap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Seed for orbital schedules.
+    pub seed: u64,
+    /// First evaluation day (earlier days are the profiling period used
+    /// for detector training and θ selection, as in §5).
+    pub eval_from_day: u32,
+    /// Evaluation duration in days.
+    pub eval_days: u32,
+    /// The uplink model (Doves 250 kbps by default).
+    pub uplink: LinkModel,
+    /// Images a satellite downloads per ground contact (its capture
+    /// backlog); converts per-capture bytes into contact-level bandwidth.
+    pub images_per_contact: f64,
+    /// Scale factor from simulated pixels to the paper's full-size images
+    /// when reporting bandwidths.
+    pub pixel_scale: f64,
+}
+
+impl SimulationConfig {
+    /// A standard configuration for a dataset: evaluation starts after a
+    /// 40-day profiling period and runs for the dataset duration.
+    pub fn for_dataset(dataset: &DatasetConfig, seed: u64) -> Self {
+        let sim_px = dataset.pixels_per_capture() as f64;
+        // Paper-scale pixels: Doves 6600x4400 for the Planet dataset;
+        // Sentinel-2 locations are 4000x4000 at 10 m, downsampled 4x by
+        // the paper itself (=> 1000x1000).
+        let paper_px: f64 = if dataset.capture_cloud_filter.is_some() {
+            6600.0 * 4400.0
+        } else {
+            1000.0 * 1000.0
+        };
+        SimulationConfig {
+            seed,
+            eval_from_day: 40,
+            eval_days: dataset.duration_days,
+            uplink: LinkModel::doves_uplink(),
+            images_per_contact: 35.0,
+            pixel_scale: paper_px / sim_px.max(1.0),
+        }
+    }
+}
+
+/// All records produced by one simulation run.
+#[derive(Debug, Default)]
+pub struct MissionReport {
+    /// Per-strategy capture records, in day order.
+    pub captures: HashMap<String, Vec<CaptureReport>>,
+    /// Per-strategy uplink contact records.
+    pub uplink: HashMap<String, Vec<UplinkReport>>,
+    /// Per-strategy on-board storage footprint at mission end.
+    pub storage: HashMap<String, StorageBreakdown>,
+    /// Visits skipped by the dataset's cloud filter.
+    pub filtered_visits: usize,
+}
+
+impl MissionReport {
+    /// Records for one strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy was not part of the run.
+    pub fn records(&self, name: &str) -> &[CaptureReport] {
+        self.captures
+            .get(name)
+            .unwrap_or_else(|| panic!("strategy {name} not in report"))
+    }
+}
+
+/// Drives scenes, orbits, and strategies.
+pub struct MissionSimulator {
+    scenes: Vec<LocationScene>,
+    constellation: Constellation,
+    contacts: ContactSchedule,
+    cloud_filter: Option<f64>,
+    config: SimulationConfig,
+}
+
+impl MissionSimulator {
+    /// Builds the simulator for a dataset (instantiates every location's
+    /// scene — the expensive part).
+    pub fn from_dataset(dataset: &DatasetConfig, config: SimulationConfig) -> Self {
+        let scenes = dataset
+            .locations
+            .iter()
+            .map(|c| LocationScene::new(c.clone()))
+            .collect();
+        MissionSimulator {
+            scenes,
+            constellation: Constellation::doves(dataset.satellite_count, config.seed),
+            contacts: ContactSchedule::new(config.seed ^ 0xC0),
+            cloud_filter: dataset.capture_cloud_filter,
+            config,
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The location scenes.
+    pub fn scenes(&self) -> &[LocationScene] {
+        &self.scenes
+    }
+
+    /// The constellation.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// Runs every strategy over the mission, feeding all of them the same
+    /// capture sequence and ground-contact windows.
+    pub fn run(&self, strategies: &mut [&mut dyn CompressionStrategy]) -> MissionReport {
+        let from = self.config.eval_from_day as i64;
+        let to = from + self.config.eval_days as i64;
+
+        // Gather all visits across locations, sorted by day.
+        let mut visits = Vec::new();
+        for (loc_idx, scene) in self.scenes.iter().enumerate() {
+            let loc = scene.config().location;
+            let _ = loc_idx;
+            visits.extend(self.constellation.visits(loc, from, to));
+        }
+        visits.sort_by(|a, b| a.day.partial_cmp(&b.day).expect("days are finite"));
+
+        let mut report = MissionReport::default();
+        for s in strategies.iter() {
+            report.captures.insert(s.name().to_owned(), Vec::new());
+            report.uplink.insert(s.name().to_owned(), Vec::new());
+        }
+
+        // Per-satellite time cursor for contact processing.
+        let mut last_contact_day: HashMap<SatelliteId, f64> = HashMap::new();
+
+        for visit in visits {
+            let scene = self
+                .scenes
+                .iter()
+                .find(|s| s.config().location == visit.location)
+                .expect("visit references a known location");
+
+            // Dataset-level cloud filter (the Planet dataset only contains
+            // captures below 5 % cloud).
+            let coverage = scene.cloud_coverage(visit.day);
+            if let Some(filter) = self.cloud_filter {
+                if coverage > filter {
+                    report.filtered_visits += 1;
+                    continue;
+                }
+            }
+
+            // Deliver the ground contacts that occurred since this
+            // satellite was last serviced.
+            let start = last_contact_day
+                .get(&visit.satellite)
+                .copied()
+                .unwrap_or(from as f64);
+            let windows = self.contacts.contacts(visit.satellite, start, visit.day);
+            for contact in &windows {
+                let budget = self.config.uplink.bytes_per_contact(contact.index);
+                for s in strategies.iter_mut() {
+                    let r = s.on_ground_contact(visit.satellite, contact.day, budget);
+                    report
+                        .uplink
+                        .get_mut(s.name())
+                        .expect("strategy registered")
+                        .push(r);
+                }
+            }
+            last_contact_day.insert(visit.satellite, visit.day);
+
+            let capture = scene.capture(visit.day);
+            let ctx = CaptureContext {
+                day: visit.day,
+                satellite: visit.satellite,
+                location: visit.location,
+                capture: &capture,
+            };
+            for s in strategies.iter_mut() {
+                let r = s.on_capture(&ctx);
+                report
+                    .captures
+                    .get_mut(s.name())
+                    .expect("strategy registered")
+                    .push(r);
+            }
+        }
+
+        for s in strategies.iter() {
+            report.storage.insert(s.name().to_owned(), s.storage());
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for MissionSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MissionSimulator")
+            .field("locations", &self.scenes.len())
+            .field("satellites", &self.constellation.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}

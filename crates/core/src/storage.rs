@@ -1,0 +1,124 @@
+//! On-board storage modelling (Appendix A and Figure 15).
+
+use crate::config::DovesSpec;
+use crate::strategy::StorageBreakdown;
+
+/// The Appendix A storage model, parameterized on the Doves specification.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageModel {
+    /// The constellation's physical specification.
+    pub spec: DovesSpec,
+}
+
+impl StorageModel {
+    /// Creates the model for the Table 1 Doves specification.
+    pub fn doves() -> Self {
+        StorageModel {
+            spec: DovesSpec::table1(),
+        }
+    }
+
+    /// Area (km²) whose imagery fits into one ground contact's downlink at
+    /// the Appendix A encoding density of 0.87 MB/km².
+    pub fn area_per_contact_km2(&self) -> f64 {
+        let contact_bytes = self.spec.downlink_bps * self.spec.contact_duration_s / 8.0;
+        contact_bytes / (self.spec.encoded_mb_per_km2 * 1e6)
+    }
+
+    /// Appendix A: bytes to store captured imagery of `area_km2`, with the
+    /// 2× factor for keeping data over two consecutive ground contacts.
+    pub fn captured_bytes(&self, area_km2: f64, downloaded_fraction: f64) -> u64 {
+        (2.0 * self.spec.encoded_mb_per_km2 * 1e6 * area_km2 * downloaded_fraction) as u64
+    }
+
+    /// Appendix A: bytes to cache downsampled references for every
+    /// location a satellite will download — at most `160 a` km² (revisit
+    /// 10–15 days × up to 240 contacts), compressed 2601×.
+    pub fn reference_cache_bytes(&self, area_per_contact_km2: f64) -> u64 {
+        let total_area = 160.0 * area_per_contact_km2;
+        let full_bytes = self.spec.encoded_mb_per_km2 * 1e6 * total_area;
+        (full_bytes / 2601.0) as u64
+    }
+
+    /// Appendix A's bottom line: the reference cache as a fraction of the
+    /// captured-imagery store (≈ 9 %).
+    pub fn reference_overhead_fraction(&self) -> f64 {
+        let a = self.area_per_contact_km2();
+        self.reference_cache_bytes(a) as f64 / self.captured_bytes(a, 1.0) as f64
+    }
+
+    /// Figure 15-style breakdown for a strategy, given the fraction of
+    /// tiles it downloads (hence stores), whether it buffers raw captures
+    /// for on-board processing of *every* capture (Kodan encodes
+    /// everything; reference-based strategies drop >50 %-cloudy captures
+    /// first), and its full-resolution reference count.
+    pub fn breakdown(
+        &self,
+        downloaded_fraction: f64,
+        raw_staging_captures: f64,
+        fullres_reference_captures: f64,
+        lowres_reference: bool,
+    ) -> StorageBreakdown {
+        let a = self.area_per_contact_km2();
+        let captured = self.captured_bytes(a, downloaded_fraction)
+            + (raw_staging_captures * self.spec.raw_image_bytes as f64) as u64;
+        let reference = if lowres_reference {
+            self.reference_cache_bytes(a)
+        } else {
+            (fullres_reference_captures * self.spec.raw_image_bytes as f64) as u64
+        };
+        StorageBreakdown {
+            captured_bytes: captured,
+            reference_bytes: reference,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_per_contact_plausible() {
+        // 15 GB / 0.87 MB/km² ≈ 17 200 km².
+        let a = StorageModel::doves().area_per_contact_km2();
+        assert!((a - 17_241.0).abs() < 100.0, "area {a}");
+    }
+
+    #[test]
+    fn appendix_a_reference_overhead_is_marginal() {
+        // Appendix A claims "0.08a MB, 9 % of the space for storing
+        // captured imagery". Its own arithmetic (160a km² × 0.87 MB/km² /
+        // 2601 = 0.054a MB vs 2 × 0.87a = 1.74a MB) actually gives ~3 %;
+        // either way the cache is a small fraction of the captured store,
+        // which is the claim that matters.
+        let f = StorageModel::doves().reference_overhead_fraction();
+        assert!((0.02..0.12).contains(&f), "overhead fraction {f}");
+    }
+
+    #[test]
+    fn earthplus_stores_less_than_baselines() {
+        let m = StorageModel::doves();
+        // Earth+: ~20 % of tiles downloaded, drops cloudy captures before
+        // staging, low-res references.
+        let earthplus = m.breakdown(0.2, 12.0, 0.0, true);
+        // SatRoI: ~85 % of tiles, drops cloudy captures, full-res refs.
+        let satroi = m.breakdown(0.85, 12.0, 40.0, false);
+        // Kodan: ~100 % of non-cloudy tiles and stages every capture raw.
+        let kodan = m.breakdown(1.0, 35.0 * 2.0, 0.0, false);
+        assert!(earthplus.total() < satroi.total());
+        assert!(satroi.total() < kodan.total());
+        assert!(earthplus.reference_bytes > 0);
+        assert_eq!(kodan.reference_bytes, 0);
+    }
+
+    #[test]
+    fn reference_cache_fits_conserved_space() {
+        // §4.3: the cache must fit into the space freed by not storing
+        // unchanged tiles (~80 % of the captured store).
+        let m = StorageModel::doves();
+        let a = m.area_per_contact_km2();
+        let freed = m.captured_bytes(a, 1.0) - m.captured_bytes(a, 0.2);
+        assert!(m.reference_cache_bytes(a) < freed);
+    }
+}

@@ -1,0 +1,331 @@
+//! The Earth+ strategy: constellation-wide reference-based encoding.
+//!
+//! End-to-end flow per §4.2:
+//!
+//! 1. at each ground contact, the ground uploads (delta-compressed,
+//!    downsampled) reference updates chosen from the constellation-wide
+//!    pool, within the 250 kbps uplink budget;
+//! 2. on capture, the satellite removes detected clouds, drops > 50 %
+//!    cloudy images, illumination-aligns the cached reference, detects
+//!    changed tiles at the reference's low resolution with threshold θ,
+//!    and ROI-encodes only those tiles at γ bits/pixel;
+//! 3. on download, the ground patches the changed tiles into its latest
+//!    reconstruction, re-detects clouds accurately, and admits cloud-free
+//!    reconstructions into the reference pool;
+//! 4. once every 30 days per location, the satellite downloads the full
+//!    (non-cloudy) image — the guaranteed-download safety net (§5).
+
+use crate::change::ChangeDetector;
+use crate::config::EarthPlusConfig;
+use crate::reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
+use crate::strategy::{
+    masked_tile_mse, CaptureContext, CaptureReport, CompressionStrategy, GroundBelief,
+    StageTimings, StorageBreakdown,
+};
+use crate::uplink::{UplinkPlanner, UplinkReport};
+use earthplus_cloud::OnboardCloudDetector;
+use earthplus_codec::{encode_roi, CodecConfig};
+use earthplus_orbit::SatelliteId;
+use earthplus_raster::{psnr_from_mse, Band, LocationId, TileGrid, TileMask};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The Earth+ system under simulation.
+pub struct EarthPlusStrategy {
+    config: EarthPlusConfig,
+    codec: CodecConfig,
+    cloud_detector: OnboardCloudDetector,
+    change_detector: ChangeDetector,
+    planner: UplinkPlanner,
+    targets: Vec<(LocationId, Band)>,
+    // Ground state.
+    pool: ReferencePool,
+    belief: GroundBelief,
+    // Per-satellite on-board state.
+    caches: HashMap<SatelliteId, OnboardReferenceCache>,
+    pending_bytes: HashMap<SatelliteId, u64>,
+    peak_pending: u64,
+    peak_cache: u64,
+    last_full: HashMap<LocationId, f64>,
+}
+
+impl EarthPlusStrategy {
+    /// Creates the strategy.
+    ///
+    /// `targets` lists every (location, band) the mission serves — the
+    /// uplink planner iterates them at each contact.
+    pub fn new(
+        config: EarthPlusConfig,
+        cloud_detector: OnboardCloudDetector,
+        targets: Vec<(LocationId, Band)>,
+    ) -> Self {
+        EarthPlusStrategy {
+            change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
+            planner: UplinkPlanner::new(config.theta),
+            codec: CodecConfig::lossy(),
+            config,
+            cloud_detector,
+            targets,
+            pool: ReferencePool::new(),
+            belief: GroundBelief::new(),
+            caches: HashMap::new(),
+            pending_bytes: HashMap::new(),
+            peak_pending: 0,
+            peak_cache: 0,
+            last_full: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EarthPlusConfig {
+        &self.config
+    }
+
+    /// Ground-side reference pool (for inspection by experiments).
+    pub fn pool(&self) -> &ReferencePool {
+        &self.pool
+    }
+
+    /// A satellite's on-board reference cache, if it exists yet.
+    pub fn cache(&self, satellite: SatelliteId) -> Option<&OnboardReferenceCache> {
+        self.caches.get(&satellite)
+    }
+}
+
+impl CompressionStrategy for EarthPlusStrategy {
+    fn name(&self) -> &'static str {
+        "earth+"
+    }
+
+    fn on_ground_contact(
+        &mut self,
+        satellite: SatelliteId,
+        _day: f64,
+        uplink_budget_bytes: u64,
+    ) -> UplinkReport {
+        // Downlink side: the queued captures drain (downlink is orders of
+        // magnitude larger than what Earth+ queues).
+        if let Some(p) = self.pending_bytes.get_mut(&satellite) {
+            *p = 0;
+        }
+        let cache = self.caches.entry(satellite).or_default();
+        let report = self
+            .planner
+            .plan(&self.pool, cache, &self.targets, uplink_budget_bytes);
+        self.peak_cache = self.peak_cache.max(cache.size_bytes());
+        report
+    }
+
+    fn on_capture(&mut self, ctx: &CaptureContext<'_>) -> CaptureReport {
+        let capture = ctx.capture;
+        let (w, h) = capture.image.dimensions();
+        let grid = TileGrid::new(w, h, self.config.tile_size).expect("capture is tileable");
+        let mut timings = StageTimings::default();
+
+        // 1. Cheap on-board cloud detection.
+        let t = Instant::now();
+        let detection = self
+            .cloud_detector
+            .detect(&capture.image)
+            .expect("capture is tileable");
+        timings.cloud_s = t.elapsed().as_secs_f64();
+        let cloudy_tiles = detection.tile_mask;
+
+        // 2. Image dropping (> 50 % detected cloud).
+        if detection.coverage > self.config.cloud_drop_threshold {
+            return CaptureReport {
+                day: ctx.day,
+                satellite: ctx.satellite,
+                location: ctx.location,
+                cloud_fraction: capture.cloud_fraction,
+                dropped: true,
+                guaranteed: false,
+                downloaded_bytes: 0,
+                downloaded_tile_fraction: 0.0,
+                psnr_db: None,
+                reference_age_days: None,
+                timings,
+                band_bytes: Vec::new(),
+            };
+        }
+
+        // 3. Guaranteed downloading: full image once per period (§5).
+        let guaranteed = ctx.day
+            - self
+                .last_full
+                .get(&ctx.location)
+                .copied()
+                .unwrap_or(f64::NEG_INFINITY)
+            >= self.config.guaranteed_period_days;
+
+        let cache = self.caches.entry(ctx.satellite).or_default();
+        let budget = self.config.tile_budget_bytes();
+        let mut total_bytes = 0u64;
+        let mut band_bytes: Vec<(Band, u64)> = Vec::new();
+        let mut tile_fraction_sum = 0.0f64;
+        let mut mse_sum = 0.0f64;
+        let mut mse_bands = 0u32;
+        let mut ref_age_sum = 0.0f64;
+        let mut ref_age_n = 0u32;
+
+        for (band, band_raster) in capture.image.iter() {
+            // 4. Change detection against the cached reference. The fitted
+            // illumination model (reference radiometry -> this capture's)
+            // rides along: the ground inverts it to keep its belief mosaic
+            // in one canonical illumination ([72]).
+            let t = Instant::now();
+            let mut fresh_canonical = guaranteed;
+            let mut alignment = earthplus_raster::AlignmentModel::identity();
+            let changed = if guaranteed {
+                let mut all = TileMask::new(&grid);
+                all.fill();
+                all.subtract(&cloudy_tiles);
+                all
+            } else {
+                match cache.get(ctx.location, band) {
+                    Some(reference) => {
+                        ref_age_sum += reference.age_days(ctx.day);
+                        ref_age_n += 1;
+                        let detection = self
+                            .change_detector
+                            .detect(band_raster, reference, Some(&cloudy_tiles))
+                            .expect("capture matches reference geometry");
+                        alignment = detection.alignment;
+                        detection.changed
+                    }
+                    None => {
+                        // Cold cache: everything non-cloudy is "changed"
+                        // and this capture defines the canonical
+                        // illumination.
+                        fresh_canonical = true;
+                        let mut all = TileMask::new(&grid);
+                        all.fill();
+                        all.subtract(&cloudy_tiles);
+                        all
+                    }
+                }
+            };
+            timings.change_s += t.elapsed().as_secs_f64();
+
+            // 5. ROI-encode the changed tiles at γ bits/pixel.
+            let t = Instant::now();
+            let roi = encode_roi(band_raster, &grid, &changed, &self.codec, budget)
+                .expect("image matches grid");
+            timings.encode_s += t.elapsed().as_secs_f64();
+            total_bytes += roi.size_bytes() as u64;
+            band_bytes.push((band, roi.size_bytes() as u64));
+            tile_fraction_sum += changed.count_set() as f64 / grid.tile_count() as f64;
+
+            // 6. Ground: decode, normalize tiles into the belief's
+            // canonical illumination, patch, and score the rendered
+            // reconstruction on non-cloudy tiles.
+            let belief = self.belief.belief_mut(ctx.location, band, w, h);
+            let gain = if alignment.gain.abs() < 0.25 {
+                1.0
+            } else {
+                alignment.gain
+            };
+            for (index, tile) in roi.decode_tiles().expect("self-produced bitstream") {
+                let normalized = if fresh_canonical {
+                    tile
+                } else {
+                    tile.map(|v| (v - alignment.offset) / gain)
+                };
+                grid.insert_tile(belief, index, &normalized)
+                    .expect("belief matches grid");
+            }
+            let mut eval = TileMask::new(&grid);
+            eval.fill();
+            eval.subtract(&cloudy_tiles);
+            // Render the belief under this capture's illumination before
+            // comparing with the (raw) capture.
+            let rendered = if fresh_canonical {
+                belief.clone()
+            } else {
+                alignment.apply_to(belief)
+            };
+            if let Some(mse) = masked_tile_mse(&rendered, band_raster, &grid, &eval) {
+                mse_sum += mse;
+                mse_bands += 1;
+            }
+        }
+
+        if guaranteed {
+            self.last_full.insert(ctx.location, ctx.day);
+        }
+
+        // 7. Ground: accurate cloud re-detection admits cloud-free
+        // reconstructions into the constellation-wide pool. The simulator
+        // uses the scene's exact coverage as the accurate detector's
+        // output; `earthplus-cloud` validates separately that
+        // `GroundCloudDetector` matches it closely.
+        if capture.cloud_fraction < self.config.reference_cloud_max {
+            for (band, _) in capture.image.iter() {
+                if let Some(belief) = self.belief.belief(ctx.location, band) {
+                    if let Ok(reference) = ReferenceImage::from_capture(
+                        ctx.location,
+                        band,
+                        ctx.day,
+                        belief,
+                        self.config.reference_downsample,
+                    ) {
+                        self.pool.offer(reference);
+                    }
+                }
+            }
+        }
+
+        // Storage accounting.
+        let pending = self.pending_bytes.entry(ctx.satellite).or_insert(0);
+        *pending += total_bytes;
+        self.peak_pending = self.peak_pending.max(*pending);
+
+        let bands = capture.image.band_count() as f64;
+        CaptureReport {
+            day: ctx.day,
+            satellite: ctx.satellite,
+            location: ctx.location,
+            cloud_fraction: capture.cloud_fraction,
+            dropped: false,
+            guaranteed,
+            downloaded_bytes: total_bytes,
+            downloaded_tile_fraction: tile_fraction_sum / bands,
+            psnr_db: if mse_bands > 0 {
+                Some(psnr_from_mse(mse_sum / mse_bands as f64))
+            } else {
+                None
+            },
+            reference_age_days: if ref_age_n > 0 {
+                Some(ref_age_sum / ref_age_n as f64)
+            } else {
+                None
+            },
+            timings,
+            band_bytes,
+        }
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        StorageBreakdown {
+            // Two-contact retention of queued captures (Appendix A).
+            captured_bytes: 2 * self.peak_pending,
+            reference_bytes: self
+                .caches
+                .values()
+                .map(|c| c.size_bytes())
+                .max()
+                .unwrap_or(0)
+                .max(self.peak_cache),
+        }
+    }
+}
+
+impl std::fmt::Debug for EarthPlusStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EarthPlusStrategy")
+            .field("config", &self.config)
+            .field("pool_entries", &self.pool.len())
+            .field("satellites", &self.caches.len())
+            .finish()
+    }
+}

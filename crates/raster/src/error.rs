@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by raster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RasterError {
+    /// Two rasters that must share dimensions do not.
+    DimensionMismatch {
+        /// Dimensions of the first operand, `(width, height)`.
+        left: (usize, usize),
+        /// Dimensions of the second operand, `(width, height)`.
+        right: (usize, usize),
+    },
+    /// A raster dimension or tile size was zero or otherwise unusable.
+    InvalidDimensions {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A pixel or tile coordinate fell outside the raster.
+    OutOfBounds {
+        /// The offending coordinate, `(x, y)`.
+        coordinate: (usize, usize),
+        /// The raster bounds, `(width, height)`.
+        bounds: (usize, usize),
+    },
+    /// A band was requested that the image does not carry.
+    MissingBand {
+        /// Name of the requested band.
+        band: String,
+    },
+}
+
+impl fmt::Display for RasterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasterError::DimensionMismatch { left, right } => write!(
+                f,
+                "raster dimensions do not match: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            RasterError::InvalidDimensions { reason } => {
+                write!(f, "invalid raster dimensions: {reason}")
+            }
+            RasterError::OutOfBounds { coordinate, bounds } => write!(
+                f,
+                "coordinate ({}, {}) out of bounds for {}x{} raster",
+                coordinate.0, coordinate.1, bounds.0, bounds.1
+            ),
+            RasterError::MissingBand { band } => write!(f, "image does not carry band {band}"),
+        }
+    }
+}
+
+impl Error for RasterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = RasterError::DimensionMismatch {
+            left: (4, 4),
+            right: (8, 8),
+        };
+        assert!(err.to_string().contains("4x4"));
+        assert!(err.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RasterError>();
+    }
+}

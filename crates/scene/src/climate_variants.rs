@@ -1,0 +1,59 @@
+//! Regional cloud-climate variants.
+//!
+//! The calibrated [`CloudClimate::temperate`] mixture matches the two
+//! statistics the paper reports for the *Planet* measurements (24 % of
+//! visits reference-grade, ~2/3 mean cover), but it concentrates almost
+//! all remaining probability mass above 50 % cover. Real coverage
+//! distributions have a continuous low-cover tail, and the paper's
+//! Washington-State (Sentinel-2) results imply references refresh far
+//! more often there than a 25-day cadence. This module adds a
+//! Washington-like variant with that tail, used by the rich-content
+//! dataset; `EXPERIMENTS.md` documents the effect on the Sentinel-side
+//! figures.
+
+use crate::clouds::CloudClimate;
+
+/// A Washington-State-like climate: more frequent clear or lightly-clouded
+/// visits (agricultural east-side summers), continuous partial-cover tail,
+/// still mostly overcast on the bad days.
+///
+/// Calibrated against the paper's own Figure 12: its Kodan curve downloads
+/// more than 80 % of tiles for over 70 % of (delivered) images, i.e. about
+/// 70 % of sub-50 %-cloud captures carry under 20 % cloud.
+pub fn washington() -> CloudClimate {
+    CloudClimate {
+        clear_prob: 0.34,
+        clear_max: 0.009,
+        partial_prob: 0.26,
+        heavy_min: 0.55,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn washington_refreshes_references_weekly() {
+        // With ~5-6 day constellation visits on Sentinel-2, a ~1/3 clear
+        // probability refreshes references roughly every two visits.
+        let climate = washington();
+        let n = 20_000;
+        let clear = (0..n)
+            .filter(|&d| climate.coverage(5, d as f64) < 0.01)
+            .count();
+        let p = clear as f64 / n as f64;
+        assert!((0.30..0.40).contains(&p), "p_clear {p}");
+    }
+
+    #[test]
+    fn washington_still_mostly_cloudy() {
+        let climate = washington();
+        let n = 20_000;
+        let heavy = (0..n)
+            .filter(|&d| climate.coverage(5, d as f64) > 0.5)
+            .count();
+        let p = heavy as f64 / n as f64;
+        assert!((0.40..0.60).contains(&p), "p_heavy {p}");
+    }
+}

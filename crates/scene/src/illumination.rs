@@ -1,0 +1,110 @@
+//! Per-capture illumination model.
+//!
+//! "Two consecutive images in the image sequence can differ a lot in terms
+//! of pixel values due to the illumination condition" (§5, Figure 9). The
+//! paper aligns illumination with linear regression because it "affects the
+//! pixel value linearly", so we generate it as a per-capture linear model:
+//! a slowly varying seasonal gain (sun elevation) plus per-capture jitter
+//! (haze, sensor calibration drift).
+
+use crate::noise::{hash3, hash_unit};
+
+/// Configuration of the illumination process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IlluminationConfig {
+    /// Amplitude of the annual gain cycle (sun elevation).
+    pub seasonal_gain: f32,
+    /// Per-capture uniform gain jitter half-range.
+    pub gain_jitter: f32,
+    /// Per-capture uniform offset jitter half-range.
+    pub offset_jitter: f32,
+}
+
+impl IlluminationConfig {
+    /// The configuration used by the evaluation: ±12 % seasonal swing, ±5 %
+    /// capture-to-capture gain jitter, ±2 % offset jitter — enough that raw
+    /// pixel differencing without alignment reports spurious changes
+    /// everywhere, as in Figure 9.
+    pub fn standard() -> Self {
+        IlluminationConfig {
+            seasonal_gain: 0.12,
+            gain_jitter: 0.05,
+            offset_jitter: 0.02,
+        }
+    }
+
+    /// No illumination variation at all (for isolating other effects in
+    /// tests and ablations).
+    pub fn none() -> Self {
+        IlluminationConfig {
+            seasonal_gain: 0.0,
+            gain_jitter: 0.0,
+            offset_jitter: 0.0,
+        }
+    }
+
+    /// The linear illumination condition `(gain, offset)` for a capture on
+    /// `day`. Deterministic per `(seed, day)`; all bands of one capture
+    /// share it, as they share the sun.
+    pub fn condition(&self, seed: u64, day: f64) -> (f32, f32) {
+        let day_idx = day.floor() as i64;
+        // The whole condition is a function of the integer day so that all
+        // bands and all callers within one capture see the same sun.
+        let seasonal =
+            ((day_idx as f64 / 365.0) * std::f64::consts::TAU).sin() as f32 * self.seasonal_gain;
+        let jg = (hash_unit(hash3(seed ^ 0x111D, day_idx, 0, 0)) - 0.5) * 2.0 * self.gain_jitter;
+        let jo = (hash_unit(hash3(seed ^ 0x111E, day_idx, 0, 0)) - 0.5) * 2.0 * self.offset_jitter;
+        (1.0 + seasonal + jg, jo)
+    }
+}
+
+impl Default for IlluminationConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condition_is_deterministic() {
+        let c = IlluminationConfig::standard();
+        assert_eq!(c.condition(1, 7.0), c.condition(1, 7.9));
+        assert_ne!(c.condition(1, 7.0), c.condition(1, 8.0));
+    }
+
+    #[test]
+    fn gain_stays_in_plausible_range() {
+        let c = IlluminationConfig::standard();
+        for day in 0..2000 {
+            let (gain, offset) = c.condition(3, day as f64);
+            assert!((0.8..=1.2).contains(&gain), "gain {gain}");
+            assert!(offset.abs() <= 0.02 + 1e-6, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let c = IlluminationConfig::none();
+        let (gain, offset) = c.condition(9, 123.0);
+        assert_eq!((gain, offset), (1.0, 0.0));
+    }
+
+    #[test]
+    fn consecutive_days_differ_enough_to_matter() {
+        // The illumination difference between nearby captures must be able
+        // to exceed the theta=0.01 change threshold on mid-tone pixels;
+        // otherwise alignment would be pointless.
+        let c = IlluminationConfig::standard();
+        let mut max_diff = 0.0f32;
+        for day in 0..365 {
+            let (g1, o1) = c.condition(5, day as f64);
+            let (g2, o2) = c.condition(5, day as f64 + 1.0);
+            let diff = ((g1 - g2) * 0.3 + (o1 - o2)).abs();
+            max_diff = max_diff.max(diff);
+        }
+        assert!(max_diff > 0.01, "max mid-tone diff {max_diff}");
+    }
+}

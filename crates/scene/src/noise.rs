@@ -1,0 +1,188 @@
+//! Deterministic hash-based procedural noise.
+//!
+//! Every sample is a pure function of `(seed, coordinates)`, so a scene can
+//! be evaluated at any location and any simulated day without replaying
+//! history — the property that lets the mission simulator make random access
+//! captures cheaply and reproducibly.
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a seed with up to three lattice coordinates into a `u64`.
+#[inline]
+pub fn hash3(seed: u64, x: i64, y: i64, z: i64) -> u64 {
+    let mut h = mix64(seed ^ 0xD6E8_FEB8_6659_FD93);
+    h = mix64(h ^ (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = mix64(h ^ (y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    h = mix64(h ^ (z as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
+    h
+}
+
+/// Uniform `f32` in `[0, 1)` from a hash.
+#[inline]
+pub fn hash_unit(h: u64) -> f32 {
+    // Take the top 24 bits for a dense dyadic rational in [0, 1).
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Uniform sample in `[0, 1)` at integer lattice point `(x, y, z)`.
+#[inline]
+pub fn lattice_unit(seed: u64, x: i64, y: i64, z: i64) -> f32 {
+    hash_unit(hash3(seed, x, y, z))
+}
+
+/// Standard normal sample derived from two hashed uniforms (Box–Muller).
+#[inline]
+pub fn hash_normal(h: u64) -> f32 {
+    let u1 = (hash_unit(h) + 1e-7).min(1.0 - 1e-7);
+    let u2 = hash_unit(mix64(h ^ 0xA5A5_A5A5_A5A5_A5A5));
+    let r = (-2.0 * (u1 as f64).ln()).sqrt();
+    (r * (std::f64::consts::TAU * u2 as f64).cos()) as f32
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Smoothly interpolated 2-D value noise in `[0, 1]`.
+///
+/// `z` selects an independent plane (used as a time index for temporally
+/// varying fields such as clouds).
+pub fn value_noise2(seed: u64, x: f32, y: f32, z: i64) -> f32 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let tx = smoothstep(x - x0);
+    let ty = smoothstep(y - y0);
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let v00 = lattice_unit(seed, xi, yi, z);
+    let v10 = lattice_unit(seed, xi + 1, yi, z);
+    let v01 = lattice_unit(seed, xi, yi + 1, z);
+    let v11 = lattice_unit(seed, xi + 1, yi + 1, z);
+    let top = v00 + (v10 - v00) * tx;
+    let bottom = v01 + (v11 - v01) * tx;
+    top + (bottom - top) * ty
+}
+
+/// Fractal Brownian motion: `octaves` layers of [`value_noise2`] with
+/// per-octave frequency doubling and amplitude halving. Output is
+/// renormalized to `[0, 1]`.
+pub fn fbm2(seed: u64, x: f32, y: f32, z: i64, octaves: u32, base_freq: f32) -> f32 {
+    let mut amplitude = 1.0f32;
+    let mut frequency = base_freq;
+    let mut sum = 0.0f32;
+    let mut norm = 0.0f32;
+    for octave in 0..octaves {
+        sum += amplitude * value_noise2(seed ^ (octave as u64) << 32, x * frequency, y * frequency, z);
+        norm += amplitude;
+        amplitude *= 0.5;
+        frequency *= 2.0;
+    }
+    sum / norm
+}
+
+/// Smooth 1-D noise in `[0, 1]` over continuous time, with unit correlation
+/// scale. Used for slowly varying per-day processes (snow albedo, haze).
+pub fn time_noise(seed: u64, t: f32) -> f32 {
+    let t0 = t.floor();
+    let tt = smoothstep(t - t0);
+    let ti = t0 as i64;
+    let v0 = lattice_unit(seed, ti, 0, 0);
+    let v1 = lattice_unit(seed, ti + 1, 0, 0);
+    v0 + (v1 - v0) * tt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        // A single-bit input change flips many output bits.
+        let d = (mix64(1) ^ mix64(0)).count_ones();
+        assert!(d > 16, "only {d} bits differ");
+    }
+
+    #[test]
+    fn hash_unit_in_range() {
+        for i in 0..10_000u64 {
+            let v = hash_unit(mix64(i));
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn hash_unit_roughly_uniform() {
+        let n = 50_000u64;
+        let mean: f64 = (0..n).map(|i| hash_unit(mix64(i)) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn hash_normal_moments() {
+        let n = 50_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| hash_normal(mix64(i ^ 0xABCD)) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn value_noise_continuous() {
+        // Adjacent samples must be close (no discontinuities at lattice
+        // boundaries).
+        let mut prev = value_noise2(7, 0.0, 3.3, 0);
+        let mut max_step = 0.0f32;
+        for i in 1..400 {
+            let x = i as f32 * 0.01;
+            let v = value_noise2(7, x, 3.3, 0);
+            max_step = max_step.max((v - prev).abs());
+            prev = v;
+        }
+        assert!(max_step < 0.05, "max step {max_step}");
+    }
+
+    #[test]
+    fn value_noise_matches_lattice_at_integers() {
+        let v = value_noise2(9, 5.0, 2.0, 1);
+        assert!((v - lattice_unit(9, 5, 2, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fbm_range_and_determinism() {
+        for i in 0..100 {
+            let x = i as f32 * 0.37;
+            let v = fbm2(11, x, x * 0.5, 0, 4, 0.1);
+            assert!((0.0..=1.0).contains(&v));
+            assert_eq!(v, fbm2(11, x, x * 0.5, 0, 4, 0.1));
+        }
+    }
+
+    #[test]
+    fn fbm_differs_between_planes() {
+        // The z plane (time index) must decorrelate the field.
+        let a = fbm2(13, 1.5, 2.5, 0, 4, 0.3);
+        let b = fbm2(13, 1.5, 2.5, 1, 4, 0.3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn time_noise_smooth_and_bounded() {
+        let mut prev = time_noise(3, 0.0);
+        for i in 1..1000 {
+            let t = i as f32 * 0.01;
+            let v = time_noise(3, t);
+            assert!((0.0..=1.0).contains(&v));
+            assert!((v - prev).abs() < 0.05);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-band reflectance tables.
+//!
+//! Base surface reflectances per land-cover class and band kind, plus the
+//! spectral signatures of clouds and snow. Values are plausible normalized
+//! reflectances; what matters for the reproduction is their *contrast
+//! structure*:
+//!
+//! * clouds are bright in visible bands but carry a cold (low) signature in
+//!   the short-wave-infrared proxy bands — this is the signal the paper's
+//!   cheap decision-tree cloud detector keys on (§5: heavy-cloud temperature
+//!   "significantly differs from the nearby ground and can be easily
+//!   detected using the InfraRed band");
+//! * snow is bright in visible bands like cloud but *warmer* in the infrared
+//!   proxy, so a well-trained detector can separate them;
+//! * atmospheric bands (B1/B9/B10) see the air and have nearly flat,
+//!   cover-independent ground response.
+
+use crate::terrain::LandCover;
+use earthplus_raster::{Band, BandKind, PlanetBand, Sentinel2Band};
+
+/// Base reflectance of a land-cover class in a band (no season, no events).
+pub fn base_reflectance(cover: LandCover, band: Band) -> f32 {
+    match band.kind() {
+        BandKind::VisibleGround => match cover {
+            LandCover::Water => 0.06,
+            LandCover::Forest => 0.10,
+            LandCover::Agriculture => 0.18,
+            LandCover::Urban => 0.34,
+            LandCover::Rock => 0.30,
+            LandCover::Grassland => 0.16,
+        },
+        BandKind::Vegetation => match cover {
+            LandCover::Water => 0.03,
+            LandCover::Forest => 0.42,
+            LandCover::Agriculture => 0.46,
+            LandCover::Urban => 0.24,
+            LandCover::Rock => 0.28,
+            LandCover::Grassland => 0.36,
+        },
+        BandKind::ShortWaveInfrared => match cover {
+            LandCover::Water => 0.02,
+            LandCover::Forest => 0.18,
+            LandCover::Agriculture => 0.24,
+            LandCover::Urban => 0.30,
+            LandCover::Rock => 0.34,
+            LandCover::Grassland => 0.26,
+        },
+        // Air-observing bands barely see the ground (§5: "some of the bands
+        // aim to monitor the air and thus do not change significantly in
+        // cloud-free areas").
+        BandKind::Atmospheric => 0.30,
+    }
+}
+
+/// Fine-texture amplitude applied to the base reflectance in a band.
+pub fn texture_scale(band: Band) -> f32 {
+    match band.kind() {
+        BandKind::VisibleGround => 0.06,
+        BandKind::Vegetation => 0.08,
+        BandKind::ShortWaveInfrared => 0.05,
+        BandKind::Atmospheric => 0.01,
+    }
+}
+
+/// Amplitude of the static per-pixel terrain grain in a band (applied to
+/// the `[-0.5, 0.5]` grain field). The grain is what makes single-image
+/// coding expensive; air-observing bands see almost none of it.
+pub fn grain_scale(band: Band) -> f32 {
+    match band.kind() {
+        BandKind::VisibleGround => 0.16,
+        BandKind::Vegetation => 0.18,
+        BandKind::ShortWaveInfrared => 0.13,
+        BandKind::Atmospheric => 0.018,
+    }
+}
+
+/// Cloud-top reflectance in a band.
+///
+/// Bright in optical bands; deliberately low in the "cold" infrared proxy
+/// bands so a decision tree can find clouds cheaply.
+pub fn cloud_reflectance(band: Band) -> f32 {
+    match band {
+        Band::Sentinel2(Sentinel2Band::B11) | Band::Sentinel2(Sentinel2Band::B12) => 0.12,
+        Band::Planet(PlanetBand::NearInfrared) => 0.15,
+        _ => match band.kind() {
+            BandKind::VisibleGround => 0.88,
+            BandKind::Vegetation => 0.80,
+            BandKind::Atmospheric => 0.85,
+            BandKind::ShortWaveInfrared => 0.12,
+        },
+    }
+}
+
+/// The band a cheap on-board detector should read for the cold-cloud
+/// signature, given the bands available on the platform.
+pub fn cold_band(bands: &[Band]) -> Option<Band> {
+    let preference = [
+        Band::Sentinel2(Sentinel2Band::B11),
+        Band::Sentinel2(Sentinel2Band::B12),
+        Band::Planet(PlanetBand::NearInfrared),
+    ];
+    preference.into_iter().find(|b| bands.contains(b))
+}
+
+/// Snow reflectance in a band (multiplied by the day-varying albedo factor).
+pub fn snow_reflectance(band: Band) -> f32 {
+    match band.kind() {
+        BandKind::VisibleGround => 0.90,
+        BandKind::Vegetation => 0.65,
+        // Snow is dark in SWIR but clearly warmer than the cold-cloud
+        // signature (0.12), keeping the two separable.
+        BandKind::ShortWaveInfrared => 0.38,
+        BandKind::Atmospheric => 0.45,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::Band;
+
+    #[test]
+    fn clouds_bright_in_visible_cold_in_swir() {
+        let b2 = Band::Sentinel2(Sentinel2Band::B2);
+        let b11 = Band::Sentinel2(Sentinel2Band::B11);
+        assert!(cloud_reflectance(b2) > 0.8);
+        assert!(cloud_reflectance(b11) < 0.2);
+    }
+
+    #[test]
+    fn snow_and_cloud_separable_in_cold_band() {
+        let b11 = Band::Sentinel2(Sentinel2Band::B11);
+        assert!(snow_reflectance(b11) > cloud_reflectance(b11) + 0.15);
+    }
+
+    #[test]
+    fn snow_and_cloud_similar_in_visible() {
+        // Both bright: visible brightness alone cannot separate them,
+        // forcing the detector to use the infrared feature.
+        let b2 = Band::Sentinel2(Sentinel2Band::B2);
+        assert!((snow_reflectance(b2) - cloud_reflectance(b2)).abs() < 0.1);
+    }
+
+    #[test]
+    fn cold_band_prefers_swir_on_sentinel() {
+        let bands = Band::sentinel2_all();
+        assert_eq!(cold_band(&bands), Some(Band::Sentinel2(Sentinel2Band::B11)));
+    }
+
+    #[test]
+    fn cold_band_uses_nir_on_planet() {
+        let bands = Band::planet_all();
+        assert_eq!(cold_band(&bands), Some(Band::Planet(PlanetBand::NearInfrared)));
+    }
+
+    #[test]
+    fn cold_band_none_when_unavailable() {
+        let bands = vec![Band::Sentinel2(Sentinel2Band::B2)];
+        assert_eq!(cold_band(&bands), None);
+    }
+
+    #[test]
+    fn vegetation_bright_in_nir() {
+        // NDVI sanity: forest NIR reflectance far above its red reflectance.
+        let red = Band::Sentinel2(Sentinel2Band::B4);
+        let nir = Band::Sentinel2(Sentinel2Band::B8);
+        assert!(
+            base_reflectance(LandCover::Forest, nir)
+                > 2.0 * base_reflectance(LandCover::Forest, red)
+        );
+    }
+
+    #[test]
+    fn water_dark_everywhere_optical() {
+        for band in Band::sentinel2_all() {
+            if band.kind() != BandKind::Atmospheric {
+                assert!(base_reflectance(LandCover::Water, band) < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn atmospheric_bands_cover_independent() {
+        let b9 = Band::Sentinel2(Sentinel2Band::B9);
+        let a = base_reflectance(LandCover::Urban, b9);
+        let b = base_reflectance(LandCover::Water, b9);
+        assert_eq!(a, b);
+        assert!(texture_scale(b9) < 0.02);
+    }
+}

@@ -1,0 +1,136 @@
+//! Sensor model: additive noise and quantization.
+//!
+//! The paper notes that raw-sensor artefacts (noise, misalignment) are not
+//! present in the public L1/L2 products it evaluates on (§5); we keep a
+//! small additive Gaussian noise so that "unchanged" tiles still exhibit a
+//! realistic noise floor (well below the θ = 0.01 change threshold), and
+//! quantize to the 12-bit words typical of optical Earth-observation
+//! sensors.
+
+use crate::noise::{hash3, hash_normal};
+use earthplus_raster::Raster;
+
+/// Sensor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorModel {
+    /// Standard deviation of additive Gaussian noise (on `[0, 1]` data).
+    pub noise_sigma: f32,
+    /// Quantization bit depth (e.g. 12).
+    pub bit_depth: u32,
+}
+
+impl SensorModel {
+    /// The default sensor: σ = 0.002, 12-bit quantization.
+    pub fn standard() -> Self {
+        SensorModel {
+            noise_sigma: 0.002,
+            bit_depth: 12,
+        }
+    }
+
+    /// An ideal noiseless, unquantized sensor (for ablations).
+    pub fn ideal() -> Self {
+        SensorModel {
+            noise_sigma: 0.0,
+            bit_depth: 0,
+        }
+    }
+
+    /// Applies noise and quantization to a radiance raster in place.
+    ///
+    /// Deterministic per `(seed, band_tag, day, pixel)`.
+    pub fn apply(&self, image: &mut Raster, seed: u64, band_tag: u64, day: f64) {
+        let day_idx = day.floor() as i64;
+        let levels = if self.bit_depth == 0 {
+            0.0
+        } else {
+            ((1u64 << self.bit_depth) - 1) as f32
+        };
+        let width = image.width();
+        let sigma = self.noise_sigma;
+        let base = seed ^ band_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for y in 0..image.height() {
+            for x in 0..width {
+                let mut v = image.get(x, y);
+                if sigma > 0.0 {
+                    let h = hash3(base, x as i64, y as i64, day_idx);
+                    v += sigma * hash_normal(h);
+                }
+                v = v.clamp(0.0, 1.0);
+                if levels > 0.0 {
+                    v = (v * levels).round() / levels;
+                }
+                image.set(x, y, v);
+            }
+        }
+    }
+}
+
+impl Default for SensorModel {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::mean_abs_diff;
+
+    #[test]
+    fn ideal_sensor_only_clamps() {
+        let mut img = Raster::from_vec(3, 1, vec![-0.2, 0.5, 1.4]).unwrap();
+        SensorModel::ideal().apply(&mut img, 1, 2, 0.0);
+        assert_eq!(img.as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let make = || {
+            let mut img = Raster::filled(32, 32, 0.5);
+            SensorModel::standard().apply(&mut img, 7, 3, 12.0);
+            img
+        };
+        assert_eq!(make().as_slice(), make().as_slice());
+    }
+
+    #[test]
+    fn noise_differs_across_days_and_bands() {
+        let run = |band: u64, day: f64| {
+            let mut img = Raster::filled(32, 32, 0.5);
+            SensorModel::standard().apply(&mut img, 7, band, day);
+            img
+        };
+        assert_ne!(run(1, 1.0).as_slice(), run(1, 2.0).as_slice());
+        assert_ne!(run(1, 1.0).as_slice(), run(2, 1.0).as_slice());
+    }
+
+    #[test]
+    fn noise_floor_below_change_threshold() {
+        // Two same-day-truth captures on different days differ only by
+        // noise; the mean abs difference must sit far below theta = 0.01.
+        let mut a = Raster::filled(64, 64, 0.4);
+        let mut b = Raster::filled(64, 64, 0.4);
+        let sensor = SensorModel::standard();
+        sensor.apply(&mut a, 7, 1, 10.0);
+        sensor.apply(&mut b, 7, 1, 11.0);
+        let d = mean_abs_diff(&a, &b).unwrap();
+        assert!(d < 0.005, "noise floor {d}");
+        assert!(d > 0.0005, "noise floor suspiciously low: {d}");
+    }
+
+    #[test]
+    fn quantization_respects_bit_depth() {
+        let mut img = Raster::filled(4, 4, 0.123_456_7);
+        SensorModel {
+            noise_sigma: 0.0,
+            bit_depth: 4,
+        }
+        .apply(&mut img, 1, 1, 0.0);
+        let levels = 15.0;
+        for &v in img.as_slice() {
+            let scaled = v * levels;
+            assert!((scaled - scaled.round()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: one capture through the Earth+ on-board pipeline.
+//!
+//! Shows the core idea at component level (Figure 3 of the paper): a fresh
+//! reference reveals few changes, a stale reference reveals many, and only
+//! the changed 64×64 tiles get encoded and downlinked.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use earthplus::{ChangeDetector, EarthPlusConfig, ReferenceImage};
+use earthplus_codec::{encode_roi, CodecConfig};
+use earthplus_raster::{Band, LocationId, PlanetBand, TileGrid};
+use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic agricultural location (stands in for a Planet tile).
+    let scene = LocationScene::new(SceneConfig::quick(7, LocationArchetype::Agriculture));
+    let band = Band::Planet(PlanetBand::Red);
+    let config = EarthPlusConfig::paper();
+
+    // Today's cloud-free capture.
+    let today = 60.0;
+    let capture = scene.capture_with_coverage(today, 0.0);
+    let red = capture.image.require_band(band)?;
+    let grid = TileGrid::new(red.width(), red.height(), config.tile_size)?;
+
+    println!("capture: {}x{} px, {} tiles", red.width(), red.height(), grid.tile_count());
+
+    // Compare against a fresh (3-day-old) and a stale (45-day-old)
+    // reference, both downsampled 51x per axis for the uplink.
+    let detector = ChangeDetector::new(config.detection_theta(), config.tile_size);
+    for (label, age) in [("fresh (3d)", 3.0), ("stale (45d)", 45.0)] {
+        let ref_full = scene.ground_reflectance(band, today - age);
+        let reference = ReferenceImage::from_capture(
+            LocationId(0),
+            band,
+            today - age,
+            &ref_full,
+            config.reference_downsample,
+        )?;
+        let detection = detector.detect(red, &reference, None)?;
+        let roi = encode_roi(
+            red,
+            &grid,
+            &detection.changed,
+            &CodecConfig::lossy(),
+            config.tile_budget_bytes(),
+        )?;
+        println!(
+            "{label:12} reference -> {:2}/{} tiles changed, {:6} bytes to downlink \
+             (vs {:6} raw bytes)",
+            detection.changed.count_set(),
+            grid.tile_count(),
+            roi.size_bytes(),
+            red.len() * 12 / 8,
+        );
+    }
+    println!(
+        "\nfresh references are the whole game — which is why Earth+ shares them \
+         constellation-wide over the uplink (see constellation_contrast example)."
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Uplink budgeting walkthrough: how reference sharing squeezes into
+//! 250 kbps (§4.3), and what happens when the link degrades (§5).
+//!
+//! ```text
+//! cargo run --release --example uplink_budget
+//! ```
+
+use earthplus::{compute_delta, OnboardReferenceCache, ReferenceImage, ReferencePool, UplinkPlanner};
+use earthplus_orbit::LinkModel;
+use earthplus_raster::{Band, LocationId};
+use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A paper-geometry location: 510 px divides evenly by the 51x factor.
+    let mut config = SceneConfig::quick(19, LocationArchetype::Coastal);
+    config.width = 510;
+    config.height = 510;
+    let scene = LocationScene::new(config);
+    let bands = scene.config().bands.clone();
+
+    // Fresh references for 12 locations the satellite will overfly; the
+    // satellite caches 60-day-old versions.
+    let mut pool = ReferencePool::new();
+    let mut cache = OnboardReferenceCache::new();
+    let mut targets = Vec::new();
+    for loc in 0..12u32 {
+        for &band in &bands {
+            let old_full = scene.ground_reflectance(band, 10.0);
+            let new_full = scene.ground_reflectance(band, 70.0);
+            let mut old =
+                ReferenceImage::from_capture(LocationId(loc), band, 10.0, &old_full, 51)?;
+            old.location = LocationId(loc);
+            let mut new =
+                ReferenceImage::from_capture(LocationId(loc), band, 70.0, &new_full, 51)?;
+            new.location = LocationId(loc);
+            cache.install(old.clone());
+            pool.offer(new.clone());
+            targets.push((LocationId(loc), band));
+            if loc == 0 && band == bands[0] {
+                let delta = compute_delta(&new, Some(&old), 0.01).expect("fresher");
+                println!(
+                    "one reference: raw band {} B, downsampled {} B, delta {} B \
+                     ({} changed low-res px of {})",
+                    510 * 510 * 12 / 8,
+                    new.size_bytes(),
+                    delta.size_bytes(),
+                    delta.pixels.len(),
+                    new.lowres.len()
+                );
+            }
+        }
+    }
+
+    let planner = UplinkPlanner::new(0.01);
+    println!(
+        "\n{:>16} {:>10} {:>10} {:>6} {:>8}",
+        "uplink", "budget B", "used B", "sent", "skipped"
+    );
+    for (label, budget) in [
+        ("250 kbps contact", LinkModel::doves_uplink().bytes_per_contact(0)),
+        ("degraded 50%", LinkModel::constant(125_000.0).bytes_per_contact(0)),
+        ("emergency 4 KB", 4096u64),
+    ] {
+        let mut trial_cache = clone_cache(&cache, &targets);
+        let report = planner.plan(&pool, &mut trial_cache, &targets, budget);
+        println!(
+            "{label:>16} {budget:>10} {:>10} {:>6} {:>8}",
+            report.bytes_used, report.deltas_sent, report.deltas_skipped
+        );
+    }
+    println!(
+        "\na single nominal contact refreshes thousands of locations; when the link \
+         collapses, skipped locations keep serving their stale cached reference — Earth+ \
+         degrades into slightly more downlink rather than failing (§5)."
+    );
+    Ok(())
+}
+
+// Rebuild an identical cache for each trial (plan() mutates it).
+fn clone_cache(
+    cache: &OnboardReferenceCache,
+    targets: &[(LocationId, Band)],
+) -> OnboardReferenceCache {
+    let mut out = OnboardReferenceCache::new();
+    for &(loc, band) in targets {
+        if let Some(r) = cache.get(loc, band) {
+            out.install(r.clone());
+        }
+    }
+    out
+}

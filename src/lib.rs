@@ -1,0 +1,22 @@
+//! Facade crate for the Earth+ reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the root `examples/`
+//! and `tests/` can exercise the whole system, and so downstream users can
+//! depend on a single crate.
+//!
+//! * [`raster`] — imagery substrate (rasters, bands, tiles, resampling,
+//!   PSNR, illumination alignment).
+//! * [`scene`] — synthetic Earth-observation scene model (terrain, change
+//!   processes, clouds, illumination, sensor).
+//! * [`codec`] — layered wavelet image codec with ROI support.
+//! * [`orbit`] — constellation, ground-contact, and link simulator.
+//! * [`cloud`] — on-board and ground cloud detectors.
+//! * [`system`] — the Earth+ system itself plus the Kodan / SatRoI
+//!   baselines and the mission simulator.
+
+pub use earthplus as system;
+pub use earthplus_cloud as cloud;
+pub use earthplus_codec as codec;
+pub use earthplus_orbit as orbit;
+pub use earthplus_raster as raster;
+pub use earthplus_scene as scene;

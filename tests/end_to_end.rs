@@ -1,0 +1,122 @@
+//! End-to-end integration: the full Earth+ loop against both baselines on
+//! a small Planet-like mission, checking the paper's headline directions.
+
+use earthplus::metrics;
+use earthplus::prelude::*;
+use earthplus_cloud::{train_onboard_detector, TrainingConfig};
+use earthplus_orbit::LinkModel;
+use earthplus_scene::large_constellation;
+
+fn small_mission() -> (MissionSimulator, earthplus_scene::DatasetConfig) {
+    let mut dataset = large_constellation(42, 256);
+    dataset.duration_days = 45;
+    let mut config = SimulationConfig::for_dataset(&dataset, 42);
+    config.eval_from_day = 40;
+    config.eval_days = 45;
+    config.uplink = LinkModel::doves_uplink();
+    let sim = MissionSimulator::from_dataset(&dataset, config);
+    (sim, dataset)
+}
+
+#[test]
+fn earthplus_beats_baselines_on_downlink_without_losing_quality() {
+    let (sim, dataset) = small_mission();
+    let detector = train_onboard_detector(&sim.scenes()[0], &TrainingConfig::default());
+    let targets: Vec<_> = dataset
+        .locations
+        .iter()
+        .flat_map(|l| l.bands.iter().map(|&b| (l.location, b)))
+        .collect();
+
+    // γ=2 bits/pixel sits in the steep region of the codec's RD curve —
+    // the regime Figure 11's crossover lives in.
+    let config = EarthPlusConfig::paper().with_gamma(2.0);
+    let mut earthplus = EarthPlusStrategy::new(config, detector.clone(), targets);
+    let mut kodan = KodanStrategy::new(config);
+    let mut satroi = SatRoiStrategy::new(config, detector.clone());
+    let report = sim.run(&mut [&mut earthplus, &mut kodan, &mut satroi]);
+
+    let ep = report.records("earth+");
+    let kd = report.records("kodan");
+    let sr = report.records("satroi");
+    assert!(!ep.is_empty(), "no captures simulated");
+
+    // Headline: at the same per-tile budget γ, Earth+ uses materially less
+    // downlink than the strongest baseline (paper: 2.8-3.3x on the Planet
+    // dataset).
+    let saving_kodan = metrics::downlink_saving(kd, ep);
+    let saving_satroi = metrics::downlink_saving(sr, ep);
+    let best = saving_kodan.min(saving_satroi);
+    assert!(
+        best > 1.5,
+        "saving vs kodan {saving_kodan:.2}, vs satroi {saving_satroi:.2}"
+    );
+
+    // The trade-off claim of Figure 11: at *matched bandwidth*, Earth+
+    // delivers better quality. Rate-match Kodan down to Earth+'s byte
+    // budget by shrinking its γ, and compare PSNR.
+    let matched_gamma = config.gamma_bpp / best;
+    let mut kodan_matched = KodanStrategy::new(config.with_gamma(matched_gamma));
+    let report2 = sim.run(&mut [&mut kodan_matched]);
+    let kd_matched = report2.records("kodan");
+    let ep_psnr = metrics::psnr_stats(ep).mean;
+    let kd_matched_psnr = metrics::psnr_stats(kd_matched).mean;
+    // Non-inferiority at this micro scale (16 tiles, ~12 captures): the
+    // strict dominance of Figure 11 is exercised at full scale by the
+    // fig11 experiment in earthplus-bench.
+    assert!(
+        ep_psnr > kd_matched_psnr - 0.5,
+        "at matched bandwidth: earth+ {ep_psnr:.1} dB vs kodan {kd_matched_psnr:.1} dB"
+    );
+    assert!(ep_psnr > 30.0, "earth+ PSNR too low: {ep_psnr:.1}");
+
+    // Earth+ downloads far fewer tiles.
+    let ep_frac = metrics::tile_fraction_stats(ep).mean;
+    let kd_frac = metrics::tile_fraction_stats(kd).mean;
+    assert!(
+        ep_frac < kd_frac,
+        "earth+ tiles {ep_frac:.2} vs kodan {kd_frac:.2}"
+    );
+
+    // Uplink stays within the 250 kbps budget at every contact.
+    for r in &report.uplink["earth+"] {
+        assert!(r.bytes_used <= r.bytes_budget, "uplink overrun: {r:?}");
+    }
+
+    // Storage: Earth+ uses references but less total storage than Kodan.
+    let ep_storage = report.storage["earth+"];
+    let kd_storage = report.storage["kodan"];
+    assert!(ep_storage.total() < kd_storage.total());
+}
+
+#[test]
+fn guaranteed_downloads_occur_monthly() {
+    let (sim, dataset) = small_mission();
+    let detector = train_onboard_detector(&sim.scenes()[0], &TrainingConfig::default());
+    let targets: Vec<_> = dataset
+        .locations
+        .iter()
+        .flat_map(|l| l.bands.iter().map(|&b| (l.location, b)))
+        .collect();
+    let mut earthplus =
+        EarthPlusStrategy::new(EarthPlusConfig::paper(), detector, targets);
+    let report = sim.run(&mut [&mut earthplus]);
+    let guaranteed: Vec<f64> = report
+        .records("earth+")
+        .iter()
+        .filter(|r| r.guaranteed)
+        .map(|r| r.day)
+        .collect();
+    assert!(
+        !guaranteed.is_empty(),
+        "no guaranteed downloads in 45 days (first capture must be one)"
+    );
+    // Consecutive guaranteed downloads for the single location are >= the
+    // configured period apart.
+    for w in guaranteed.windows(2) {
+        assert!(
+            w[1] - w[0] >= EarthPlusConfig::paper().guaranteed_period_days - 1e-9,
+            "guaranteed downloads too close: {w:?}"
+        );
+    }
+}

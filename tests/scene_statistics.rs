@@ -1,0 +1,98 @@
+//! Integration tests pinning the scene model to the paper's measured
+//! statistics — the contract that makes the substitution defensible.
+
+use earthplus::ChangeDetector;
+use earthplus_raster::{Band, Sentinel2Band};
+use earthplus_scene::{climate_variants, rich_content, CloudClimate, LocationScene};
+
+#[test]
+fn five_day_change_fraction_matches_intro_measurement() {
+    // §1: "only 20% of the tiles in each image have changed in the
+    // previous five days on average" (cloud-free Planet data). Allow a
+    // generous band: the claim is order-of-magnitude.
+    let dataset = rich_content(3, 384);
+    let detector = ChangeDetector::new(0.01, 64);
+    let band = Band::Sentinel2(Sentinel2Band::B4);
+    let mut fractions = Vec::new();
+    for loc in [0usize, 2, 5] {
+        let scene = LocationScene::new(dataset.locations[loc].clone());
+        for &t in &[60.0, 150.0, 240.0] {
+            let a = scene.ground_reflectance(band, t);
+            let b = scene.ground_reflectance(band, t + 5.0);
+            fractions.push(detector.true_changes(&a, &b).unwrap().fraction_set());
+        }
+    }
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    assert!(
+        (0.03..0.35).contains(&mean),
+        "5-day changed fraction {mean:.3} out of calibration band"
+    );
+}
+
+#[test]
+fn change_fraction_grows_with_gap_like_figure_4() {
+    let dataset = rich_content(5, 384);
+    let scene = LocationScene::new(dataset.locations[0].clone());
+    let detector = ChangeDetector::new(0.01, 64);
+    let band = Band::Sentinel2(Sentinel2Band::B4);
+    let frac_at = |gap: f64| {
+        let anchors = [60.0, 150.0, 240.0, 300.0];
+        anchors
+            .iter()
+            .map(|&t| {
+                let a = scene.ground_reflectance(band, t);
+                let b = scene.ground_reflectance(band, t + gap);
+                detector.true_changes(&a, &b).unwrap().fraction_set()
+            })
+            .sum::<f64>()
+            / anchors.len() as f64
+    };
+    let f10 = frac_at(10.0);
+    let f50 = frac_at(50.0);
+    assert!(f50 > 2.0 * f10, "growth {f10:.3} -> {f50:.3} too flat");
+    assert!(f50 < 0.8, "50-day fraction {f50:.3} implausibly high");
+}
+
+#[test]
+fn planet_climate_reference_cadence_matches_figure_5() {
+    // P(coverage < 1%) per visit ~ 0.24 drives both of the paper's
+    // reference-age numbers (51 d local, 4.2 d constellation-wide).
+    let climate = CloudClimate::temperate();
+    let n = 30_000;
+    let clear = (0..n)
+        .filter(|&d| climate.coverage(11, d as f64) < 0.01)
+        .count();
+    let p = clear as f64 / n as f64;
+    assert!((0.22..=0.26).contains(&p), "p_clear {p}");
+}
+
+#[test]
+fn washington_climate_is_kinder_than_planet_calibration() {
+    let wa = climate_variants::washington();
+    let planet = CloudClimate::temperate();
+    let n = 20_000;
+    let clear = |c: &CloudClimate| {
+        (0..n).filter(|&d| c.coverage(13, d as f64) < 0.01).count() as f64 / n as f64
+    };
+    assert!(clear(&wa) > clear(&planet) + 0.05);
+}
+
+#[test]
+fn snowy_location_changes_dominate_in_winter() {
+    // Figure 14's H: snow albedo churn defeats reference encoding.
+    let dataset = rich_content(7, 256);
+    let snowy = LocationScene::new(dataset.locations[7].clone()); // H
+    let calm = LocationScene::new(dataset.locations[0].clone()); // A
+    let detector = ChangeDetector::new(0.01, 64);
+    let band = Band::Sentinel2(Sentinel2Band::B4);
+    let frac = |scene: &LocationScene, t: f64| {
+        let a = scene.ground_reflectance(band, t);
+        let b = scene.ground_reflectance(band, t + 3.0);
+        detector.true_changes(&a, &b).unwrap().fraction_set()
+    };
+    // Mid-winter, short gap: the snowy location churns, the calm one not.
+    let snowy_frac = frac(&snowy, 20.0);
+    let calm_frac = frac(&calm, 20.0);
+    assert!(snowy_frac > 0.5, "snowy winter churn {snowy_frac:.2}");
+    assert!(calm_frac < 0.3, "calm location churn {calm_frac:.2}");
+}
