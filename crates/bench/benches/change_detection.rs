@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use earthplus::{ChangeDetector, ReferenceImage};
 use earthplus_raster::{Band, IlluminationAligner, LocationId, PlanetBand, TileGrid, TileMask};
-use earthplus_scene::{LocationScene, SceneConfig};
 use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
 
 fn bench_change(c: &mut Criterion) {
     let scene = LocationScene::new(SceneConfig::quick(5, LocationArchetype::Agriculture));

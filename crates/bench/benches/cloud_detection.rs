@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use earthplus_cloud::{train_onboard_detector, GroundCloudDetector, TrainingConfig};
-use earthplus_scene::{LocationScene, SceneConfig};
 use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
 
 fn bench_cloud(c: &mut Criterion) {
     let scene = LocationScene::new(SceneConfig::quick(9, LocationArchetype::Forest));

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use earthplus_codec::{decode, encode, encode_with_budget, tile_budget_bytes, CodecConfig};
 use earthplus_raster::{Band, PlanetBand};
-use earthplus_scene::{LocationScene, SceneConfig};
 use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
 
 fn bench_codec(c: &mut Criterion) {
     let scene = LocationScene::new(SceneConfig::quick(3, LocationArchetype::River));
@@ -27,7 +27,9 @@ fn bench_codec(c: &mut Criterion) {
     let full = encode(&tile, &CodecConfig::lossy()).unwrap();
     group.bench_function("decode_tile_full", |b| b.iter(|| decode(&full)));
     let truncated = full.truncated(full.payload_len() / 4);
-    group.bench_function("decode_tile_quarter_rate", |b| b.iter(|| decode(&truncated)));
+    group.bench_function("decode_tile_quarter_rate", |b| {
+        b.iter(|| decode(&truncated))
+    });
     group.bench_function("encode_full_band_256", |b| {
         b.iter(|| encode(band, &CodecConfig::lossy()).unwrap())
     });

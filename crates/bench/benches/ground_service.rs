@@ -1,0 +1,153 @@
+//! Ground-service micro-benchmark: sharded vs. single-lock reference
+//! ingest at 1 / 4 / 8 worker threads, so the concurrency win of
+//! `ShardedReferenceStore` is measured rather than asserted, plus the
+//! constellation pass scheduler on a full contact round.
+//!
+//! Note: on a single-core host the thread counts cannot scale and the
+//! sharded and single-lock stores should measure at parity (sharding adds
+//! only a cheap shard hash); the separation between the two appears with
+//! real hardware parallelism, where single-lock offers serialize and
+//! ping-pong the lock line while sharded offers proceed in parallel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use earthplus::{ReferenceImage, ReferencePool};
+use earthplus_ground::{
+    ConstellationScheduler, ContactWindow, EvictingReferenceCache, ShardedReferenceStore,
+};
+use earthplus_orbit::SatelliteId;
+use earthplus_raster::{Band, LocationId, Raster};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A batch of downlinked references: several freshness generations over
+/// many (location, band) keys, like a busy day of constellation
+/// downlinks. Large enough (16 k offers) that lock behaviour, not thread
+/// spawning, dominates the measurement.
+fn downlink_batch() -> Vec<ReferenceImage> {
+    let mut batch = Vec::new();
+    for generation in 0..8 {
+        for loc in 0..512u32 {
+            for band in Band::planet_all() {
+                let full = Raster::filled(64, 64, (loc % 7) as f32 / 7.0);
+                batch.push(
+                    ReferenceImage::from_capture(
+                        LocationId(loc),
+                        band,
+                        10.0 + generation as f64,
+                        &full,
+                        8,
+                    )
+                    .expect("downsample factor fits"),
+                );
+            }
+        }
+    }
+    batch
+}
+
+/// The single-lock baseline: one `Mutex<ReferencePool>` shared by the same
+/// worker pool, same moved-in offers. Every offer serializes on the one
+/// lock.
+fn ingest_single_lock(mut batch: Vec<ReferenceImage>, threads: usize) -> usize {
+    let pool = Mutex::new(ReferencePool::new());
+    let chunk = batch.len().div_ceil(threads).max(1);
+    let mut chunks: Vec<Vec<ReferenceImage>> = Vec::with_capacity(threads);
+    while batch.len() > chunk {
+        let tail = batch.split_off(batch.len() - chunk);
+        chunks.push(tail);
+    }
+    chunks.push(batch);
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            let pool = &pool;
+            scope.spawn(move || {
+                for reference in chunk {
+                    pool.lock().expect("pool poisoned").offer(reference);
+                }
+            });
+        }
+    });
+    let pool = pool.into_inner().expect("pool poisoned");
+    pool.len()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let batch = downlink_batch();
+    let mut group = c.benchmark_group("ground_ingest");
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || batch.clone(),
+                    |batch| {
+                        let store = ShardedReferenceStore::default();
+                        store.ingest_batch(batch, threads);
+                        store.len()
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_lock", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || batch.clone(),
+                    |batch| ingest_single_lock(batch, threads),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pass_scheduling(c: &mut Criterion) {
+    // A full constellation round: 12 satellites x 7 contacts, 40 targets.
+    let store = ShardedReferenceStore::default();
+    let mut targets = Vec::new();
+    for loc in 0..10u32 {
+        for band in Band::planet_all() {
+            let full = Raster::filled(510, 510, (loc % 5) as f32 / 5.0);
+            store.offer(
+                ReferenceImage::from_capture(LocationId(loc), band, 20.0, &full, 51).unwrap(),
+            );
+            targets.push((LocationId(loc), band));
+        }
+    }
+    let mut contacts = Vec::new();
+    for sat in 0..12u32 {
+        for k in 0..7u64 {
+            contacts.push(ContactWindow {
+                satellite: SatelliteId(sat),
+                day: 20.0 + k as f64 / 7.0,
+                budget_bytes: 18_750_000,
+            });
+        }
+    }
+    let scheduler = ConstellationScheduler::new(0.01);
+
+    let mut group = c.benchmark_group("ground_scheduler");
+    group.bench_function("plan_pass_84_contacts_40_targets", |b| {
+        b.iter_batched(
+            HashMap::new,
+            |mut caches| {
+                scheduler.plan_pass(
+                    &store,
+                    &mut caches,
+                    &targets,
+                    &contacts,
+                    EvictingReferenceCache::default,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_pass_scheduling);
+criterion_main!(benches);

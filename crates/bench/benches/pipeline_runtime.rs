@@ -7,8 +7,8 @@ use earthplus::CaptureContext;
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::LocationId;
-use earthplus_scene::{LocationScene, SceneConfig};
 use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
 
 fn bench_pipeline(c: &mut Criterion) {
     let scene = LocationScene::new(SceneConfig::quick(7, LocationArchetype::Agriculture));

@@ -2,10 +2,12 @@
 //! application under the 250 kbps uplink (§4.3 machinery).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use earthplus::{compute_delta, OnboardReferenceCache, ReferenceImage, ReferencePool, UplinkPlanner};
+use earthplus::{
+    compute_delta, OnboardReferenceCache, ReferenceImage, ReferencePool, UplinkPlanner,
+};
 use earthplus_raster::{Band, LocationId, PlanetBand};
-use earthplus_scene::{LocationScene, SceneConfig};
 use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
 
 fn bench_reference(c: &mut Criterion) {
     let scene = LocationScene::new(SceneConfig::quick(13, LocationArchetype::Coastal));

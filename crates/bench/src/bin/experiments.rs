@@ -38,7 +38,10 @@ fn main() {
                 if let Err(e) = result.write_csv(&out_dir) {
                     eprintln!("warning: could not write {id}.csv: {e}");
                 }
-                println!("({id} finished in {:.1}s)\n", started.elapsed().as_secs_f64());
+                println!(
+                    "({id} finished in {:.1}s)\n",
+                    started.elapsed().as_secs_f64()
+                );
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -13,11 +13,7 @@ use earthplus_cloud::{train_onboard_detector, TrainingConfig};
 use earthplus_orbit::LinkModel;
 
 /// Runs one Earth+ variant and summarizes it.
-fn run_variant(
-    label: &str,
-    config: EarthPlusConfig,
-    uplink: Option<LinkModel>,
-) -> Vec<String> {
+fn run_variant(label: &str, config: EarthPlusConfig, uplink: Option<LinkModel>) -> Vec<String> {
     let mut dataset = earthplus_scene::large_constellation(51, 256);
     dataset.duration_days = 60;
     let mut sim_config = SimulationConfig::for_dataset(&dataset, 51);
@@ -26,8 +22,7 @@ fn run_variant(
     }
     let sim = MissionSimulator::from_dataset(&dataset, sim_config);
     let detector = train_onboard_detector(&sim.scenes()[0], &TrainingConfig::default());
-    let mut earthplus =
-        EarthPlusStrategy::new(config, detector, dataset_targets(&dataset));
+    let mut earthplus = EarthPlusStrategy::new(config, detector, dataset_targets(&dataset));
     let report = sim.run(&mut [&mut earthplus]);
     let records = report.records("earth+");
     let guaranteed = records.iter().filter(|r| r.guaranteed).count();
@@ -36,10 +31,7 @@ fn run_variant(
         fmt(metrics::mean_bytes_per_capture(records), 0),
         fmt(metrics::tile_fraction_stats(records).mean * 100.0, 1),
         fmt(metrics::psnr_stats(records).mean, 1),
-        fmt(
-            metrics::reference_age_stats(records).mean,
-            1,
-        ),
+        fmt(metrics::reference_age_stats(records).mean, 1),
         guaranteed.to_string(),
     ]
 }
@@ -56,7 +48,11 @@ pub fn ablations() -> ExperimentResult {
     ));
     let mut no_margin = paper;
     no_margin.detection_margin = 1.0;
-    rows.push(run_variant("detection margin off (trigger at θ)", no_margin, None));
+    rows.push(run_variant(
+        "detection margin off (trigger at θ)",
+        no_margin,
+        None,
+    ));
     let mut aggressive_margin = paper;
     aggressive_margin.detection_margin = 0.3;
     rows.push(run_variant("detection margin 0.3", aggressive_margin, None));
@@ -65,7 +61,11 @@ pub fn ablations() -> ExperimentResult {
     rows.push(run_variant("guaranteed downloads off", no_guarantee, None));
     let mut eager_guarantee = paper;
     eager_guarantee.guaranteed_period_days = 15.0;
-    rows.push(run_variant("guaranteed every 15 days", eager_guarantee, None));
+    rows.push(run_variant(
+        "guaranteed every 15 days",
+        eager_guarantee,
+        None,
+    ));
 
     let base_bytes: f64 = rows[0][1].parse().unwrap_or(1.0);
     let dead_bytes: f64 = rows[1][1].parse().unwrap_or(1.0);

@@ -21,8 +21,7 @@ pub fn fig14() -> ExperimentResult {
     let sim = MissionSimulator::from_dataset(&dataset, SimulationConfig::for_dataset(&dataset, 31));
     let detector = shared_detector(&sim);
     let config = base_config(&dataset);
-    let mut earthplus =
-        EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
+    let mut earthplus = EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
     let mut kodan = KodanStrategy::new(config);
     let report = sim.run(&mut [&mut earthplus, &mut kodan]);
     let ep = report.records("earth+");
@@ -79,7 +78,11 @@ pub fn fig14() -> ExperimentResult {
         summary: format!(
             "{improved}/11 locations improve; snowy H {} (paper: no improvement on H, all 13 \
              bands improve with ground bands highest)",
-            if snowy_low { "shows little/no gain as in the paper" } else { "unexpectedly improves" }
+            if snowy_low {
+                "shows little/no gain as in the paper"
+            } else {
+                "unexpectedly improves"
+            }
         ),
     }
 }
@@ -95,8 +98,7 @@ pub fn fig15() -> ExperimentResult {
     let sim = MissionSimulator::from_dataset(&dataset, SimulationConfig::for_dataset(&dataset, 33));
     let detector = shared_detector(&sim);
     let config = base_config(&dataset);
-    let mut earthplus =
-        EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
+    let mut earthplus = EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
     let mut kodan = KodanStrategy::new(config);
     let mut satroi = SatRoiStrategy::new(config, detector);
     let report = sim.run(&mut [&mut earthplus, &mut kodan, &mut satroi]);
@@ -181,8 +183,7 @@ pub fn fig16() -> ExperimentResult {
     let sim = MissionSimulator::from_dataset(&dataset, SimulationConfig::for_dataset(&dataset, 35));
     let detector = shared_detector(&sim);
     let config = base_config(&dataset);
-    let mut earthplus =
-        EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
+    let mut earthplus = EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
     let mut kodan = KodanStrategy::new(config);
     let mut satroi = SatRoiStrategy::new(config, detector);
     let report = sim.run(&mut [&mut earthplus, &mut kodan, &mut satroi]);

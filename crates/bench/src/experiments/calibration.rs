@@ -37,8 +37,16 @@ pub fn fig4() -> ExperimentResult {
             fmt(stats.std_error() * 100.0, 1),
         ]);
     }
-    let f10 = by_age.iter().find(|(a, _)| *a == 10).map(|(_, f)| *f).unwrap_or(0.0);
-    let f50 = by_age.iter().find(|(a, _)| *a == 50).map(|(_, f)| *f).unwrap_or(0.0);
+    let f10 = by_age
+        .iter()
+        .find(|(a, _)| *a == 10)
+        .map(|(_, f)| *f)
+        .unwrap_or(0.0);
+    let f50 = by_age
+        .iter()
+        .find(|(a, _)| *a == 50)
+        .map(|(_, f)| *f)
+        .unwrap_or(0.0);
     ExperimentResult {
         id: "fig4",
         title: "Changed tiles vs reference age (paper Fig. 4)",

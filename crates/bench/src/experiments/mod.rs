@@ -15,8 +15,22 @@ use earthplus_scene::DatasetConfig;
 
 /// All experiment ids, in the paper's order (plus the design ablations).
 pub const ALL_IDS: [&str; 16] = [
-    "table1", "table2", "fig4", "fig5", "fig8", "fig11a", "fig11b", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "fig18", "fig19", "ablations",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "ablations",
 ];
 
 /// Runs one experiment by id.
@@ -94,7 +108,12 @@ pub(crate) fn run_three_strategies(
     detector: &OnboardCloudDetector,
     gamma: f64,
 ) -> MissionReport {
-    run_three_with_config(sim, dataset, detector, base_config(dataset).with_gamma(gamma))
+    run_three_with_config(
+        sim,
+        dataset,
+        detector,
+        base_config(dataset).with_gamma(gamma),
+    )
 }
 
 /// The Earth+ operating point for a dataset. On heavily-clouded datasets
@@ -116,8 +135,7 @@ pub(crate) fn run_three_with_config(
     detector: &OnboardCloudDetector,
     config: EarthPlusConfig,
 ) -> MissionReport {
-    let mut earthplus =
-        EarthPlusStrategy::new(config, detector.clone(), dataset_targets(dataset));
+    let mut earthplus = EarthPlusStrategy::new(config, detector.clone(), dataset_targets(dataset));
     let mut kodan = KodanStrategy::new(config);
     let mut satroi = SatRoiStrategy::new(config, detector.clone());
     sim.run(&mut [&mut earthplus, &mut kodan, &mut satroi])

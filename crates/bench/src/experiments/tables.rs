@@ -8,18 +8,57 @@ use earthplus_scene::{large_constellation, rich_content};
 pub fn table1() -> ExperimentResult {
     let spec = DovesSpec::table1();
     let rows = vec![
-        vec!["Ground contact duration".into(), format!("{} s", spec.contact_duration_s)],
-        vec!["Ground contacts per day".into(), spec.contacts_per_day.to_string()],
-        vec!["Uplink bandwidth".into(), format!("{} kbps", spec.uplink_bps / 1e3)],
-        vec!["Downlink bandwidth".into(), format!("{} Mbps", spec.downlink_bps / 1e6)],
-        vec!["On-board storage".into(), format!("{} GB", spec.onboard_storage_bytes / 1_000_000_000)],
-        vec!["Image resolution".into(), format!("{}x{}", spec.image_width_px, spec.image_height_px)],
-        vec!["Image channels".into(), format!("{} (RGB + IR)", spec.image_channels)],
-        vec!["Raw image file size".into(), format!("{} MB", spec.raw_image_bytes / 1_000_000)],
-        vec!["Ground sampling distance".into(), format!("{} m", spec.gsd_m)],
-        vec!["Revisit period".into(), format!("{}-{} days", spec.revisit_days_min, spec.revisit_days_max)],
-        vec!["Capture footprint".into(), format!("{} km^2", fmt(spec.capture_area_km2(), 0))],
-        vec!["Uplink bytes per contact".into(), format!("{} MB", fmt(spec.uplink_bytes_per_contact() as f64 / 1e6, 2))],
+        vec![
+            "Ground contact duration".into(),
+            format!("{} s", spec.contact_duration_s),
+        ],
+        vec![
+            "Ground contacts per day".into(),
+            spec.contacts_per_day.to_string(),
+        ],
+        vec![
+            "Uplink bandwidth".into(),
+            format!("{} kbps", spec.uplink_bps / 1e3),
+        ],
+        vec![
+            "Downlink bandwidth".into(),
+            format!("{} Mbps", spec.downlink_bps / 1e6),
+        ],
+        vec![
+            "On-board storage".into(),
+            format!("{} GB", spec.onboard_storage_bytes / 1_000_000_000),
+        ],
+        vec![
+            "Image resolution".into(),
+            format!("{}x{}", spec.image_width_px, spec.image_height_px),
+        ],
+        vec![
+            "Image channels".into(),
+            format!("{} (RGB + IR)", spec.image_channels),
+        ],
+        vec![
+            "Raw image file size".into(),
+            format!("{} MB", spec.raw_image_bytes / 1_000_000),
+        ],
+        vec![
+            "Ground sampling distance".into(),
+            format!("{} m", spec.gsd_m),
+        ],
+        vec![
+            "Revisit period".into(),
+            format!("{}-{} days", spec.revisit_days_min, spec.revisit_days_max),
+        ],
+        vec![
+            "Capture footprint".into(),
+            format!("{} km^2", fmt(spec.capture_area_km2(), 0)),
+        ],
+        vec![
+            "Uplink bytes per contact".into(),
+            format!(
+                "{} MB",
+                fmt(spec.uplink_bytes_per_contact() as f64 / 1e6, 2)
+            ),
+        ],
     ];
     ExperimentResult {
         id: "table1",

@@ -51,8 +51,7 @@ fn matched_quality_saving(points: &[TradeoffPoint]) -> (f64, f64, f64) {
         .expect("gamma sweep includes 1.0");
     let mut best_baseline = f64::INFINITY;
     for name in ["kodan", "satroi"] {
-        let mut curve: Vec<&TradeoffPoint> =
-            points.iter().filter(|p| p.strategy == name).collect();
+        let mut curve: Vec<&TradeoffPoint> = points.iter().filter(|p| p.strategy == name).collect();
         curve.sort_by(|a, b| a.mbps.partial_cmp(&b.mbps).expect("finite"));
         // Smallest bandwidth on this curve achieving >= target PSNR
         // (interpolated between bracketing points).
@@ -243,12 +242,16 @@ pub fn fig13() -> ExperimentResult {
         Band::Sentinel2(Sentinel2Band::B4),
         Band::Sentinel2(Sentinel2Band::B8),
     ];
-    let dataset = restrict(earthplus_scene::rich_content(25, 384), &[0], Some(bands), 365);
+    let dataset = restrict(
+        earthplus_scene::rich_content(25, 384),
+        &[0],
+        Some(bands),
+        365,
+    );
     let sim = MissionSimulator::from_dataset(&dataset, SimulationConfig::for_dataset(&dataset, 25));
     let detector = shared_detector(&sim);
     let config = base_config(&dataset);
-    let mut earthplus =
-        EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
+    let mut earthplus = EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
     let mut kodan = KodanStrategy::new(config);
     let mut satroi = SatRoiStrategy::new(config, detector);
     let report = sim.run(&mut [&mut earthplus, &mut kodan, &mut satroi]);

@@ -177,12 +177,7 @@ pub fn fig19() -> ExperimentResult {
             EarthPlusStrategy::new(config, detector.clone(), dataset_targets(&dataset));
         let report = sim.run(&mut [&mut earthplus]);
         // Skip the cold-start full download.
-        let records: Vec<_> = report
-            .records("earth+")
-            .iter()
-            .skip(1)
-            .cloned()
-            .collect();
+        let records: Vec<_> = report.records("earth+").iter().skip(1).cloned().collect();
         let ratio = metrics::area_compression_ratio(&records);
         let age = metrics::reference_age_stats(&records).mean;
         if sats == 1 {

@@ -113,8 +113,7 @@ impl GroundCloudDetector {
             .filter(|b| b.kind() == BandKind::VisibleGround)
             .filter_map(|&b| image.band(b))
             .collect();
-        let cold: Option<&earthplus_raster::Raster> =
-            cold_band(&bands).and_then(|b| image.band(b));
+        let cold: Option<&earthplus_raster::Raster> = cold_band(&bands).and_then(|b| image.band(b));
         let n = image.width() * image.height();
         let mut mask = vec![false; n];
         for i in 0..n {
@@ -125,7 +124,9 @@ impl GroundCloudDetector {
             } else {
                 visible.iter().map(|r| r.get(x, y)).sum::<f32>() / visible.len() as f32
             };
-            let is_cold = cold.map(|c| c.get(x, y) < self.coldness_threshold).unwrap_or(true);
+            let is_cold = cold
+                .map(|c| c.get(x, y) < self.coldness_threshold)
+                .unwrap_or(true);
             mask[i] = bright > self.brightness_threshold && is_cold;
         }
         // Iterative refinement: close small holes, trim lone pixels.
@@ -223,9 +224,15 @@ mod tests {
                 }
             }
         }
-        assert!(detected > 50, "detector detected almost nothing: {detected}");
+        assert!(
+            detected > 50,
+            "detector detected almost nothing: {detected}"
+        );
         let precision = correct as f64 / detected as f64;
-        assert!(precision > 0.97, "precision {precision} ({correct}/{detected})");
+        assert!(
+            precision > 0.97,
+            "precision {precision} ({correct}/{detected})"
+        );
     }
 
     #[test]
@@ -245,7 +252,11 @@ mod tests {
         let detector = trained_detector(23);
         let cap = scene(89).capture_with_coverage(5.0, 0.0);
         let det = detector.detect(&cap.image).unwrap();
-        assert!(det.coverage < 0.02, "false alarms on clear sky: {}", det.coverage);
+        assert!(
+            det.coverage < 0.02,
+            "false alarms on clear sky: {}",
+            det.coverage
+        );
     }
 
     #[test]
@@ -275,12 +286,7 @@ mod tests {
         let ground = GroundCloudDetector::new(64);
         let mut onboard_err = 0.0f64;
         let mut ground_err = 0.0f64;
-        let cases = [
-            (2.0, 0.15),
-            (7.0, 0.35),
-            (13.0, 0.6),
-            (21.0, 0.02),
-        ];
+        let cases = [(2.0, 0.15), (7.0, 0.35), (13.0, 0.6), (21.0, 0.02)];
         for &(day, coverage) in &cases {
             let cap = s.capture_with_coverage(day, coverage);
             let ob = onboard.detect(&cap.image).unwrap();

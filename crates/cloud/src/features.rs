@@ -63,12 +63,12 @@ pub fn tile_features(image: &MultiBandImage, grid: &TileGrid) -> Vec<FeatureVect
 
     let mut features = Vec::with_capacity(grid.tile_count());
     for t in grid.iter() {
-        let brightness = small_bright
-            .try_get(t.col, t.row)
-            .unwrap_or_else(|| small_bright.get(
+        let brightness = small_bright.try_get(t.col, t.row).unwrap_or_else(|| {
+            small_bright.get(
                 t.col.min(small_bright.width() - 1),
                 t.row.min(small_bright.height() - 1),
-            ));
+            )
+        });
         let coldness = match &small_cold {
             Some(c) => c
                 .try_get(t.col, t.row)
@@ -104,8 +104,8 @@ pub fn tile_features(image: &MultiBandImage, grid: &TileGrid) -> Vec<FeatureVect
 #[cfg(test)]
 mod tests {
     use super::*;
-    use earthplus_scene::{LocationScene, SceneConfig};
     use earthplus_scene::terrain::LocationArchetype;
+    use earthplus_scene::{LocationScene, SceneConfig};
 
     fn scene() -> LocationScene {
         LocationScene::new(SceneConfig::quick(5, LocationArchetype::Forest))
@@ -125,9 +125,7 @@ mod tests {
         let cap = s.capture_with_coverage(3.0, 0.5);
         let grid = TileGrid::new(256, 256, 64).unwrap();
         let feats = tile_features(&cap.image, &grid);
-        let cloud_frac = grid
-            .tile_fraction(&cap.cloud_alpha, |a| a > 0.5)
-            .unwrap();
+        let cloud_frac = grid.tile_fraction(&cap.cloud_alpha, |a| a > 0.5).unwrap();
         let mut cloudy_bright = vec![];
         let mut clear_bright = vec![];
         let mut cloudy_cold = vec![];

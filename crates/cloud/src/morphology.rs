@@ -66,7 +66,7 @@ mod tests {
         let (mask, w, h) = from_rows(&["....", ".#..", "....", "...."]);
         let d = dilate(&mask, w, h);
         assert_eq!(d.iter().filter(|&&m| m).count(), 5); // plus shape
-        assert!(d[1 * w + 1] && d[0 * w + 1] && d[2 * w + 1] && d[1 * w] && d[1 * w + 2]);
+        assert!(d[w + 1] && d[1] && d[2 * w + 1] && d[w] && d[w + 2]);
     }
 
     #[test]
@@ -79,14 +79,11 @@ mod tests {
     #[test]
     fn dilate_then_erode_closes_hole() {
         let (mask, w, h) = from_rows(&[
-            "#####",
-            "##.##", // one-pixel hole
-            "#####",
-            "#####",
-            "#####",
+            "#####", "##.##", // one-pixel hole
+            "#####", "#####", "#####",
         ]);
         let closed = erode(&dilate(&mask, w, h), w, h);
-        assert!(closed[1 * w + 2], "hole not closed");
+        assert!(closed[w + 2], "hole not closed");
     }
 
     #[test]
@@ -95,7 +92,7 @@ mod tests {
         let e = erode(&mask, w, h);
         // Border pixels lack a full neighbourhood; only the centre stays.
         assert_eq!(e.iter().filter(|&&m| m).count(), 1);
-        assert!(e[1 * w + 1]);
+        assert!(e[w + 1]);
     }
 
     #[test]

@@ -106,7 +106,11 @@ pub fn encode_planes(coefficients: &[i32], width: usize) -> EncodedPlanes {
         "coefficient count must be a multiple of width"
     );
     let n = coefficients.len();
-    let max_mag = coefficients.iter().map(|&c| c.unsigned_abs()).max().unwrap_or(0);
+    let max_mag = coefficients
+        .iter()
+        .map(|&c| c.unsigned_abs())
+        .max()
+        .unwrap_or(0);
     let planes = (32 - max_mag.leading_zeros()).min(MAX_PLANES as u32) as u8;
 
     let mut enc = RangeEncoder::new();
@@ -280,7 +284,13 @@ mod tests {
     fn lossless_roundtrip() {
         let coeffs = sample_coefficients(64 * 64, 42);
         let enc = encode_planes(&coeffs, 64);
-        let dec = decode_planes(&enc.payload, coeffs.len(), 64, enc.planes, &enc.pass_offsets);
+        let dec = decode_planes(
+            &enc.payload,
+            coeffs.len(),
+            64,
+            enc.planes,
+            &enc.pass_offsets,
+        );
         assert_eq!(dec, coeffs);
     }
 
@@ -318,8 +328,13 @@ mod tests {
         let enc = encode_planes(&coeffs, 64);
         let error = |budget: usize| -> f64 {
             let cut = enc.truncation_point(budget).min(enc.payload.len());
-            let dec =
-                decode_planes(&enc.payload[..cut], coeffs.len(), 64, enc.planes, &enc.pass_offsets);
+            let dec = decode_planes(
+                &enc.payload[..cut],
+                coeffs.len(),
+                64,
+                enc.planes,
+                &enc.pass_offsets,
+            );
             coeffs
                 .iter()
                 .zip(&dec)
@@ -360,10 +375,7 @@ mod tests {
         let coeffs = sample_coefficients(16 * 16, 3);
         let enc = encode_planes(&coeffs, 16);
         assert_eq!(enc.passes_within(0), 0);
-        assert_eq!(
-            enc.passes_within(usize::MAX),
-            enc.pass_offsets.len()
-        );
+        assert_eq!(enc.passes_within(usize::MAX), enc.pass_offsets.len());
     }
 
     #[test]

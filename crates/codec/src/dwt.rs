@@ -24,11 +24,11 @@ pub enum Wavelet {
 }
 
 // CDF 9/7 lifting constants (JPEG-2000 Part 1).
-const ALPHA: f32 = -1.586_134_342;
+const ALPHA: f32 = -1.586_134_3;
 const BETA: f32 = -0.052_980_118;
-const GAMMA: f32 = 0.882_911_075;
-const DELTA: f32 = 0.443_506_852;
-const KAPPA: f32 = 1.230_174_105;
+const GAMMA: f32 = 0.882_911_1;
+const DELTA: f32 = 0.443_506_87;
+const KAPPA: f32 = 1.230_174_1;
 
 /// A 2-D coefficient buffer (row-major `f32`; the 5/3 path keeps values on
 /// the integer lattice).
@@ -377,7 +377,11 @@ mod tests {
                 }
             }
         }
-        assert!(ll_energy / total > 0.99, "LL fraction {}", ll_energy / total);
+        assert!(
+            ll_energy / total > 0.99,
+            "LL fraction {}",
+            ll_energy / total
+        );
     }
 
     #[test]

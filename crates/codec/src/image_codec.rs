@@ -240,7 +240,11 @@ pub fn encode(image: &Raster, config: &CodecConfig) -> Result<EncodedImage, Code
     let (w, h) = image.dimensions();
     let levels = config.levels.min(dwt::max_levels(w, h));
     let scale = config.input_levels as f32;
-    let data: Vec<f32> = image.as_slice().iter().map(|&v| (v * scale).round()).collect();
+    let data: Vec<f32> = image
+        .as_slice()
+        .iter()
+        .map(|&v| (v * scale).round())
+        .collect();
     let mut coeffs = Coefficients::new(w, h, data);
     dwt::forward(&mut coeffs, config.wavelet, levels);
     let step = config.quant_step.max(1e-6);

@@ -279,7 +279,9 @@ mod tests {
     #[test]
     fn skewed_input_compresses() {
         // 97% zeros should compress far below 1 bit/symbol.
-        let bits: Vec<bool> = (0..20_000u64).map(|i| hash_unit(i, 0xBEEF) < 0.03).collect();
+        let bits: Vec<bool> = (0..20_000u64)
+            .map(|i| hash_unit(i, 0xBEEF) < 0.03)
+            .collect();
         let mut enc = RangeEncoder::new();
         let mut m = BitModel::new();
         for &b in &bits {

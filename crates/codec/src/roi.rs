@@ -208,9 +208,11 @@ pub fn encode_roi(
     }
     let mut tiles = Vec::with_capacity(mask.count_set());
     for index in mask.iter_set() {
-        let tile = grid.extract_tile(image, index).map_err(|e| CodecError::Malformed {
-            reason: e.to_string(),
-        })?;
+        let tile = grid
+            .extract_tile(image, index)
+            .map_err(|e| CodecError::Malformed {
+                reason: e.to_string(),
+            })?;
         let encoded = encode(&tile, config)?.truncated(budget_per_tile);
         tiles.push(EncodedTile {
             flat_index: grid.flat_index(index) as u32,

@@ -289,8 +289,7 @@ impl CompressionStrategy for SatRoiStrategy {
 
             // Fix the reference on the first cloud-free capture.
             if may_become_reference && !self.references.contains_key(&key) {
-                self.references
-                    .insert(key, (ctx.day, band_raster.clone()));
+                self.references.insert(key, (ctx.day, band_raster.clone()));
             }
         }
 
@@ -469,6 +468,7 @@ impl std::fmt::Debug for SatRoiStrategy {
 
 impl std::fmt::Debug for DownloadEverythingStrategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DownloadEverythingStrategy").finish_non_exhaustive()
+        f.debug_struct("DownloadEverythingStrategy")
+            .finish_non_exhaustive()
     }
 }

@@ -81,9 +81,7 @@ impl ChangeDetector {
         // Robust illumination alignment on (low-resolution) non-cloudy
         // pixels: truly-changed pixels would otherwise bias the global fit
         // and smear phantom change across every tile.
-        let low_mask = cloud_tiles.map(|tiles| {
-            lowres_clear_mask(&grid, tiles, low_w, low_h)
-        });
+        let low_mask = cloud_tiles.map(|tiles| lowres_clear_mask(&grid, tiles, low_w, low_h));
         let aligner = IlluminationAligner::new();
         let alignment = aligner.fit_robust(
             &reference.lowres,
@@ -184,7 +182,9 @@ mod tests {
     }
 
     fn textured(w: usize, h: usize) -> Raster {
-        Raster::from_fn(w, h, |x, y| 0.3 + 0.2 * (((x * 7 + y * 13) % 53) as f32 / 53.0))
+        Raster::from_fn(w, h, |x, y| {
+            0.3 + 0.2 * (((x * 7 + y * 13) % 53) as f32 / 53.0)
+        })
     }
 
     fn make_reference(full: &Raster, downsample: usize) -> ReferenceImage {

@@ -12,6 +12,10 @@
 //! * [`change`] — downsampled-reference change detection with threshold θ;
 //! * [`mod@reference`] — the ground reference pool and the on-board cache;
 //! * [`uplink`] — delta-compressed reference uploads under 250 kbps;
+//! * [`earthplus_ground`] (re-exported here) — the concurrent ground
+//!   segment: sharded reference store, constellation-wide pass scheduler,
+//!   eviction-tracked cache model, and the [`GroundService`] facade the
+//!   Earth+ strategy drives;
 //! * [`system`] — the Earth+ strategy (on-board pipeline + ground segment);
 //! * [`baselines`] — Kodan, SatRoI, and Download-Everything;
 //! * [`simulator`] — the mission driver running all strategies on
@@ -61,6 +65,10 @@ pub mod uplink;
 pub use baselines::{DownloadEverythingStrategy, KodanStrategy, SatRoiStrategy};
 pub use change::{ChangeDetection, ChangeDetector};
 pub use config::{DovesSpec, EarthPlusConfig};
+pub use earthplus_ground::{
+    CacheStats, ConstellationScheduler, ContactWindow, EvictingReferenceCache, EvictionPolicy,
+    GroundService, GroundServiceConfig, GroundServiceStats, IngestReport, ShardedReferenceStore,
+};
 pub use reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
 pub use simulator::{MissionReport, MissionSimulator, SimulationConfig};
 pub use storage::StorageModel;

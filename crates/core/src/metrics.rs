@@ -11,7 +11,11 @@ pub fn mean_bytes_per_capture(records: &[CaptureReport]) -> f64 {
     if delivered.is_empty() {
         return 0.0;
     }
-    delivered.iter().map(|r| r.downloaded_bytes as f64).sum::<f64>() / delivered.len() as f64
+    delivered
+        .iter()
+        .map(|r| r.downloaded_bytes as f64)
+        .sum::<f64>()
+        / delivered.len() as f64
 }
 
 /// The paper's downlink metric (§6.1): data streamed during one ground

@@ -3,6 +3,7 @@
 
 use crate::strategy::{CaptureContext, CaptureReport, CompressionStrategy, StorageBreakdown};
 use crate::uplink::UplinkReport;
+use earthplus_ground::ContactWindow;
 use earthplus_orbit::{Constellation, ContactSchedule, LinkModel, SatelliteId};
 use earthplus_scene::{DatasetConfig, LocationScene};
 use std::collections::HashMap;
@@ -160,25 +161,39 @@ impl MissionSimulator {
                 }
             }
 
-            // Deliver the ground contacts that occurred since this
-            // satellite was last serviced.
-            let start = last_contact_day
-                .get(&visit.satellite)
-                .copied()
-                .unwrap_or(from as f64);
-            let windows = self.contacts.contacts(visit.satellite, start, visit.day);
-            for contact in &windows {
-                let budget = self.config.uplink.bytes_per_contact(contact.index);
+            // Deliver the ground contacts that occurred anywhere in the
+            // constellation since the last planning round, as one pass in
+            // day order. Planning every satellite's windows at their
+            // actual time (instead of lazily when that satellite next
+            // captures) keeps the ground from scheduling with pool state
+            // from the future, and lets strategies with a
+            // constellation-wide ground segment batch the whole pass.
+            let mut pass: Vec<ContactWindow> = Vec::new();
+            for satellite in self.constellation.satellites() {
+                let start = last_contact_day
+                    .get(&satellite.id)
+                    .copied()
+                    .unwrap_or(from as f64);
+                for contact in self.contacts.contacts(satellite.id, start, visit.day) {
+                    pass.push(ContactWindow {
+                        satellite: satellite.id,
+                        day: contact.day,
+                        budget_bytes: self.config.uplink.bytes_per_contact(contact.index),
+                    });
+                }
+                last_contact_day.insert(satellite.id, visit.day);
+            }
+            pass.sort_by(|a, b| a.day.partial_cmp(&b.day).expect("days are finite"));
+            if !pass.is_empty() {
                 for s in strategies.iter_mut() {
-                    let r = s.on_ground_contact(visit.satellite, contact.day, budget);
+                    let reports = s.on_contact_pass(&pass);
                     report
                         .uplink
                         .get_mut(s.name())
                         .expect("strategy registered")
-                        .push(r);
+                        .extend(reports);
                 }
             }
-            last_contact_day.insert(visit.satellite, visit.day);
 
             let capture = scene.capture(visit.day);
             let ctx = CaptureContext {

@@ -2,6 +2,7 @@
 //! baselines, plus the ground-side reconstruction state.
 
 use crate::uplink::UplinkReport;
+use earthplus_ground::ContactWindow;
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId, Raster, TileGrid, TileMask};
 use earthplus_scene::Capture;
@@ -110,6 +111,18 @@ pub trait CompressionStrategy {
         }
     }
 
+    /// Called with a whole *pass*: every satellite's contact windows since
+    /// the last planning round, in day order. The default forwards each
+    /// window to [`CompressionStrategy::on_ground_contact`]; strategies
+    /// with a constellation-wide ground segment override this to schedule
+    /// the pass as one batch.
+    fn on_contact_pass(&mut self, contacts: &[ContactWindow]) -> Vec<UplinkReport> {
+        contacts
+            .iter()
+            .map(|c| self.on_ground_contact(c.satellite, c.day, c.budget_bytes))
+            .collect()
+    }
+
     /// Current on-board storage footprint (worst satellite).
     fn storage(&self) -> StorageBreakdown;
 }
@@ -211,7 +224,12 @@ mod tests {
     #[test]
     fn belief_initializes_to_zero_canvas() {
         let mut g = GroundBelief::new();
-        let b = g.belief_mut(LocationId(0), Band::Planet(earthplus_raster::PlanetBand::Red), 8, 8);
+        let b = g.belief_mut(
+            LocationId(0),
+            Band::Planet(earthplus_raster::PlanetBand::Red),
+            8,
+            8,
+        );
         assert_eq!(b.dimensions(), (8, 8));
         assert!(b.as_slice().iter().all(|&v| v == 0.0));
         assert_eq!(g.len(), 1);

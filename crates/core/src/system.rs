@@ -17,35 +17,36 @@
 
 use crate::change::ChangeDetector;
 use crate::config::EarthPlusConfig;
-use crate::reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
+use crate::reference::ReferenceImage;
 use crate::strategy::{
     masked_tile_mse, CaptureContext, CaptureReport, CompressionStrategy, GroundBelief,
     StageTimings, StorageBreakdown,
 };
-use crate::uplink::{UplinkPlanner, UplinkReport};
+use crate::uplink::UplinkReport;
 use earthplus_cloud::OnboardCloudDetector;
 use earthplus_codec::{encode_roi, CodecConfig};
+use earthplus_ground::{ContactWindow, GroundService, GroundServiceConfig};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{psnr_from_mse, Band, LocationId, TileGrid, TileMask};
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// The Earth+ system under simulation.
+///
+/// All reference traffic — ingest of cloud-free reconstructions, uplink
+/// scheduling across the constellation, and on-board cache reads — routes
+/// through one [`GroundService`].
 pub struct EarthPlusStrategy {
     config: EarthPlusConfig,
     codec: CodecConfig,
     cloud_detector: OnboardCloudDetector,
     change_detector: ChangeDetector,
-    planner: UplinkPlanner,
-    targets: Vec<(LocationId, Band)>,
-    // Ground state.
-    pool: ReferencePool,
+    // The ground segment: sharded store + pass scheduler + cache models.
+    service: GroundService,
     belief: GroundBelief,
-    // Per-satellite on-board state.
-    caches: HashMap<SatelliteId, OnboardReferenceCache>,
+    // Per-satellite downlink queue accounting.
     pending_bytes: HashMap<SatelliteId, u64>,
     peak_pending: u64,
-    peak_cache: u64,
     last_full: HashMap<LocationId, f64>,
 }
 
@@ -53,25 +54,26 @@ impl EarthPlusStrategy {
     /// Creates the strategy.
     ///
     /// `targets` lists every (location, band) the mission serves — the
-    /// uplink planner iterates them at each contact.
+    /// ground service schedules them at each contact pass.
     pub fn new(
         config: EarthPlusConfig,
         cloud_detector: OnboardCloudDetector,
         targets: Vec<(LocationId, Band)>,
     ) -> Self {
+        let service = GroundService::new(
+            GroundServiceConfig::default()
+                .with_theta(config.theta)
+                .with_targets(targets),
+        );
         EarthPlusStrategy {
             change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
-            planner: UplinkPlanner::new(config.theta),
             codec: CodecConfig::lossy(),
             config,
             cloud_detector,
-            targets,
-            pool: ReferencePool::new(),
+            service,
             belief: GroundBelief::new(),
-            caches: HashMap::new(),
             pending_bytes: HashMap::new(),
             peak_pending: 0,
-            peak_cache: 0,
             last_full: HashMap::new(),
         }
     }
@@ -81,14 +83,9 @@ impl EarthPlusStrategy {
         &self.config
     }
 
-    /// Ground-side reference pool (for inspection by experiments).
-    pub fn pool(&self) -> &ReferencePool {
-        &self.pool
-    }
-
-    /// A satellite's on-board reference cache, if it exists yet.
-    pub fn cache(&self, satellite: SatelliteId) -> Option<&OnboardReferenceCache> {
-        self.caches.get(&satellite)
+    /// The ground-segment service (for inspection by experiments).
+    pub fn ground(&self) -> &GroundService {
+        &self.service
     }
 }
 
@@ -100,7 +97,7 @@ impl CompressionStrategy for EarthPlusStrategy {
     fn on_ground_contact(
         &mut self,
         satellite: SatelliteId,
-        _day: f64,
+        day: f64,
         uplink_budget_bytes: u64,
     ) -> UplinkReport {
         // Downlink side: the queued captures drain (downlink is orders of
@@ -108,12 +105,17 @@ impl CompressionStrategy for EarthPlusStrategy {
         if let Some(p) = self.pending_bytes.get_mut(&satellite) {
             *p = 0;
         }
-        let cache = self.caches.entry(satellite).or_default();
-        let report = self
-            .planner
-            .plan(&self.pool, cache, &self.targets, uplink_budget_bytes);
-        self.peak_cache = self.peak_cache.max(cache.size_bytes());
-        report
+        self.service
+            .plan_contact(satellite, day, uplink_budget_bytes)
+    }
+
+    fn on_contact_pass(&mut self, contacts: &[ContactWindow]) -> Vec<UplinkReport> {
+        for contact in contacts {
+            if let Some(p) = self.pending_bytes.get_mut(&contact.satellite) {
+                *p = 0;
+            }
+        }
+        self.service.plan_pass(contacts)
     }
 
     fn on_capture(&mut self, ctx: &CaptureContext<'_>) -> CaptureReport {
@@ -158,7 +160,6 @@ impl CompressionStrategy for EarthPlusStrategy {
                 .unwrap_or(f64::NEG_INFINITY)
             >= self.config.guaranteed_period_days;
 
-        let cache = self.caches.entry(ctx.satellite).or_default();
         let budget = self.config.tile_budget_bytes();
         let mut total_bytes = 0u64;
         let mut band_bytes: Vec<(Band, u64)> = Vec::new();
@@ -182,13 +183,16 @@ impl CompressionStrategy for EarthPlusStrategy {
                 all.subtract(&cloudy_tiles);
                 all
             } else {
-                match cache.get(ctx.location, band) {
+                match self
+                    .service
+                    .serve_reference(ctx.satellite, ctx.location, band)
+                {
                     Some(reference) => {
                         ref_age_sum += reference.age_days(ctx.day);
                         ref_age_n += 1;
                         let detection = self
                             .change_detector
-                            .detect(band_raster, reference, Some(&cloudy_tiles))
+                            .detect(band_raster, &reference, Some(&cloudy_tiles))
                             .expect("capture matches reference geometry");
                         alignment = detection.alignment;
                         detection.changed
@@ -269,7 +273,7 @@ impl CompressionStrategy for EarthPlusStrategy {
                         belief,
                         self.config.reference_downsample,
                     ) {
-                        self.pool.offer(reference);
+                        self.service.ingest_downlink(reference);
                     }
                 }
             }
@@ -309,23 +313,19 @@ impl CompressionStrategy for EarthPlusStrategy {
         StorageBreakdown {
             // Two-contact retention of queued captures (Appendix A).
             captured_bytes: 2 * self.peak_pending,
-            reference_bytes: self
-                .caches
-                .values()
-                .map(|c| c.size_bytes())
-                .max()
-                .unwrap_or(0)
-                .max(self.peak_cache),
+            // Worst single-satellite reference cache footprint observed.
+            reference_bytes: self.service.peak_cache_bytes(),
         }
     }
 }
 
 impl std::fmt::Debug for EarthPlusStrategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.service.stats();
         f.debug_struct("EarthPlusStrategy")
             .field("config", &self.config)
-            .field("pool_entries", &self.pool.len())
-            .field("satellites", &self.caches.len())
+            .field("pool_entries", &stats.store_entries)
+            .field("satellites", &stats.satellites)
             .finish()
     }
 }

@@ -1,0 +1,371 @@
+//! The capacity-bounded on-board reference cache model.
+//!
+//! [`crate::reference::OnboardReferenceCache`] grows without bound — fine
+//! for the paper's ~9 % storage overhead argument, but useless for asking
+//! *what happens when the satellite cannot hold every reference*. This
+//! model bounds the cache in bytes, evicts with an age/LRU hybrid policy,
+//! and counts hits / misses / evictions so experiments can report cache
+//! behaviour instead of asserting it.
+
+use crate::reference::ReferenceImage;
+use earthplus_raster::{Band, LocationId};
+use std::collections::HashMap;
+
+/// Relative weights of the two eviction signals.
+///
+/// The victim is the entry with the highest
+/// `lru_weight * ticks_since_last_access + age_weight * reference_age_days`.
+/// Both terms favour evicting references that are old and unused; the
+/// weights trade "protect what I read recently" (pure LRU) against
+/// "protect what the ground refreshed recently" (pure age).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictionPolicy {
+    /// Weight on ticks since the entry was last served.
+    pub lru_weight: f64,
+    /// Weight on the reference's age in days.
+    pub age_weight: f64,
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        EvictionPolicy {
+            lru_weight: 1.0,
+            age_weight: 1.0,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads that found a cached reference.
+    pub hits: u64,
+    /// Reads that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay under the capacity bound.
+    pub evictions: u64,
+    /// Full reference installs.
+    pub installs: u64,
+    /// Delta updates applied to existing entries.
+    pub delta_applies: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all reads; 0 when nothing was read.
+    pub fn hit_rate(&self) -> f64 {
+        let reads = self.hits + self.misses;
+        if reads == 0 {
+            0.0
+        } else {
+            self.hits as f64 / reads as f64
+        }
+    }
+
+    /// Accumulates another cache's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.installs += other.installs;
+        self.delta_applies += other.delta_applies;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    reference: ReferenceImage,
+    last_access: u64,
+}
+
+/// Capacity-bounded on-board cache of reference images with an age/LRU
+/// hybrid eviction policy and instrumentation.
+#[derive(Debug)]
+pub struct EvictingReferenceCache {
+    entries: HashMap<(LocationId, Band), CacheEntry>,
+    capacity_bytes: Option<u64>,
+    policy: EvictionPolicy,
+    bytes: u64,
+    tick: u64,
+    now_day: f64,
+    stats: CacheStats,
+}
+
+impl EvictingReferenceCache {
+    /// Creates a cache bounded to `capacity_bytes` (`None` = unbounded,
+    /// matching the legacy `OnboardReferenceCache` behaviour).
+    pub fn new(capacity_bytes: Option<u64>) -> Self {
+        Self::with_policy(capacity_bytes, EvictionPolicy::default())
+    }
+
+    /// Creates a cache with an explicit eviction policy.
+    pub fn with_policy(capacity_bytes: Option<u64>, policy: EvictionPolicy) -> Self {
+        EvictingReferenceCache {
+            entries: HashMap::new(),
+            capacity_bytes,
+            policy,
+            bytes: 0,
+            tick: 0,
+            now_day: f64::NEG_INFINITY,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cached reference for a location/band, recorded as a hit or a
+    /// miss and counted as a use for the LRU signal.
+    pub fn get(&mut self, location: LocationId, band: Band) -> Option<&ReferenceImage> {
+        self.tick += 1;
+        match self.entries.get_mut(&(location, band)) {
+            Some(entry) => {
+                entry.last_access = self.tick;
+                self.stats.hits += 1;
+                Some(&entry.reference)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read-only lookup that leaves the hit/miss counters and recency
+    /// untouched — the scheduler's staleness probe, which must not distort
+    /// the on-board serving statistics.
+    pub fn peek(&self, location: LocationId, band: Band) -> Option<&ReferenceImage> {
+        self.entries.get(&(location, band)).map(|e| &e.reference)
+    }
+
+    /// Installs a full reference, evicting as needed to stay under the
+    /// capacity bound. A single reference larger than the whole capacity
+    /// is kept anyway (the uplink already spent the bytes; dropping it
+    /// would serve nothing).
+    pub fn install(&mut self, reference: ReferenceImage) {
+        self.tick += 1;
+        self.now_day = self.now_day.max(reference.captured_day);
+        let key = (reference.location, reference.band);
+        let size = reference.size_bytes();
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.reference.size_bytes();
+        }
+        self.bytes += size;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                reference,
+                last_access: self.tick,
+            },
+        );
+        self.stats.installs += 1;
+        self.evict_to_capacity(key);
+    }
+
+    /// Applies a delta update: overwrites the listed low-resolution pixels
+    /// and advances the capture day. A message carrying a full reference
+    /// replaces the entry outright — that is what the ground sends on a
+    /// cold cache *and* on a resolution reconfiguration, where patching
+    /// the old-geometry raster would corrupt it.
+    pub fn apply_delta(
+        &mut self,
+        location: LocationId,
+        band: Band,
+        day: f64,
+        pixels: &[(u32, f32)],
+        full: Option<&ReferenceImage>,
+    ) {
+        self.now_day = self.now_day.max(day);
+        if let Some(full) = full {
+            self.install(full.clone());
+            return;
+        }
+        if let Some(entry) = self.entries.get_mut(&(location, band)) {
+            for &(idx, value) in pixels {
+                let i = idx as usize;
+                if i < entry.reference.lowres.len() {
+                    entry.reference.lowres.as_mut_slice()[i] = value;
+                }
+            }
+            entry.reference.captured_day = day;
+            self.stats.delta_applies += 1;
+        }
+    }
+
+    fn evict_to_capacity(&mut self, protect: (LocationId, Band)) {
+        let Some(capacity) = self.capacity_bytes else {
+            return;
+        };
+        while self.bytes > capacity && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(key, _)| **key != protect)
+                .max_by(|a, b| {
+                    let score = |e: &CacheEntry| {
+                        self.policy.lru_weight * (self.tick - e.last_access) as f64
+                            + self.policy.age_weight * (self.now_day - e.reference.captured_day)
+                    };
+                    score(a.1)
+                        .partial_cmp(&score(b.1))
+                        .expect("eviction scores are finite")
+                })
+                .map(|(key, _)| *key);
+            let Some(victim) = victim else { break };
+            if let Some(entry) = self.entries.remove(&victim) {
+                self.bytes -= entry.reference.size_bytes();
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Number of cached references.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cache footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.capacity_bytes
+    }
+
+    /// The instrumentation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+impl Default for EvictingReferenceCache {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::{PlanetBand, Raster};
+
+    fn red() -> Band {
+        Band::Planet(PlanetBand::Red)
+    }
+
+    fn reference(location: u32, day: f64) -> ReferenceImage {
+        let full = Raster::filled(64, 64, 0.5);
+        ReferenceImage::from_capture(LocationId(location), red(), day, &full, 8).unwrap()
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut cache = EvictingReferenceCache::new(None);
+        assert!(cache.get(LocationId(0), red()).is_none());
+        cache.install(reference(0, 1.0));
+        assert!(cache.get(LocationId(0), red()).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.installs), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_leaves_stats_untouched() {
+        let mut cache = EvictingReferenceCache::new(None);
+        cache.install(reference(0, 1.0));
+        assert!(cache.peek(LocationId(0), red()).is_some());
+        assert!(cache.peek(LocationId(1), red()).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_victim() {
+        let one = reference(0, 1.0).size_bytes();
+        // Room for exactly two entries.
+        let mut cache = EvictingReferenceCache::new(Some(2 * one));
+        cache.install(reference(0, 1.0));
+        cache.install(reference(1, 1.0));
+        // Touch location 0 so location 1 becomes the LRU victim.
+        cache.get(LocationId(0), red());
+        cache.install(reference(2, 1.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(LocationId(0), red()).is_some());
+        assert!(cache.peek(LocationId(1), red()).is_none());
+        assert!(cache.peek(LocationId(2), red()).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.size_bytes() <= 2 * one);
+    }
+
+    #[test]
+    fn age_weight_breaks_lru_ties() {
+        let one = reference(0, 1.0).size_bytes();
+        let policy = EvictionPolicy {
+            lru_weight: 0.0,
+            age_weight: 1.0,
+        };
+        let mut cache = EvictingReferenceCache::with_policy(Some(2 * one), policy);
+        cache.install(reference(0, 9.0)); // fresh reference
+        cache.install(reference(1, 2.0)); // stale reference
+        cache.install(reference(2, 8.0));
+        // Pure age policy: the day-2 reference is the victim even though
+        // it was installed more recently than the day-9 one.
+        assert!(cache.peek(LocationId(1), red()).is_none());
+        assert!(cache.peek(LocationId(0), red()).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_is_kept() {
+        let one = reference(0, 1.0).size_bytes();
+        let mut cache = EvictingReferenceCache::new(Some(one / 2));
+        cache.install(reference(0, 1.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn delta_applies_and_reinstalls_track_bytes() {
+        let mut cache = EvictingReferenceCache::new(None);
+        cache.install(reference(0, 1.0));
+        let before = cache.size_bytes();
+        cache.apply_delta(LocationId(0), red(), 4.0, &[(0, 0.9)], None);
+        assert_eq!(cache.size_bytes(), before);
+        assert_eq!(cache.peek(LocationId(0), red()).unwrap().captured_day, 4.0);
+        assert_eq!(
+            cache.peek(LocationId(0), red()).unwrap().lowres.as_slice()[0],
+            0.9
+        );
+        // Reinstall replaces, not duplicates.
+        cache.install(reference(0, 6.0));
+        assert_eq!(cache.size_bytes(), before);
+        assert_eq!(cache.stats().delta_applies, 1);
+    }
+
+    #[test]
+    fn full_resend_replaces_warm_entry_and_tracks_bytes() {
+        let mut cache = EvictingReferenceCache::new(None);
+        cache.install(reference(0, 1.0));
+        // Reconfiguration: full resend at a different low-res geometry.
+        let full = Raster::filled(64, 64, 0.8);
+        let reconfigured =
+            ReferenceImage::from_capture(LocationId(0), red(), 4.0, &full, 4).unwrap();
+        let expected = reconfigured.size_bytes();
+        cache.apply_delta(LocationId(0), red(), 4.0, &[], Some(&reconfigured));
+        let entry = cache.peek(LocationId(0), red()).unwrap();
+        assert_eq!(entry.lowres.dimensions(), (16, 16));
+        assert_eq!(entry.captured_day, 4.0);
+        assert_eq!(cache.size_bytes(), expected);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cold_delta_with_full_installs() {
+        let mut cache = EvictingReferenceCache::new(None);
+        let full = reference(0, 2.0);
+        cache.apply_delta(LocationId(0), red(), 2.0, &[], Some(&full));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Reference images, the ground-side reference pool, and the on-board
+//! reference cache.
+
+use earthplus_raster::{downsample_box, Band, LocationId, Raster, RasterError};
+use std::collections::HashMap;
+
+/// A (downsampled) reference image for one band of one location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceImage {
+    /// Location it references.
+    pub location: LocationId,
+    /// Band it references.
+    pub band: Band,
+    /// Mission day the underlying capture was taken.
+    pub captured_day: f64,
+    /// The downsampled reference raster.
+    pub lowres: Raster,
+    /// Per-axis box-downsampling factor used to produce `lowres`; captures
+    /// must be shrunk with the *same* factor before comparison, or the two
+    /// samplings disagree everywhere.
+    pub downsample: usize,
+    /// Full-resolution width of the underlying capture.
+    pub full_width: usize,
+    /// Full-resolution height of the underlying capture.
+    pub full_height: usize,
+}
+
+impl ReferenceImage {
+    /// Builds a reference by downsampling a full-resolution cloud-free
+    /// band.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resampling errors (e.g. a downsample factor exceeding
+    /// the image size).
+    pub fn from_capture(
+        location: LocationId,
+        band: Band,
+        day: f64,
+        full: &Raster,
+        downsample: usize,
+    ) -> Result<Self, RasterError> {
+        let factor = downsample.min(full.width()).min(full.height()).max(1);
+        Ok(ReferenceImage {
+            location,
+            band,
+            captured_day: day,
+            lowres: downsample_box(full, factor)?,
+            downsample: factor,
+            full_width: full.width(),
+            full_height: full.height(),
+        })
+    }
+
+    /// Age of the reference at `now` in days.
+    pub fn age_days(&self, now: f64) -> f64 {
+        now - self.captured_day
+    }
+
+    /// Bytes needed to store / transmit the low-resolution raster at
+    /// 12-bit depth.
+    pub fn size_bytes(&self) -> u64 {
+        (self.lowres.len() as u64 * 12).div_ceil(8)
+    }
+}
+
+/// Ground-side pool of the freshest cloud-free reference per
+/// (location, band).
+///
+/// Constellation-wide by construction: whichever satellite downloaded the
+/// cloud-free image, the ground can select it and upload it to *any*
+/// satellite (§4.1–4.2). The pool also retains the previous references so
+/// experiments can reconstruct age CDFs (Figure 5).
+#[derive(Debug, Default)]
+pub struct ReferencePool {
+    current: HashMap<(LocationId, Band), ReferenceImage>,
+}
+
+impl ReferencePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a new cloud-free reference; kept if fresher than the current
+    /// one. Returns whether the pool updated.
+    pub fn offer(&mut self, reference: ReferenceImage) -> bool {
+        let key = (reference.location, reference.band);
+        match self.current.get(&key) {
+            Some(existing) if existing.captured_day >= reference.captured_day => false,
+            _ => {
+                self.current.insert(key, reference);
+                true
+            }
+        }
+    }
+
+    /// The freshest reference for a location/band, if any.
+    pub fn get(&self, location: LocationId, band: Band) -> Option<&ReferenceImage> {
+        self.current.get(&(location, band))
+    }
+
+    /// Number of (location, band) entries.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Total stored bytes (ground-side storage is not a bottleneck, but
+    /// the accounting supports Figure 15-style breakdowns).
+    pub fn size_bytes(&self) -> u64 {
+        self.current.values().map(|r| r.size_bytes()).sum()
+    }
+}
+
+/// On-board cache of reference images for every location the satellite
+/// will visit (§4.3, *Only uploading changed areas*).
+#[derive(Debug, Default)]
+pub struct OnboardReferenceCache {
+    entries: HashMap<(LocationId, Band), ReferenceImage>,
+}
+
+impl OnboardReferenceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached reference for a location/band.
+    pub fn get(&self, location: LocationId, band: Band) -> Option<&ReferenceImage> {
+        self.entries.get(&(location, band))
+    }
+
+    /// Installs a full reference (first upload for a location).
+    pub fn install(&mut self, reference: ReferenceImage) {
+        self.entries
+            .insert((reference.location, reference.band), reference);
+    }
+
+    /// Applies a delta update: overwrites the listed low-resolution pixels
+    /// and advances the capture day. A message carrying a full reference
+    /// replaces the entry outright — that is what the ground sends on a
+    /// cold cache *and* on a resolution reconfiguration, where patching
+    /// the old-geometry raster would corrupt it.
+    pub fn apply_delta(
+        &mut self,
+        location: LocationId,
+        band: Band,
+        day: f64,
+        pixels: &[(u32, f32)],
+        full: Option<&ReferenceImage>,
+    ) {
+        if let Some(full) = full {
+            self.install(full.clone());
+            return;
+        }
+        if let Some(entry) = self.entries.get_mut(&(location, band)) {
+            for &(idx, value) in pixels {
+                let i = idx as usize;
+                if i < entry.lowres.len() {
+                    entry.lowres.as_mut_slice()[i] = value;
+                }
+            }
+            entry.captured_day = day;
+        }
+    }
+
+    /// Number of cached references.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cache footprint in bytes (12-bit samples) — the ~9 % storage
+    /// overhead Appendix A budgets for.
+    pub fn size_bytes(&self) -> u64 {
+        self.entries.values().map(|r| r.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::{PlanetBand, Raster};
+
+    fn band() -> Band {
+        Band::Planet(PlanetBand::Red)
+    }
+
+    fn reference(day: f64, value: f32) -> ReferenceImage {
+        let full = Raster::filled(256, 256, value);
+        ReferenceImage::from_capture(LocationId(0), band(), day, &full, 51).unwrap()
+    }
+
+    #[test]
+    fn downsampling_reduces_pixels_2601x() {
+        let full = Raster::filled(510, 510, 0.5);
+        let r = ReferenceImage::from_capture(LocationId(0), band(), 0.0, &full, 51).unwrap();
+        assert_eq!(r.lowres.len() * 2601, full.len());
+    }
+
+    #[test]
+    fn pool_keeps_freshest() {
+        let mut pool = ReferencePool::new();
+        assert!(pool.offer(reference(5.0, 0.1)));
+        assert!(!pool.offer(reference(3.0, 0.2))); // older: rejected
+        assert!(pool.offer(reference(9.0, 0.3)));
+        let r = pool.get(LocationId(0), band()).unwrap();
+        assert_eq!(r.captured_day, 9.0);
+    }
+
+    #[test]
+    fn pool_separates_bands_and_locations() {
+        let mut pool = ReferencePool::new();
+        pool.offer(reference(1.0, 0.1));
+        let mut other = reference(2.0, 0.2);
+        other.band = Band::Planet(PlanetBand::Green);
+        pool.offer(other);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(LocationId(0), band()).unwrap().captured_day, 1.0);
+    }
+
+    #[test]
+    fn cache_applies_delta_pixels() {
+        let mut cache = OnboardReferenceCache::new();
+        cache.install(reference(1.0, 0.5));
+        cache.apply_delta(LocationId(0), band(), 4.0, &[(0, 0.9), (3, 0.8)], None);
+        let r = cache.get(LocationId(0), band()).unwrap();
+        assert_eq!(r.captured_day, 4.0);
+        assert_eq!(r.lowres.as_slice()[0], 0.9);
+        assert_eq!(r.lowres.as_slice()[3], 0.8);
+        assert_eq!(r.lowres.as_slice()[1], 0.5);
+    }
+
+    #[test]
+    fn cache_installs_full_when_cold() {
+        let mut cache = OnboardReferenceCache::new();
+        let full = reference(2.0, 0.4);
+        cache.apply_delta(LocationId(0), band(), 2.0, &[], Some(&full));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(LocationId(0), band()).unwrap().captured_day, 2.0);
+    }
+
+    #[test]
+    fn full_resend_replaces_warm_entry() {
+        // Resolution reconfiguration: the ground resends in full; the old
+        // geometry must be replaced, not patched in place.
+        let mut cache = OnboardReferenceCache::new();
+        cache.install(reference(1.0, 0.5));
+        let full = Raster::filled(256, 256, 0.8);
+        let reconfigured =
+            ReferenceImage::from_capture(LocationId(0), band(), 4.0, &full, 32).unwrap();
+        cache.apply_delta(LocationId(0), band(), 4.0, &[], Some(&reconfigured));
+        let r = cache.get(LocationId(0), band()).unwrap();
+        assert_eq!(r.lowres.dimensions(), reconfigured.lowres.dimensions());
+        assert_eq!(r.captured_day, 4.0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn delta_ignores_out_of_range_pixels() {
+        let mut cache = OnboardReferenceCache::new();
+        cache.install(reference(1.0, 0.5));
+        cache.apply_delta(LocationId(0), band(), 2.0, &[(10_000_000, 0.9)], None);
+        // No panic; day still advanced.
+        assert_eq!(cache.get(LocationId(0), band()).unwrap().captured_day, 2.0);
+    }
+
+    #[test]
+    fn age_computation() {
+        let r = reference(10.0, 0.5);
+        assert_eq!(r.age_days(14.5), 4.5);
+    }
+
+    #[test]
+    fn size_accounting_12bit() {
+        let r = reference(0.0, 0.5);
+        let px = r.lowres.len() as u64;
+        assert_eq!(r.size_bytes(), (px * 12).div_ceil(8));
+    }
+}

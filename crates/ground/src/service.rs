@@ -1,0 +1,375 @@
+//! The ground-segment facade: one object owning reference ingest, the
+//! sharded store, constellation-wide uplink scheduling, and the modelled
+//! per-satellite on-board caches.
+//!
+//! Every method takes `&self` (shard locks, a cache mutex, and atomic
+//! counters provide interior mutability), so one `GroundService` can be
+//! shared by concurrent downlink decoders, the contact scheduler, and
+//! metric scrapers — the shape a real ground segment serving a
+//! constellation needs.
+
+use crate::cache::{CacheStats, EvictingReferenceCache, EvictionPolicy};
+use crate::reference::ReferenceImage;
+use crate::scheduler::{ConstellationScheduler, ContactWindow};
+use crate::store::{IngestReport, ShardedReferenceStore};
+use crate::uplink::UplinkReport;
+use earthplus_orbit::SatelliteId;
+use earthplus_raster::{Band, LocationId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of a [`GroundService`].
+#[derive(Debug, Clone)]
+pub struct GroundServiceConfig {
+    /// Shard count of the reference store.
+    pub shards: usize,
+    /// Pixel-difference threshold for delta compression of reference
+    /// updates.
+    pub theta: f32,
+    /// Byte bound of each satellite's modelled on-board cache (`None` =
+    /// unbounded, the paper's assumption).
+    pub cache_capacity_bytes: Option<u64>,
+    /// Eviction policy of the on-board cache model.
+    pub eviction: EvictionPolicy,
+    /// Worker threads for batch ingest.
+    pub ingest_threads: usize,
+    /// The (location, band) pairs the uplink serves; empty means "every
+    /// key the store holds".
+    pub targets: Vec<(LocationId, Band)>,
+}
+
+impl Default for GroundServiceConfig {
+    fn default() -> Self {
+        GroundServiceConfig {
+            shards: ShardedReferenceStore::DEFAULT_SHARDS,
+            theta: 0.01,
+            cache_capacity_bytes: None,
+            eviction: EvictionPolicy::default(),
+            ingest_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl GroundServiceConfig {
+    /// Sets the uplink target list.
+    pub fn with_targets(mut self, targets: Vec<(LocationId, Band)>) -> Self {
+        self.targets = targets;
+        self
+    }
+
+    /// Sets the on-board cache capacity bound.
+    pub fn with_cache_capacity(mut self, capacity_bytes: Option<u64>) -> Self {
+        self.cache_capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Sets the delta threshold θ.
+    pub fn with_theta(mut self, theta: f32) -> Self {
+        self.theta = theta;
+        self
+    }
+}
+
+/// A point-in-time snapshot of the service's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GroundServiceStats {
+    /// (location, band) entries in the reference store.
+    pub store_entries: usize,
+    /// Bytes held by the reference store.
+    pub store_bytes: u64,
+    /// Satellites with a modelled on-board cache.
+    pub satellites: usize,
+    /// On-board cache counters, merged across satellites.
+    pub cache: CacheStats,
+    /// Current total on-board cache bytes across satellites.
+    pub cache_bytes: u64,
+    /// Largest single-satellite cache footprint ever observed.
+    pub peak_cache_bytes: u64,
+    /// Reference updates scheduled onto the uplink.
+    pub deltas_sent: u64,
+    /// Updates that did not fit their pass and were served stale.
+    pub deltas_skipped: u64,
+    /// Total bytes scheduled onto the uplink.
+    pub uplink_bytes_sent: u64,
+    /// Downlinked references admitted into the store.
+    pub ingest_accepted: u64,
+    /// Downlinked references rejected as stale.
+    pub ingest_rejected: u64,
+}
+
+/// The concurrent ground-segment reference service.
+#[derive(Debug)]
+pub struct GroundService {
+    config: GroundServiceConfig,
+    store: ShardedReferenceStore,
+    scheduler: ConstellationScheduler,
+    caches: Mutex<HashMap<SatelliteId, EvictingReferenceCache>>,
+    ingest_accepted: AtomicU64,
+    ingest_rejected: AtomicU64,
+    deltas_sent: AtomicU64,
+    deltas_skipped: AtomicU64,
+    uplink_bytes_sent: AtomicU64,
+    peak_cache_bytes: AtomicU64,
+}
+
+impl GroundService {
+    /// Creates the service.
+    pub fn new(config: GroundServiceConfig) -> Self {
+        GroundService {
+            store: ShardedReferenceStore::new(config.shards),
+            scheduler: ConstellationScheduler::new(config.theta),
+            caches: Mutex::new(HashMap::new()),
+            ingest_accepted: AtomicU64::new(0),
+            ingest_rejected: AtomicU64::new(0),
+            deltas_sent: AtomicU64::new(0),
+            deltas_skipped: AtomicU64::new(0),
+            uplink_bytes_sent: AtomicU64::new(0),
+            peak_cache_bytes: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GroundServiceConfig {
+        &self.config
+    }
+
+    /// The underlying sharded reference store.
+    pub fn store(&self) -> &ShardedReferenceStore {
+        &self.store
+    }
+
+    fn new_cache(&self) -> EvictingReferenceCache {
+        EvictingReferenceCache::with_policy(self.config.cache_capacity_bytes, self.config.eviction)
+    }
+
+    /// Admits one downlinked cloud-free reference; returns whether the
+    /// store updated (freshest-wins).
+    pub fn ingest_downlink(&self, reference: ReferenceImage) -> bool {
+        let accepted = self.store.offer(reference);
+        if accepted {
+            self.ingest_accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// Admits a whole downlink batch in parallel on the configured worker
+    /// pool.
+    pub fn ingest_downlink_batch(&self, references: Vec<ReferenceImage>) -> IngestReport {
+        let report = self
+            .store
+            .ingest_batch(references, self.config.ingest_threads);
+        self.ingest_accepted
+            .fetch_add(report.accepted, Ordering::Relaxed);
+        self.ingest_rejected
+            .fetch_add(report.rejected, Ordering::Relaxed);
+        report
+    }
+
+    /// Plans one satellite contact (a pass of one window).
+    pub fn plan_contact(
+        &self,
+        satellite: SatelliteId,
+        day: f64,
+        budget_bytes: u64,
+    ) -> UplinkReport {
+        self.plan_pass(&[ContactWindow {
+            satellite,
+            day,
+            budget_bytes,
+        }])
+        .pop()
+        .expect("one window in, one report out")
+    }
+
+    /// Plans a whole pass: every contact window of the constellation since
+    /// the last planning round, scheduled as one staleness-weighted queue.
+    pub fn plan_pass(&self, contacts: &[ContactWindow]) -> Vec<UplinkReport> {
+        let all_keys;
+        let targets: &[(LocationId, Band)] = if self.config.targets.is_empty() {
+            all_keys = self.store.keys();
+            &all_keys
+        } else {
+            &self.config.targets
+        };
+        let mut caches = self.caches.lock().expect("cache table poisoned");
+        let reports = self
+            .scheduler
+            .plan_pass(&self.store, &mut caches, targets, contacts, || {
+                self.new_cache()
+            });
+        let mut sent = 0u64;
+        let mut skipped = 0u64;
+        let mut bytes = 0u64;
+        for report in &reports {
+            sent += report.deltas_sent as u64;
+            skipped += report.deltas_skipped as u64;
+            bytes += report.bytes_used;
+        }
+        self.deltas_sent.fetch_add(sent, Ordering::Relaxed);
+        self.deltas_skipped.fetch_add(skipped, Ordering::Relaxed);
+        self.uplink_bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        let peak = caches.values().map(|c| c.size_bytes()).max().unwrap_or(0);
+        self.peak_cache_bytes.fetch_max(peak, Ordering::Relaxed);
+        reports
+    }
+
+    /// Serves a satellite's cached reference for a location/band — the
+    /// on-board read path, recorded in the cache's hit/miss counters.
+    /// References are tiny after 51× downsampling, so the clone is cheap.
+    pub fn serve_reference(
+        &self,
+        satellite: SatelliteId,
+        location: LocationId,
+        band: Band,
+    ) -> Option<ReferenceImage> {
+        let mut caches = self.caches.lock().expect("cache table poisoned");
+        let cache = caches.entry(satellite).or_insert_with(|| self.new_cache());
+        cache.get(location, band).cloned()
+    }
+
+    /// Runs a closure against one satellite's cache (inspection without
+    /// cloning); `None` when the satellite has no cache yet.
+    pub fn with_cache<R>(
+        &self,
+        satellite: SatelliteId,
+        f: impl FnOnce(&EvictingReferenceCache) -> R,
+    ) -> Option<R> {
+        let caches = self.caches.lock().expect("cache table poisoned");
+        caches.get(&satellite).map(f)
+    }
+
+    /// Largest single-satellite cache footprint ever observed — a cheap
+    /// atomic read for per-capture accounting hot paths; [`Self::stats`]
+    /// reports the same value with full context.
+    pub fn peak_cache_bytes(&self) -> u64 {
+        self.peak_cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of every counter the service tracks.
+    pub fn stats(&self) -> GroundServiceStats {
+        let caches = self.caches.lock().expect("cache table poisoned");
+        let mut cache = CacheStats::default();
+        let mut cache_bytes = 0u64;
+        for c in caches.values() {
+            cache.merge(&c.stats());
+            cache_bytes += c.size_bytes();
+        }
+        GroundServiceStats {
+            store_entries: self.store.len(),
+            store_bytes: self.store.size_bytes(),
+            satellites: caches.len(),
+            cache,
+            cache_bytes,
+            peak_cache_bytes: self.peak_cache_bytes.load(Ordering::Relaxed),
+            deltas_sent: self.deltas_sent.load(Ordering::Relaxed),
+            deltas_skipped: self.deltas_skipped.load(Ordering::Relaxed),
+            uplink_bytes_sent: self.uplink_bytes_sent.load(Ordering::Relaxed),
+            ingest_accepted: self.ingest_accepted.load(Ordering::Relaxed),
+            ingest_rejected: self.ingest_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::{PlanetBand, Raster};
+
+    fn red() -> Band {
+        Band::Planet(PlanetBand::Red)
+    }
+
+    fn reference(location: u32, day: f64, value: f32) -> ReferenceImage {
+        let full = Raster::filled(128, 128, value);
+        ReferenceImage::from_capture(LocationId(location), red(), day, &full, 16).unwrap()
+    }
+
+    #[test]
+    fn ingest_plan_serve_round_trip() {
+        let service = GroundService::new(GroundServiceConfig::default());
+        assert!(service.ingest_downlink(reference(0, 3.0, 0.4)));
+        assert!(!service.ingest_downlink(reference(0, 2.0, 0.5)));
+        let report = service.plan_contact(SatelliteId(0), 4.0, 1 << 20);
+        assert_eq!(report.deltas_sent, 1);
+        let served = service
+            .serve_reference(SatelliteId(0), LocationId(0), red())
+            .unwrap();
+        assert_eq!(served.captured_day, 3.0);
+        let stats = service.stats();
+        assert_eq!(stats.ingest_accepted, 1);
+        assert_eq!(stats.ingest_rejected, 1);
+        assert_eq!(stats.deltas_sent, 1);
+        assert_eq!(stats.cache.hits, 1);
+        assert!(stats.uplink_bytes_sent > 0);
+        assert!(stats.peak_cache_bytes > 0);
+    }
+
+    #[test]
+    fn explicit_targets_restrict_planning() {
+        let config = GroundServiceConfig::default().with_targets(vec![(LocationId(1), red())]);
+        let service = GroundService::new(config);
+        service.ingest_downlink(reference(0, 3.0, 0.4));
+        service.ingest_downlink(reference(1, 3.0, 0.4));
+        let report = service.plan_contact(SatelliteId(0), 4.0, 1 << 20);
+        assert_eq!(report.deltas_sent, 1);
+        assert!(service
+            .serve_reference(SatelliteId(0), LocationId(0), red())
+            .is_none());
+        assert!(service
+            .serve_reference(SatelliteId(0), LocationId(1), red())
+            .is_some());
+    }
+
+    #[test]
+    fn batch_ingest_counts_into_stats() {
+        let service = GroundService::new(GroundServiceConfig::default());
+        let batch: Vec<ReferenceImage> = (0..16u32).map(|loc| reference(loc, 1.0, 0.3)).collect();
+        let report = service.ingest_downlink_batch(batch);
+        assert_eq!(report.accepted, 16);
+        assert_eq!(service.stats().store_entries, 16);
+    }
+
+    #[test]
+    fn capacity_config_reaches_planned_caches() {
+        let one = reference(0, 1.0, 0.4).size_bytes();
+        let config = GroundServiceConfig::default().with_cache_capacity(Some(one));
+        let service = GroundService::new(config);
+        for loc in 0..3u32 {
+            service.ingest_downlink(reference(loc, 1.0, 0.4));
+        }
+        service.plan_contact(SatelliteId(0), 2.0, 1 << 30);
+        let (len, evictions) = service
+            .with_cache(SatelliteId(0), |c| (c.len(), c.stats().evictions))
+            .unwrap();
+        assert_eq!(len, 1, "capacity bound must hold after planning");
+        assert_eq!(evictions, 2);
+        let miss_before = service.stats().cache.misses;
+        assert!(miss_before == 0);
+    }
+
+    #[test]
+    fn concurrent_use_from_many_threads() {
+        let service = GroundService::new(GroundServiceConfig::default());
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let service = &service;
+                scope.spawn(move || {
+                    for i in 0..8u32 {
+                        service.ingest_downlink(reference(t * 8 + i, 1.0 + i as f64, 0.3));
+                    }
+                    service.plan_contact(SatelliteId(t), 20.0, 1 << 22);
+                    service.serve_reference(SatelliteId(t), LocationId(t * 8), red());
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.store_entries, 32);
+        assert_eq!(stats.satellites, 4);
+        assert_eq!(stats.cache.hits + stats.cache.misses, 4);
+    }
+}

@@ -182,10 +182,7 @@ mod tests {
         for n in [1usize, 2, 4, 8, 16] {
             let c = Constellation::doves(n, 5);
             let rate = c.visit_rate(LocationId(1), 730);
-            assert!(
-                rate >= last - 0.02,
-                "rate {rate} after {last} at size {n}"
-            );
+            assert!(rate >= last - 0.02, "rate {rate} after {last} at size {n}");
             last = rate;
         }
         assert!(last > 0.5);
@@ -205,9 +202,12 @@ mod tests {
     fn captures_spread_across_fleet() {
         let c = Constellation::doves(8, 17);
         let visits = c.visits(LocationId(0), 0, 365);
-        let distinct: std::collections::HashSet<_> =
-            visits.iter().map(|v| v.satellite).collect();
-        assert!(distinct.len() >= 4, "only {} satellites used", distinct.len());
+        let distinct: std::collections::HashSet<_> = visits.iter().map(|v| v.satellite).collect();
+        assert!(
+            distinct.len() >= 4,
+            "only {} satellites used",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ impl LinkModel {
         if self.fluctuation == 0.0 {
             return self.nominal_bps;
         }
-        let u = unit(mix(self.seed ^ contact_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let u = unit(mix(
+            self.seed ^ contact_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ));
         self.nominal_bps * (1.0 + self.fluctuation * (2.0 * u - 1.0))
     }
 
@@ -120,8 +122,9 @@ impl ContactSchedule {
     }
 
     fn phase(&self, satellite: SatelliteId) -> f64 {
-        unit(mix(self.seed ^ (satellite.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)))
-            / CONTACTS_PER_DAY as f64
+        unit(mix(
+            self.seed ^ (satellite.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        )) / CONTACTS_PER_DAY as f64
     }
 
     /// All contacts of `satellite` in `[from_day, to_day)`.

@@ -241,9 +241,7 @@ impl IlluminationAligner {
                 return 0.0;
             }
             let mid = rs.len() / 2;
-            rs.select_nth_unstable_by(mid, |a, b| {
-                a.partial_cmp(b).expect("residuals are finite")
-            });
+            rs.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("residuals are finite"));
             rs[mid]
         };
         let identity = AlignmentModel::identity();
@@ -354,7 +352,11 @@ mod tests {
             .fit_robust(&reference, &capture, None, 0.02)
             .unwrap();
         assert!((model.gain - 1.12).abs() < 0.05, "gain {}", model.gain);
-        assert!((model.offset + 0.03).abs() < 0.02, "offset {}", model.offset);
+        assert!(
+            (model.offset + 0.03).abs() < 0.02,
+            "offset {}",
+            model.offset
+        );
     }
 
     #[test]

@@ -161,9 +161,7 @@ impl Band {
                 | Sentinel2Band::B7
                 | Sentinel2Band::B8
                 | Sentinel2Band::B8a => BandKind::Vegetation,
-                Sentinel2Band::B1 | Sentinel2Band::B9 | Sentinel2Band::B10 => {
-                    BandKind::Atmospheric
-                }
+                Sentinel2Band::B1 | Sentinel2Band::B9 | Sentinel2Band::B10 => BandKind::Atmospheric,
                 Sentinel2Band::B11 | Sentinel2Band::B12 => BandKind::ShortWaveInfrared,
             },
             Band::Planet(b) => match b {
@@ -208,7 +206,10 @@ impl Band {
 
     /// All 13 Sentinel-2 bands, wrapped.
     pub fn sentinel2_all() -> Vec<Band> {
-        Sentinel2Band::ALL.iter().map(|&b| Band::Sentinel2(b)).collect()
+        Sentinel2Band::ALL
+            .iter()
+            .map(|&b| Band::Sentinel2(b))
+            .collect()
     }
 
     /// All 4 PlanetScope bands, wrapped.

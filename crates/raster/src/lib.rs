@@ -35,6 +35,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Index-based loops here are deliberate: the numeric kernels index several
+// buffers with arithmetic on the same induction variable.
+#![allow(clippy::needless_range_loop)]
 
 pub mod align;
 pub mod band;

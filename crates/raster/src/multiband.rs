@@ -221,7 +221,10 @@ mod tests {
         let doubled = img.map_bands(|_, r| Ok(r.map(|v| v * 2.0))).unwrap();
         assert_eq!(doubled.band_ids(), img.band_ids());
         assert_eq!(
-            doubled.band(Band::Planet(PlanetBand::Red)).unwrap().get(0, 0),
+            doubled
+                .band(Band::Planet(PlanetBand::Red))
+                .unwrap()
+                .get(0, 0),
             1.0
         );
     }
@@ -232,9 +235,7 @@ mod tests {
         for b in Band::planet_all() {
             img.push_band(b, Raster::filled(8, 8, 0.5)).unwrap();
         }
-        let small = img
-            .map_bands(|_, r| crate::downsample_box(r, 2))
-            .unwrap();
+        let small = img.map_bands(|_, r| crate::downsample_box(r, 2)).unwrap();
         assert_eq!(small.dimensions(), (4, 4));
         assert_eq!(small.band_count(), 4);
     }

@@ -85,10 +85,7 @@ impl Raster {
     pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Result<Self, RasterError> {
         if data.len() != width * height {
             return Err(RasterError::InvalidDimensions {
-                reason: format!(
-                    "data length {} does not equal {width}x{height}",
-                    data.len()
-                ),
+                reason: format!("data length {} does not equal {width}x{height}", data.len()),
             });
         }
         Ok(Raster {

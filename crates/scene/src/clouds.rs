@@ -260,8 +260,7 @@ mod tests {
     #[test]
     fn mask_consistent_with_fraction() {
         let f = CloudField::generate(5, 2.0, 128, 128, 0.6);
-        let mask_frac =
-            f.mask().iter().filter(|&&m| m).count() as f64 / (128.0 * 128.0);
+        let mask_frac = f.mask().iter().filter(|&&m| m).count() as f64 / (128.0 * 128.0);
         assert!((mask_frac - f.fraction()).abs() < 1e-9);
     }
 }

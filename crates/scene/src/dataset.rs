@@ -54,17 +54,17 @@ impl DatasetConfig {
 /// locations where Earth+'s advantage collapses.
 fn rich_content_archetypes() -> [(LocationArchetype, f32); 11] {
     [
-        (LocationArchetype::River, 0.0),          // A
-        (LocationArchetype::Forest, 0.0),         // B
-        (LocationArchetype::Agriculture, 0.0),    // C
-        (LocationArchetype::Mountain, 0.55),      // D — marginal: snowy winters
-        (LocationArchetype::City, 0.0),           // E
-        (LocationArchetype::Coastal, 0.0),        // F
-        (LocationArchetype::Agriculture, 0.0),    // G
-        (LocationArchetype::SnowyMountain, 0.9),  // H — no improvement: constant snow churn
-        (LocationArchetype::Forest, 0.0),         // I
-        (LocationArchetype::Mountain, 0.15),      // J
-        (LocationArchetype::River, 0.0),          // K
+        (LocationArchetype::River, 0.0),         // A
+        (LocationArchetype::Forest, 0.0),        // B
+        (LocationArchetype::Agriculture, 0.0),   // C
+        (LocationArchetype::Mountain, 0.55),     // D — marginal: snowy winters
+        (LocationArchetype::City, 0.0),          // E
+        (LocationArchetype::Coastal, 0.0),       // F
+        (LocationArchetype::Agriculture, 0.0),   // G
+        (LocationArchetype::SnowyMountain, 0.9), // H — no improvement: constant snow churn
+        (LocationArchetype::Forest, 0.0),        // I
+        (LocationArchetype::Mountain, 0.15),     // J
+        (LocationArchetype::River, 0.0),         // K
     ]
 }
 
@@ -171,8 +171,7 @@ mod tests {
     #[test]
     fn locations_have_unique_ids() {
         let d = rich_content(1, 128);
-        let ids: std::collections::HashSet<_> =
-            d.locations.iter().map(|c| c.location).collect();
+        let ids: std::collections::HashSet<_> = d.locations.iter().map(|c| c.location).collect();
         assert_eq!(ids.len(), 11);
     }
 }

@@ -78,7 +78,13 @@ pub fn fbm2(seed: u64, x: f32, y: f32, z: i64, octaves: u32, base_freq: f32) -> 
     let mut sum = 0.0f32;
     let mut norm = 0.0f32;
     for octave in 0..octaves {
-        sum += amplitude * value_noise2(seed ^ (octave as u64) << 32, x * frequency, y * frequency, z);
+        sum += amplitude
+            * value_noise2(
+                seed ^ (octave as u64) << 32,
+                x * frequency,
+                y * frequency,
+                z,
+            );
         norm += amplitude;
         amplitude *= 0.5;
         frequency *= 2.0;
@@ -128,7 +134,9 @@ mod tests {
     #[test]
     fn hash_normal_moments() {
         let n = 50_000u64;
-        let samples: Vec<f64> = (0..n).map(|i| hash_normal(mix64(i ^ 0xABCD)) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| hash_normal(mix64(i ^ 0xABCD)) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");

@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn cold_band_uses_nir_on_planet() {
         let bands = Band::planet_all();
-        assert_eq!(cold_band(&bands), Some(Band::Planet(PlanetBand::NearInfrared)));
+        assert_eq!(
+            cold_band(&bands),
+            Some(Band::Planet(PlanetBand::NearInfrared))
+        );
     }
 
     #[test]

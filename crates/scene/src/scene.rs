@@ -128,7 +128,11 @@ pub struct Capture {
 impl Capture {
     /// Ground-truth boolean cloud mask at the 0.5 opacity level.
     pub fn cloud_mask(&self) -> Vec<bool> {
-        self.cloud_alpha.as_slice().iter().map(|&a| a > 0.5).collect()
+        self.cloud_alpha
+            .as_slice()
+            .iter()
+            .map(|&a| a > 0.5)
+            .collect()
     }
 }
 
@@ -213,7 +217,8 @@ impl LocationScene {
         match guard.as_mut() {
             Some(cache) if cache.day <= day => {
                 if cache.day < day {
-                    self.events.add_events_in_range(&mut cache.field, cache.day, day);
+                    self.events
+                        .add_events_in_range(&mut cache.field, cache.day, day);
                     cache.day = day;
                 }
                 cache.field.clone()
@@ -426,8 +431,7 @@ mod tests {
     #[test]
     fn illumination_shifts_whole_frame() {
         let scene = LocationScene::new(
-            SceneConfig::quick(42, LocationArchetype::Forest)
-                .with_sensor(SensorModel::ideal()),
+            SceneConfig::quick(42, LocationArchetype::Forest).with_sensor(SensorModel::ideal()),
         );
         let band = Band::Planet(PlanetBand::Red);
         let truth = scene.ground_reflectance(band, 10.0);

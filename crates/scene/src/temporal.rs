@@ -227,7 +227,8 @@ impl SeasonalModel {
             };
             // Spatial variation so that tiles cross the change threshold at
             // staggered time gaps rather than all at once.
-            let jitter = 0.15 + 0.85 * fbm2(seed ^ 0x5EA5, x as f32 * scale, y as f32 * scale, 0, 3, 6.0);
+            let jitter =
+                0.15 + 0.85 * fbm2(seed ^ 0x5EA5, x as f32 * scale, y as f32 * scale, 0, 3, 6.0);
             Self::MAX_AMPLITUDE * class_amp * jitter
         });
         let phase_days = hash_unit(hash3(seed ^ 0x5EA6, 0, 0, 0)) * 365.0;

@@ -156,12 +156,8 @@ impl TerrainMap {
         // white component: expensive to code at low bitrates but with a
         // real rate-distortion slope, like actual ground texture.
         let grain = Raster::from_fn(width, height, |x, y| {
-            let smooth = crate::noise::value_noise2(
-                seed ^ 0x6A11,
-                x as f32 / 2.5,
-                y as f32 / 2.5,
-                0,
-            ) - 0.5;
+            let smooth =
+                crate::noise::value_noise2(seed ^ 0x6A11, x as f32 / 2.5, y as f32 / 2.5, 0) - 0.5;
             let white = lattice_unit(seed ^ 0x6A12, x as i64, y as i64, 0) - 0.5;
             0.75 * smooth + 0.25 * white
         });
@@ -228,11 +224,7 @@ impl TerrainMap {
 
     /// Fraction of pixels with the given cover.
     pub fn cover_fraction(&self, cover: LandCover) -> f64 {
-        let hits = self
-            .cover
-            .iter()
-            .filter(|&&c| c == cover.index())
-            .count();
+        let hits = self.cover.iter().filter(|&&c| c == cover.index()).count();
         hits as f64 / self.cover.len() as f64
     }
 }

@@ -31,7 +31,10 @@ fn main() {
     let mut kodan = KodanStrategy::new(ep_config);
     let report = sim.run(&mut [&mut earthplus, &mut satroi, &mut kodan]);
 
-    println!("{:>10} {:>12} {:>10} {:>10} {:>12}", "strategy", "bytes/capture", "tiles %", "PSNR dB", "ref age (d)");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>12}",
+        "strategy", "bytes/capture", "tiles %", "PSNR dB", "ref age (d)"
+    );
     for name in ["earth+", "satroi", "kodan"] {
         let records = report.records(name);
         let age = metrics::reference_age_stats(records);
@@ -48,14 +51,17 @@ fn main() {
             },
         );
     }
-    let saving = metrics::downlink_saving(
-        report.records("kodan"),
-        report.records("earth+"),
-    );
+    let saving = metrics::downlink_saving(report.records("kodan"), report.records("earth+"));
     println!("\nEarth+ downloads {saving:.1}x less than Kodan on this mission.");
     println!(
         "Uplink used for reference sharing: {} updates sent, {} skipped.",
-        report.uplink["earth+"].iter().map(|u| u.deltas_sent).sum::<usize>(),
-        report.uplink["earth+"].iter().map(|u| u.deltas_skipped).sum::<usize>(),
+        report.uplink["earth+"]
+            .iter()
+            .map(|u| u.deltas_sent)
+            .sum::<usize>(),
+        report.uplink["earth+"]
+            .iter()
+            .map(|u| u.deltas_skipped)
+            .sum::<usize>(),
     );
 }

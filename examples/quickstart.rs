@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let red = capture.image.require_band(band)?;
     let grid = TileGrid::new(red.width(), red.height(), config.tile_size)?;
 
-    println!("capture: {}x{} px, {} tiles", red.width(), red.height(), grid.tile_count());
+    println!(
+        "capture: {}x{} px, {} tiles",
+        red.width(),
+        red.height(),
+        grid.tile_count()
+    );
 
     // Compare against a fresh (3-day-old) and a stale (45-day-old)
     // reference, both downsampled 51x per axis for the uplink.

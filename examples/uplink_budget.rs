@@ -5,7 +5,9 @@
 //! cargo run --release --example uplink_budget
 //! ```
 
-use earthplus::{compute_delta, OnboardReferenceCache, ReferenceImage, ReferencePool, UplinkPlanner};
+use earthplus::{
+    compute_delta, OnboardReferenceCache, ReferenceImage, ReferencePool, UplinkPlanner,
+};
 use earthplus_orbit::LinkModel;
 use earthplus_raster::{Band, LocationId};
 use earthplus_scene::terrain::LocationArchetype;
@@ -28,11 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for &band in &bands {
             let old_full = scene.ground_reflectance(band, 10.0);
             let new_full = scene.ground_reflectance(band, 70.0);
-            let mut old =
-                ReferenceImage::from_capture(LocationId(loc), band, 10.0, &old_full, 51)?;
+            let mut old = ReferenceImage::from_capture(LocationId(loc), band, 10.0, &old_full, 51)?;
             old.location = LocationId(loc);
-            let mut new =
-                ReferenceImage::from_capture(LocationId(loc), band, 70.0, &new_full, 51)?;
+            let mut new = ReferenceImage::from_capture(LocationId(loc), band, 70.0, &new_full, 51)?;
             new.location = LocationId(loc);
             cache.install(old.clone());
             pool.offer(new.clone());
@@ -58,8 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "uplink", "budget B", "used B", "sent", "skipped"
     );
     for (label, budget) in [
-        ("250 kbps contact", LinkModel::doves_uplink().bytes_per_contact(0)),
-        ("degraded 50%", LinkModel::constant(125_000.0).bytes_per_contact(0)),
+        (
+            "250 kbps contact",
+            LinkModel::doves_uplink().bytes_per_contact(0),
+        ),
+        (
+            "degraded 50%",
+            LinkModel::constant(125_000.0).bytes_per_contact(0),
+        ),
         ("emergency 4 KB", 4096u64),
     ] {
         let mut trial_cache = clone_cache(&cache, &targets);

@@ -11,12 +11,15 @@
 //! * [`codec`] — layered wavelet image codec with ROI support.
 //! * [`orbit`] — constellation, ground-contact, and link simulator.
 //! * [`cloud`] — on-board and ground cloud detectors.
+//! * [`ground`] — the concurrent ground-segment reference service
+//!   (sharded store, constellation uplink scheduler, cache models).
 //! * [`system`] — the Earth+ system itself plus the Kodan / SatRoI
 //!   baselines and the mission simulator.
 
 pub use earthplus as system;
 pub use earthplus_cloud as cloud;
 pub use earthplus_codec as codec;
+pub use earthplus_ground as ground;
 pub use earthplus_orbit as orbit;
 pub use earthplus_raster as raster;
 pub use earthplus_scene as scene;

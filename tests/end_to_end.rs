@@ -98,8 +98,7 @@ fn guaranteed_downloads_occur_monthly() {
         .iter()
         .flat_map(|l| l.bands.iter().map(|&b| (l.location, b)))
         .collect();
-    let mut earthplus =
-        EarthPlusStrategy::new(EarthPlusConfig::paper(), detector, targets);
+    let mut earthplus = EarthPlusStrategy::new(EarthPlusConfig::paper(), detector, targets);
     let report = sim.run(&mut [&mut earthplus]);
     let guaranteed: Vec<f64> = report
         .records("earth+")

@@ -26,9 +26,12 @@ fn references_flow_across_satellites() {
     let report = sim.run(&mut [&mut earthplus]);
     let records = report.records("earth+");
 
-    let distinct_sats: std::collections::HashSet<_> =
-        records.iter().map(|r| r.satellite).collect();
-    assert!(distinct_sats.len() >= 3, "mission used {} satellites", distinct_sats.len());
+    let distinct_sats: std::collections::HashSet<_> = records.iter().map(|r| r.satellite).collect();
+    assert!(
+        distinct_sats.len() >= 3,
+        "mission used {} satellites",
+        distinct_sats.len()
+    );
 
     // After the first capture, non-guaranteed captures should run with a
     // reference (the uplink delivered it), and its age should reflect the
@@ -53,7 +56,11 @@ fn references_flow_across_satellites() {
     );
     let age = metrics::reference_age_stats(records);
     assert!(age.count > 0);
-    assert!(age.mean < 15.0, "mean reference age {:.1} too old", age.mean);
+    assert!(
+        age.mean < 15.0,
+        "mean reference age {:.1} too old",
+        age.mean
+    );
 }
 
 #[test]
@@ -72,7 +79,8 @@ fn uplink_starvation_degrades_gracefully() {
         .iter()
         .flat_map(|l| l.bands.iter().map(|&b| (l.location, b)))
         .collect();
-    let mut starved = EarthPlusStrategy::new(EarthPlusConfig::paper(), detector.clone(), targets.clone());
+    let mut starved =
+        EarthPlusStrategy::new(EarthPlusConfig::paper(), detector.clone(), targets.clone());
     let report_starved = sim.run(&mut [&mut starved]);
 
     let mut nominal_config = SimulationConfig::for_dataset(&dataset, 79);
@@ -94,7 +102,10 @@ fn uplink_starvation_degrades_gracefully() {
     // references cost downlink), but still delivers imagery.
     let starved_bytes = metrics::mean_bytes_per_capture(report_starved.records("earth+"));
     let nominal_bytes = metrics::mean_bytes_per_capture(report_nominal.records("earth+"));
-    assert!(starved_bytes >= nominal_bytes * 0.95, "starved {starved_bytes} nominal {nominal_bytes}");
+    assert!(
+        starved_bytes >= nominal_bytes * 0.95,
+        "starved {starved_bytes} nominal {nominal_bytes}"
+    );
     assert!(metrics::psnr_stats(report_starved.records("earth+")).count > 0);
 }
 
@@ -119,7 +130,12 @@ fn pool_and_cache_stay_consistent_through_planning() {
         let cached = cache.get(LocationId(0), band).unwrap();
         let pooled = pool.get(LocationId(0), band).unwrap();
         assert_eq!(cached.captured_day, pooled.captured_day);
-        for (c, p) in cached.lowres.as_slice().iter().zip(pooled.lowres.as_slice()) {
+        for (c, p) in cached
+            .lowres
+            .as_slice()
+            .iter()
+            .zip(pooled.lowres.as_slice())
+        {
             assert!(
                 (c - p).abs() <= 0.01 + 1e-6,
                 "cache diverged from pool beyond the delta threshold"
