@@ -1,0 +1,132 @@
+//! Storage-engine micro-benchmarks: ingest (append), recovery replay,
+//! and compaction throughput of `earthplus-refstore`, measured on a
+//! realistic reference payload (12×12 low-res rasters, several freshness
+//! generations over many keys).
+//!
+//! Each iteration works in its own directory under the OS temp dir; the
+//! whole tree is removed when the benchmark finishes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use earthplus_ground::ReferenceImage;
+use earthplus_raster::{Band, LocationId, Raster};
+use earthplus_refstore::{RefLog, RefLogConfig, RefStoreError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn bench_root() -> PathBuf {
+    std::env::temp_dir().join(format!("earthplus-refstore-bench-{}", std::process::id()))
+}
+
+fn fresh_dir() -> PathBuf {
+    bench_root().join(format!(
+        "run-{}",
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// 4 generations over 256 keys = 1024 records, each a serialized 12×12
+/// reference (~600 B payload).
+fn record_batch() -> Vec<(LocationId, Band, f64, Vec<u8>)> {
+    let mut batch = Vec::new();
+    for generation in 0..4u32 {
+        for loc in 0..64u32 {
+            for band in Band::planet_all() {
+                let full = Raster::filled(96, 96, (loc % 7) as f32 / 7.0);
+                let reference = ReferenceImage::from_capture(
+                    LocationId(loc),
+                    band,
+                    10.0 + generation as f64,
+                    &full,
+                    8,
+                )
+                .expect("downsample factor fits");
+                batch.push((
+                    LocationId(loc),
+                    band,
+                    reference.captured_day,
+                    reference.to_record_payload(),
+                ));
+            }
+        }
+    }
+    batch
+}
+
+fn populated_log(config: RefLogConfig) -> RefLog {
+    let (mut log, _) = RefLog::open(&fresh_dir(), config).expect("open fresh dir");
+    for (location, band, day, payload) in record_batch() {
+        log.append((location, band), day, &payload).expect("append");
+    }
+    log
+}
+
+fn no_autocompact() -> RefLogConfig {
+    RefLogConfig {
+        auto_compact: false,
+        ..RefLogConfig::default()
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let batch = record_batch();
+    let mut group = c.benchmark_group("refstore_ingest");
+    group.bench_function("append_1024_records", |b| {
+        b.iter_batched(
+            || {
+                let (log, _) = RefLog::open(&fresh_dir(), no_autocompact()).expect("open");
+                (log, batch.clone())
+            },
+            |(mut log, batch)| {
+                for (location, band, day, payload) in batch {
+                    log.append((location, band), day, &payload).expect("append");
+                }
+                log.stats().live_records
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    // One populated store, replayed (reopened) every iteration.
+    let log = populated_log(no_autocompact());
+    let dir = log.dir().to_path_buf();
+    drop(log);
+    let mut group = c.benchmark_group("refstore_replay");
+    group.bench_function("reopen_1024_records", |b| {
+        b.iter(|| -> Result<usize, RefStoreError> {
+            let (log, report) = RefLog::open(&dir, no_autocompact())?;
+            assert!(report.clean());
+            Ok(log.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refstore_compaction");
+    group.bench_function("compact_75pct_dead", |b| {
+        b.iter_batched(
+            || populated_log(no_autocompact()),
+            |mut log| {
+                log.compact().expect("compact");
+                log.stats().live_records
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn benches_with_cleanup(c: &mut Criterion) {
+    bench_ingest(c);
+    bench_replay(c);
+    bench_compaction(c);
+    let _ = std::fs::remove_dir_all(bench_root());
+}
+
+criterion_group!(benches, benches_with_cleanup);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Bounded on-board cache capacity sweep (ROADMAP item).
+//!
+//! The paper assumes a satellite can cache a reference for every location
+//! it will visit (Appendix A budgets ~9 % of on-board storage for that).
+//! This experiment asks the bounded question instead: sweep the on-board
+//! cache budget from unbounded down to a tenth of the working set via
+//! `GroundServiceConfig::with_cache_capacity` and report what the cache
+//! model observes — hit/miss/eviction rates, forced re-sends on the
+//! uplink, and the peak footprint actually used.
+
+use crate::{fmt, ExperimentResult};
+use earthplus::{ContactWindow, GroundService, GroundServiceConfig, ReferenceImage};
+use earthplus_orbit::SatelliteId;
+use earthplus_raster::{Band, LocationId, Raster};
+
+const LOCATIONS: u32 = 24;
+const SATELLITES: u32 = 4;
+const DAYS: u32 = 30;
+/// Every location's reference refreshes on the ground every this many
+/// days (staggered by location), and each satellite re-visits a rotating
+/// quarter of the locations per day.
+const REFRESH_PERIOD: u32 = 5;
+
+fn make_reference(loc: u32, band: Band, day: u32) -> ReferenceImage {
+    // Content varies per (location, refresh generation) so consecutive
+    // generations produce non-empty deltas.
+    let value = ((loc * 7 + day * 13) % 97) as f32 / 97.0;
+    let full = Raster::filled(96, 96, value);
+    ReferenceImage::from_capture(LocationId(loc), band, day as f64, &full, 8)
+        .expect("downsample factor fits")
+}
+
+/// One mission at one capacity bound; returns the finished service.
+fn run_mission(capacity_bytes: Option<u64>) -> GroundService {
+    let bands = Band::planet_all();
+    let service =
+        GroundService::new(GroundServiceConfig::default().with_cache_capacity(capacity_bytes));
+    for day in 1..=DAYS {
+        // Ground side: the day's downlinks refresh the references whose
+        // staggered refresh window this is.
+        let mut batch = Vec::new();
+        for loc in 0..LOCATIONS {
+            if (day + loc) % REFRESH_PERIOD == 0 {
+                for &band in &bands {
+                    batch.push(make_reference(loc, band, day));
+                }
+            }
+        }
+        if !batch.is_empty() {
+            service.ingest_downlink_batch(batch);
+        }
+        // One generous contact window per satellite per day: capacity, not
+        // uplink bandwidth, is the variable under study.
+        let contacts: Vec<ContactWindow> = (0..SATELLITES)
+            .map(|sat| ContactWindow {
+                satellite: SatelliteId(sat),
+                day: day as f64,
+                budget_bytes: 1 << 22,
+            })
+            .collect();
+        service.plan_pass(&contacts);
+        // On-board side: each satellite serves captures for a rotating
+        // quarter of the locations.
+        for sat in 0..SATELLITES {
+            for loc in 0..LOCATIONS {
+                if (loc + sat + day) % 4 == 0 {
+                    for &band in &bands {
+                        service.serve_reference(SatelliteId(sat), LocationId(loc), band);
+                    }
+                }
+            }
+        }
+    }
+    service
+}
+
+/// The `cache_sweep` experiment: capacity fraction → cache behaviour.
+pub fn cache_sweep() -> ExperimentResult {
+    let working_set: u64 = (0..LOCATIONS)
+        .flat_map(|loc| {
+            Band::planet_all()
+                .into_iter()
+                .map(move |band| make_reference(loc, band, 0).size_bytes())
+        })
+        .sum();
+
+    let sweep: Vec<(String, Option<u64>)> = std::iter::once(("unbounded".to_string(), None))
+        .chain([1.0, 0.75, 0.5, 0.25, 0.1].into_iter().map(|fraction| {
+            (
+                format!("{:.0}%", fraction * 100.0),
+                Some((working_set as f64 * fraction) as u64),
+            )
+        }))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut unbounded_hit_rate = 0.0;
+    let mut tenth_hit_rate = 0.0;
+    for (label, capacity) in &sweep {
+        let service = run_mission(*capacity);
+        let stats = service.stats();
+        let hit_rate = stats.cache.hit_rate();
+        if label == "unbounded" {
+            unbounded_hit_rate = hit_rate;
+        }
+        if label == "10%" {
+            tenth_hit_rate = hit_rate;
+        }
+        rows.push(vec![
+            label.clone(),
+            capacity.map_or("inf".into(), |c| c.to_string()),
+            fmt(hit_rate, 3),
+            stats.cache.hits.to_string(),
+            stats.cache.misses.to_string(),
+            stats.cache.evictions.to_string(),
+            stats.deltas_sent.to_string(),
+            stats.deltas_skipped.to_string(),
+            stats.peak_cache_bytes.to_string(),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "cache_sweep",
+        title: "Bounded on-board reference cache: capacity sweep",
+        header: vec![
+            "capacity".into(),
+            "capacity_bytes_per_sat".into(),
+            "hit_rate".into(),
+            "hits".into(),
+            "misses".into(),
+            "evictions".into(),
+            "deltas_sent".into(),
+            "deltas_skipped".into(),
+            "peak_cache_bytes".into(),
+        ],
+        rows,
+        summary: format!(
+            "hit rate {unbounded_hit_rate:.3} unbounded -> {tenth_hit_rate:.3} at 10% of the \
+             {working_set}-byte working set; evictions convert uplink deltas into full re-sends, \
+             quantifying what the paper's unbounded-cache assumption is worth"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let result = cache_sweep();
+        assert_eq!(result.id, "cache_sweep");
+        assert_eq!(result.rows.len(), 6);
+        // Unbounded run: everything the satellites read after the first
+        // pass is cached, and nothing is ever evicted.
+        assert_eq!(result.rows[0][5], "0", "unbounded run must not evict");
+        let hit = |row: &[String]| row[2].parse::<f64>().unwrap();
+        assert!(
+            hit(&result.rows[0]) >= hit(&result.rows[5]),
+            "hit rate must not improve when capacity shrinks to 10%"
+        );
+        let evictions: u64 = result.rows[5][5].parse().unwrap();
+        assert!(evictions > 0, "a 10% cache must evict");
+    }
+}

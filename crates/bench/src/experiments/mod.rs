@@ -3,6 +3,7 @@
 mod ablations;
 mod breakdown;
 mod calibration;
+mod capacity;
 mod tables;
 mod tradeoff;
 mod uplink;
@@ -13,8 +14,9 @@ use earthplus_cloud::{train_onboard_detector, OnboardCloudDetector, TrainingConf
 use earthplus_raster::{Band, LocationId};
 use earthplus_scene::DatasetConfig;
 
-/// All experiment ids, in the paper's order (plus the design ablations).
-pub const ALL_IDS: [&str; 16] = [
+/// All experiment ids, in the paper's order (plus the design ablations
+/// and the beyond-the-paper capacity sweep).
+pub const ALL_IDS: [&str; 17] = [
     "table1",
     "table2",
     "fig4",
@@ -31,6 +33,7 @@ pub const ALL_IDS: [&str; 16] = [
     "fig18",
     "fig19",
     "ablations",
+    "cache_sweep",
 ];
 
 /// Runs one experiment by id.
@@ -56,6 +59,7 @@ pub fn run(id: &str) -> Result<ExperimentResult, String> {
         "fig18" => Ok(uplink::fig18()),
         "fig19" => Ok(uplink::fig19()),
         "ablations" => Ok(ablations::ablations()),
+        "cache_sweep" => Ok(capacity::cache_sweep()),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_IDS.join(", ")

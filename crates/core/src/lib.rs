@@ -67,7 +67,8 @@ pub use change::{ChangeDetection, ChangeDetector};
 pub use config::{DovesSpec, EarthPlusConfig};
 pub use earthplus_ground::{
     CacheStats, ConstellationScheduler, ContactWindow, EvictingReferenceCache, EvictionPolicy,
-    GroundService, GroundServiceConfig, GroundServiceStats, IngestReport, ShardedReferenceStore,
+    GroundService, GroundServiceConfig, GroundServiceStats, IngestReport, PersistentReferenceStore,
+    ReferenceBackend, ReferenceBackendConfig, ShardedReferenceStore,
 };
 pub use reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
 pub use simulator::{MissionReport, MissionSimulator, SimulationConfig};

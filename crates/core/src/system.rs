@@ -60,11 +60,21 @@ impl EarthPlusStrategy {
         cloud_detector: OnboardCloudDetector,
         targets: Vec<(LocationId, Band)>,
     ) -> Self {
-        let service = GroundService::new(
-            GroundServiceConfig::default()
-                .with_theta(config.theta)
-                .with_targets(targets),
-        );
+        let ground = GroundServiceConfig::default().with_targets(targets);
+        Self::with_ground_config(config, cloud_detector, ground)
+    }
+
+    /// Creates the strategy on an explicit ground-segment configuration —
+    /// the seam that lets the same mission run on the in-memory or the
+    /// persistent reference backend (or a bounded on-board cache model)
+    /// with no other code change. The θ in `config` overrides the one in
+    /// `ground` so the two cannot drift apart.
+    pub fn with_ground_config(
+        config: EarthPlusConfig,
+        cloud_detector: OnboardCloudDetector,
+        ground: GroundServiceConfig,
+    ) -> Self {
+        let service = GroundService::new(ground.with_theta(config.theta));
         EarthPlusStrategy {
             change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
             codec: CodecConfig::lossy(),

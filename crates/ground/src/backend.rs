@@ -1,0 +1,194 @@
+//! The pluggable reference-store backend seam.
+//!
+//! `GroundService` and the constellation scheduler used to be welded to
+//! the in-memory [`ShardedReferenceStore`]; [`ReferenceBackend`] abstracts
+//! the store surface they actually use, so the same service, scheduler,
+//! and mission simulator run unchanged on the in-memory store or on the
+//! durable [`crate::PersistentReferenceStore`] — the backend is picked by
+//! [`crate::GroundServiceConfig`], not by the call sites.
+
+use crate::reference::ReferenceImage;
+use crate::store::{IngestReport, ShardedReferenceStore};
+use earthplus_raster::{Band, LocationId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The store surface the ground segment schedules against.
+///
+/// Every method takes `&self`: implementations provide interior
+/// mutability (shard locks), so one backend can be shared by concurrent
+/// downlink decoders and the uplink scheduler.
+///
+/// Semantics every implementation must honour:
+/// * **freshest-wins** — `offer` keeps a reference only if strictly
+///   fresher than the stored generation for its `(location, band)`;
+/// * **probe coherence** — `fresh_day` and `get` agree: a probed day is
+///   servable until a fresher `offer` lands.
+///
+/// The surface is infallible; backends over fallible media panic on
+/// runtime storage errors rather than silently dropping references (see
+/// the [`crate::persistent`] module docs for the policy).
+pub trait ReferenceBackend: Send + Sync + std::fmt::Debug {
+    /// Offers a new cloud-free reference; kept if fresher than the
+    /// current generation. Returns whether the store updated.
+    fn offer(&self, reference: ReferenceImage) -> bool;
+
+    /// The freshest reference for a location/band, cloned/decoded out of
+    /// the store.
+    fn get(&self, location: LocationId, band: Band) -> Option<ReferenceImage>;
+
+    /// The capture day of the freshest reference, without materialising
+    /// it — the scheduler's cheap staleness probe.
+    fn fresh_day(&self, location: LocationId, band: Band) -> Option<f64>;
+
+    /// Number of (location, band) entries.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical stored bytes (the 12-bit reference model), comparable
+    /// across backends regardless of on-disk framing.
+    fn size_bytes(&self) -> u64;
+
+    /// Every (location, band) key currently held.
+    fn keys(&self) -> Vec<(LocationId, Band)>;
+
+    /// Ingests a batch of downlinked references on up to `threads`
+    /// workers. The default fans chunks out over [`ReferenceBackend::offer`],
+    /// which is correct for any backend because `offer` re-checks
+    /// freshness under its own synchronisation.
+    fn ingest_batch(&self, references: Vec<ReferenceImage>, threads: usize) -> IngestReport {
+        parallel_offer(self, references, threads)
+    }
+
+    /// Flushes whatever durability the backend offers (no-op in memory).
+    fn sync(&self) {}
+}
+
+/// Fans a batch out over `offer` on a `std::thread` worker pool —
+/// the shared implementation behind both backends' `ingest_batch`.
+pub fn parallel_offer<B: ReferenceBackend + ?Sized>(
+    backend: &B,
+    mut references: Vec<ReferenceImage>,
+    threads: usize,
+) -> IngestReport {
+    let threads = threads.max(1).min(references.len().max(1));
+    let accepted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let chunk = references.len().div_ceil(threads).max(1);
+    let mut chunks: Vec<Vec<ReferenceImage>> = Vec::with_capacity(threads);
+    while references.len() > chunk {
+        let tail = references.split_off(references.len() - chunk);
+        chunks.push(tail);
+    }
+    chunks.push(references);
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            let (accepted, rejected) = (&accepted, &rejected);
+            scope.spawn(move || {
+                let mut local_accepted = 0u64;
+                let mut local_rejected = 0u64;
+                for reference in chunk {
+                    if backend.offer(reference) {
+                        local_accepted += 1;
+                    } else {
+                        local_rejected += 1;
+                    }
+                }
+                accepted.fetch_add(local_accepted, Ordering::Relaxed);
+                rejected.fetch_add(local_rejected, Ordering::Relaxed);
+            });
+        }
+    });
+    IngestReport {
+        accepted: accepted.into_inner(),
+        rejected: rejected.into_inner(),
+    }
+}
+
+impl ReferenceBackend for ShardedReferenceStore {
+    fn offer(&self, reference: ReferenceImage) -> bool {
+        ShardedReferenceStore::offer(self, reference)
+    }
+
+    fn get(&self, location: LocationId, band: Band) -> Option<ReferenceImage> {
+        ShardedReferenceStore::get(self, location, band)
+    }
+
+    fn fresh_day(&self, location: LocationId, band: Band) -> Option<f64> {
+        ShardedReferenceStore::fresh_day(self, location, band)
+    }
+
+    fn len(&self) -> usize {
+        ShardedReferenceStore::len(self)
+    }
+
+    fn size_bytes(&self) -> u64 {
+        ShardedReferenceStore::size_bytes(self)
+    }
+
+    fn keys(&self) -> Vec<(LocationId, Band)> {
+        ShardedReferenceStore::keys(self)
+    }
+
+    fn ingest_batch(&self, references: Vec<ReferenceImage>, threads: usize) -> IngestReport {
+        // The inherent implementation offers straight against the shard
+        // maps — same result, one virtual call less per reference.
+        ShardedReferenceStore::ingest_batch(self, references, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::{PlanetBand, Raster};
+
+    fn reference(location: u32, day: f64) -> ReferenceImage {
+        let full = Raster::filled(64, 64, 0.4);
+        ReferenceImage::from_capture(
+            LocationId(location),
+            Band::Planet(PlanetBand::Red),
+            day,
+            &full,
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_store_honours_trait_surface() {
+        let store = ShardedReferenceStore::new(4);
+        let backend: &dyn ReferenceBackend = &store;
+        assert!(backend.is_empty());
+        assert!(backend.offer(reference(0, 2.0)));
+        assert!(!backend.offer(reference(0, 1.0)));
+        assert_eq!(backend.len(), 1);
+        assert_eq!(
+            backend.fresh_day(LocationId(0), Band::Planet(PlanetBand::Red)),
+            Some(2.0)
+        );
+        assert_eq!(backend.keys().len(), 1);
+        backend.sync(); // no-op, must not panic
+    }
+
+    #[test]
+    fn default_parallel_offer_matches_inherent_batch() {
+        let batch: Vec<ReferenceImage> = (0..24u32)
+            .flat_map(|loc| [reference(loc, 1.0), reference(loc, 2.0)])
+            .collect();
+        let store = ShardedReferenceStore::new(4);
+        let report = parallel_offer(&store, batch, 4);
+        assert_eq!(report.offered(), 48);
+        // Freshest-wins must hold under any interleaving: every location
+        // ends on day 2, however the chunks raced.
+        assert_eq!(ReferenceBackend::len(&store), 24);
+        for loc in 0..24u32 {
+            assert_eq!(
+                ReferenceBackend::fresh_day(&store, LocationId(loc), Band::Planet(PlanetBand::Red)),
+                Some(2.0)
+            );
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //! * [`store`] — [`ShardedReferenceStore`]: an `RwLock`-per-shard
 //!   concurrent pool supporting parallel ingest of downlinked captures via
 //!   a `std::thread` worker pool;
+//! * [`backend`] — [`ReferenceBackend`]: the pluggable store seam the
+//!   service and scheduler run against;
+//! * [`persistent`] — [`PersistentReferenceStore`]: the durable backend,
+//!   one crash-recoverable `earthplus-refstore` log per shard directory
+//!   (same shard routing as the in-memory store), selected via
+//!   [`ReferenceBackendConfig`] in the service config;
 //! * [`cache`] — [`EvictingReferenceCache`]: the capacity-bounded on-board
 //!   cache model with an age/LRU hybrid eviction policy and
 //!   hit/miss/eviction counters;
@@ -50,16 +56,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod cache;
+pub mod persistent;
 pub mod reference;
 pub mod scheduler;
 pub mod service;
 pub mod store;
 pub mod uplink;
 
+pub use backend::ReferenceBackend;
+// The storage-engine types that appear in this crate's public API.
 pub use cache::{CacheStats, EvictingReferenceCache, EvictionPolicy};
+pub use earthplus_refstore::{RecoveryReport, RefLogConfig};
+pub use persistent::{PersistentReferenceStore, PersistentStoreStats};
 pub use reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
 pub use scheduler::{ConstellationScheduler, ContactWindow};
-pub use service::{GroundService, GroundServiceConfig, GroundServiceStats};
-pub use store::{IngestReport, ShardedReferenceStore};
+pub use service::{GroundService, GroundServiceConfig, GroundServiceStats, ReferenceBackendConfig};
+pub use store::{shard_index, IngestReport, ShardedReferenceStore};
 pub use uplink::{compute_delta, ReferenceDelta, UplinkPlanner, UplinkReport};

@@ -1,0 +1,394 @@
+//! The durable reference backend: sharded `earthplus-refstore` logs.
+//!
+//! One [`PersistentReferenceStore`] owns N shard directories
+//! (`shard-000/`, `shard-001/`, …), each holding one crash-recoverable
+//! [`RefLog`]. Keys route to shards with [`crate::store::shard_index`] —
+//! the *same* routing the in-memory store uses — so the disk layout
+//! mirrors multi-ground-station sharding: hand `shard-007/` to another
+//! station and exactly the keys that hashed there move with it.
+//!
+//! Durability: a reference is committed once its CRC-framed record is in
+//! the shard's active segment (see the `earthplus-refstore` docs for the
+//! full contract). A ground-segment restart replays the logs and resumes
+//! with the identical store state; superseded reference generations are
+//! dropped by each shard's snapshot + compaction cycle.
+//!
+//! Error policy: open-time I/O failures surface through
+//! [`PersistentReferenceStore::open`], but the [`ReferenceBackend`]
+//! surface is infallible by design (the in-memory store cannot fail), so
+//! *runtime* storage failures — an append or read hitting a full or dead
+//! disk mid-mission — **panic** rather than silently dropping references
+//! and skewing every experiment built on the store. A deployment wanting
+//! graceful degradation would wrap the store; the simulator prefers loud
+//! failure.
+
+use crate::backend::{parallel_offer, ReferenceBackend};
+use crate::reference::ReferenceImage;
+use crate::store::{shard_index, IngestReport};
+use earthplus_raster::{Band, LocationId};
+use earthplus_refstore::{RecoveryReport, RefLog, RefLogConfig, Result};
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+/// Directory name of shard `i` under the store root.
+fn shard_dir_name(i: usize) -> String {
+    format!("shard-{i:03}")
+}
+
+/// Aggregated accounting across every shard's log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistentStoreStats {
+    /// Shard count.
+    pub shards: u64,
+    /// Segment files across shards.
+    pub segments: u64,
+    /// Live (indexed) records.
+    pub live_records: u64,
+    /// Superseded records awaiting compaction.
+    pub dead_records: u64,
+    /// File bytes of live records.
+    pub live_bytes: u64,
+    /// File bytes awaiting compaction.
+    pub dead_bytes: u64,
+    /// Compactions run since open.
+    pub compactions: u64,
+}
+
+/// The durable, sharded reference store.
+///
+/// All trait methods take `&self`; each shard's log sits behind its own
+/// `RwLock`, so — exactly like the in-memory store — writers only contend
+/// when their keys route to the same shard, and readers never block each
+/// other.
+#[derive(Debug)]
+pub struct PersistentReferenceStore {
+    root: PathBuf,
+    shards: Vec<RwLock<RefLog>>,
+}
+
+impl PersistentReferenceStore {
+    /// Opens (or creates) the store under `root` with `shards` shard
+    /// directories, replaying any existing logs. Returns the store plus
+    /// the merged recovery report — callers that care whether a restart
+    /// healed damage (torn tails, corrupt records) read it there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; corruption is healed and reported
+    /// instead of failing the open.
+    pub fn open(
+        root: &Path,
+        shards: usize,
+        config: RefLogConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let shards = shards.max(1);
+        let mut logs = Vec::with_capacity(shards);
+        let mut merged = RecoveryReport {
+            manifest_loaded: true,
+            ..RecoveryReport::default()
+        };
+        for i in 0..shards {
+            let (log, report) = RefLog::open(&root.join(shard_dir_name(i)), config)?;
+            merged.merge(&report);
+            logs.push(RwLock::new(log));
+        }
+        Ok((
+            PersistentReferenceStore {
+                root: root.to_path_buf(),
+                shards: logs,
+            },
+            merged,
+        ))
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of shards (= shard directories).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, location: LocationId, band: Band) -> &RwLock<RefLog> {
+        &self.shards[shard_index(location, band, self.shards.len())]
+    }
+
+    /// Aggregated storage-engine accounting across shards.
+    pub fn stats(&self) -> PersistentStoreStats {
+        let mut out = PersistentStoreStats {
+            shards: self.shards.len() as u64,
+            ..PersistentStoreStats::default()
+        };
+        for shard in &self.shards {
+            let stats = shard.read().expect("refstore shard poisoned").stats();
+            out.segments += stats.segments;
+            out.live_records += stats.live_records;
+            out.dead_records += stats.dead_records;
+            out.live_bytes += stats.live_bytes;
+            out.dead_bytes += stats.dead_bytes;
+            out.compactions += stats.compactions;
+        }
+        out
+    }
+
+    /// Total segment-file bytes on disk across shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata failures.
+    pub fn disk_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for shard in &self.shards {
+            total += shard
+                .read()
+                .expect("refstore shard poisoned")
+                .disk_bytes()?;
+        }
+        Ok(total)
+    }
+
+    /// Compacts every shard now (superseded generations dropped), e.g.
+    /// before archiving a shard directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn compact_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.write().expect("refstore shard poisoned").compact()?;
+        }
+        Ok(())
+    }
+}
+
+impl ReferenceBackend for PersistentReferenceStore {
+    fn offer(&self, reference: ReferenceImage) -> bool {
+        // Serialize outside the shard lock; the lock covers only the
+        // freshness check + append.
+        let key = (reference.location, reference.band);
+        let payload = reference.to_record_payload();
+        self.shard_of(reference.location, reference.band)
+            .write()
+            .expect("refstore shard poisoned")
+            .append(key, reference.captured_day, &payload)
+            .expect("refstore append failed")
+    }
+
+    fn get(&self, location: LocationId, band: Band) -> Option<ReferenceImage> {
+        let record = self
+            .shard_of(location, band)
+            .read()
+            .expect("refstore shard poisoned")
+            .get(&(location, band))
+            .expect("refstore read failed")?;
+        Some(
+            ReferenceImage::from_record_payload(location, band, record.day, &record.payload)
+                .expect("CRC-valid record decodes"),
+        )
+    }
+
+    fn fresh_day(&self, location: LocationId, band: Band) -> Option<f64> {
+        self.shard_of(location, band)
+            .read()
+            .expect("refstore shard poisoned")
+            .fresh_day(&(location, band))
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("refstore shard poisoned").len())
+            .sum()
+    }
+
+    fn size_bytes(&self) -> u64 {
+        // Logical 12-bit model, derived from indexed frame lengths alone
+        // so no disk read (or sort) happens: payload = 20-byte header +
+        // 4 bytes/sample.
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let log = shard.read().expect("refstore shard poisoned");
+            for (_, entry) in log.entries() {
+                let payload = entry
+                    .payload_len()
+                    .saturating_sub(ReferenceImage::RECORD_PAYLOAD_HEADER as u64);
+                total += (payload / 4 * 12).div_ceil(8);
+            }
+        }
+        total
+    }
+
+    fn keys(&self) -> Vec<(LocationId, Band)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().expect("refstore shard poisoned").keys());
+        }
+        // Deterministic across restarts and backends (per-shard key lists
+        // are sorted, but shard hashing interleaves them).
+        out.sort();
+        out
+    }
+
+    fn ingest_batch(&self, references: Vec<ReferenceImage>, threads: usize) -> IngestReport {
+        parallel_offer(self, references, threads)
+    }
+
+    fn sync(&self) {
+        for shard in &self.shards {
+            shard
+                .write()
+                .expect("refstore shard poisoned")
+                .sync()
+                .expect("refstore sync failed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::{PlanetBand, Raster};
+
+    fn test_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "earthplus-ground-persistent-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn red() -> Band {
+        Band::Planet(PlanetBand::Red)
+    }
+
+    fn reference(location: u32, day: f64, value: f32) -> ReferenceImage {
+        let full = Raster::filled(64, 64, value);
+        ReferenceImage::from_capture(LocationId(location), red(), day, &full, 8).unwrap()
+    }
+
+    #[test]
+    fn offer_get_fresh_day_round_trip() {
+        let root = test_root("roundtrip");
+        let (store, report) =
+            PersistentReferenceStore::open(&root, 4, RefLogConfig::default()).unwrap();
+        assert!(report.clean());
+        assert!(store.offer(reference(0, 5.0, 0.4)));
+        assert!(!store.offer(reference(0, 3.0, 0.5)), "stale rejected");
+        assert!(store.offer(reference(0, 9.0, 0.6)));
+        assert_eq!(store.fresh_day(LocationId(0), red()), Some(9.0));
+        let got = store.get(LocationId(0), red()).unwrap();
+        assert_eq!(got.captured_day, 9.0);
+        assert_eq!(got, reference(0, 9.0, 0.6));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_recovers_identical_state() {
+        let root = test_root("reopen");
+        let (store, _) = PersistentReferenceStore::open(&root, 3, RefLogConfig::default()).unwrap();
+        for loc in 0..20u32 {
+            store.offer(reference(loc, 1.0 + loc as f64, 0.3));
+        }
+        let keys = store.keys();
+        let size = store.size_bytes();
+        drop(store);
+        let (store, report) =
+            PersistentReferenceStore::open(&root, 3, RefLogConfig::default()).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.live_records, 20);
+        assert_eq!(store.keys(), keys);
+        assert_eq!(store.size_bytes(), size);
+        for loc in 0..20u32 {
+            assert_eq!(
+                store.fresh_day(LocationId(loc), red()),
+                Some(1.0 + loc as f64)
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn size_bytes_matches_in_memory_model() {
+        let root = test_root("size");
+        let (store, _) = PersistentReferenceStore::open(&root, 2, RefLogConfig::default()).unwrap();
+        let expected: u64 = (0..5u32)
+            .map(|loc| reference(loc, 1.0, 0.3).size_bytes())
+            .sum();
+        for loc in 0..5u32 {
+            store.offer(reference(loc, 1.0, 0.3));
+        }
+        assert_eq!(store.size_bytes(), expected);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_layout_mirrors_shard_routing() {
+        let root = test_root("routing");
+        let shards = 4;
+        let (store, _) =
+            PersistentReferenceStore::open(&root, shards, RefLogConfig::default()).unwrap();
+        for loc in 0..32u32 {
+            store.offer(reference(loc, 1.0, 0.3));
+        }
+        store.compact_all().unwrap();
+        drop(store);
+        // Each key's record must live in exactly the directory its
+        // in-memory shard routing picks.
+        for loc in 0..32u32 {
+            let expected_shard = shard_index(LocationId(loc), red(), shards);
+            let dir = root.join(shard_dir_name(expected_shard));
+            let (log, _) = RefLog::open(&dir, RefLogConfig::default()).unwrap();
+            assert!(
+                log.fresh_day(&(LocationId(loc), red())).is_some(),
+                "location {loc} missing from its routed shard {expected_shard}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn parallel_ingest_converges_to_freshest() {
+        let root = test_root("ingest");
+        let (store, _) = PersistentReferenceStore::open(&root, 4, RefLogConfig::default()).unwrap();
+        let mut batch = Vec::new();
+        for day in [3.0, 9.0, 5.0, 1.0] {
+            for loc in 0..16u32 {
+                batch.push(reference(loc, day, 0.3));
+            }
+        }
+        let report = store.ingest_batch(batch, 4);
+        assert_eq!(report.offered(), 64);
+        assert_eq!(store.len(), 16);
+        for loc in 0..16u32 {
+            assert_eq!(store.fresh_day(LocationId(loc), red()), Some(9.0));
+        }
+        store.sync();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let root = test_root("stats");
+        let (store, _) = PersistentReferenceStore::open(&root, 2, RefLogConfig::default()).unwrap();
+        for generation in 1..=3 {
+            for loc in 0..6u32 {
+                store.offer(reference(loc, generation as f64, 0.3));
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.live_records, 6);
+        assert_eq!(stats.dead_records, 12);
+        assert!(stats.dead_bytes > 0);
+        store.compact_all().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.dead_bytes, 0);
+        assert_eq!(stats.compactions, 2);
+        assert!(store.disk_bytes().unwrap() > 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -62,6 +62,68 @@ impl ReferenceImage {
     pub fn size_bytes(&self) -> u64 {
         (self.lowres.len() as u64 * 12).div_ceil(8)
     }
+
+    /// Fixed bytes a serialized reference occupies before its samples
+    /// (see [`ReferenceImage::to_record_payload`]).
+    pub const RECORD_PAYLOAD_HEADER: usize = 20;
+
+    /// Serializes the image fields a storage record does not already
+    /// carry (location, band, and day live in the record key/day):
+    /// five `u32` dimensions then the raw little-endian `f32` samples.
+    pub fn to_record_payload(&self) -> Vec<u8> {
+        let (w, h) = self.lowres.dimensions();
+        let mut payload = Vec::with_capacity(Self::RECORD_PAYLOAD_HEADER + 4 * self.lowres.len());
+        for dim in [
+            self.full_width as u32,
+            self.full_height as u32,
+            self.downsample as u32,
+            w as u32,
+            h as u32,
+        ] {
+            payload.extend_from_slice(&dim.to_le_bytes());
+        }
+        for &sample in self.lowres.as_slice() {
+            payload.extend_from_slice(&sample.to_le_bytes());
+        }
+        payload
+    }
+
+    /// Rebuilds a reference from a stored record. `None` when the payload
+    /// is malformed (its length disagrees with the encoded dimensions) —
+    /// which a CRC-checked storage layer turns into "never", but the
+    /// decoder refuses to guess rather than panic.
+    pub fn from_record_payload(
+        location: LocationId,
+        band: Band,
+        day: f64,
+        payload: &[u8],
+    ) -> Option<Self> {
+        if payload.len() < Self::RECORD_PAYLOAD_HEADER {
+            return None;
+        }
+        let dim = |i: usize| {
+            u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("4 bytes")) as usize
+        };
+        let (full_width, full_height, downsample) = (dim(0), dim(1), dim(2));
+        let (w, h) = (dim(3), dim(4));
+        let samples = &payload[Self::RECORD_PAYLOAD_HEADER..];
+        if samples.len() != 4 * w.checked_mul(h)? {
+            return None;
+        }
+        let data: Vec<f32> = samples
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Some(ReferenceImage {
+            location,
+            band,
+            captured_day: day,
+            lowres: Raster::from_vec(w, h, data).ok()?,
+            downsample,
+            full_width,
+            full_height,
+        })
+    }
 }
 
 /// Ground-side pool of the freshest cloud-free reference per
@@ -278,6 +340,29 @@ mod tests {
     fn age_computation() {
         let r = reference(10.0, 0.5);
         assert_eq!(r.age_days(14.5), 4.5);
+    }
+
+    #[test]
+    fn record_payload_round_trip_is_bit_exact() {
+        let r = reference(7.5, 0.4);
+        let payload = r.to_record_payload();
+        assert_eq!(
+            payload.len(),
+            ReferenceImage::RECORD_PAYLOAD_HEADER + 4 * r.lowres.len()
+        );
+        let back =
+            ReferenceImage::from_record_payload(r.location, r.band, r.captured_day, &payload)
+                .unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_payload_is_refused() {
+        let r = reference(1.0, 0.2);
+        let mut payload = r.to_record_payload();
+        payload.truncate(payload.len() - 3); // length no longer matches w*h
+        assert!(ReferenceImage::from_record_payload(r.location, r.band, 1.0, &payload).is_none());
+        assert!(ReferenceImage::from_record_payload(r.location, r.band, 1.0, &[0; 7]).is_none());
     }
 
     #[test]

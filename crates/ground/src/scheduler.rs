@@ -13,8 +13,8 @@
 //! offers fewer bytes, and whatever does not fit is served stale from the
 //! on-board cache.
 
+use crate::backend::ReferenceBackend;
 use crate::cache::EvictingReferenceCache;
-use crate::store::ShardedReferenceStore;
 use crate::uplink::{compute_delta, ReferenceDelta, UplinkReport};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId};
@@ -59,7 +59,11 @@ impl ConstellationScheduler {
     /// its own budget) and applies the scheduled updates to the
     /// satellites' caches. A satellite seen for the first time gets a
     /// cache from `new_cache`, so capacity bounds and eviction policy are
-    /// the caller's decision, not the scheduler's.
+    /// the caller's decision, not the scheduler's. The scheduler is
+    /// backend-agnostic: `store` may be the in-memory sharded store or
+    /// the persistent log-structured one, and the plan is identical for
+    /// identical store contents (candidates are totally ordered by
+    /// staleness, cost, location, and band).
     ///
     /// Returns one [`UplinkReport`] per contact window, in input order.
     /// An update that fits in none of its satellite's windows is counted
@@ -67,7 +71,7 @@ impl ConstellationScheduler {
     /// the satellite serves the stale cached reference meanwhile.
     pub fn plan_pass(
         &self,
-        store: &ShardedReferenceStore,
+        store: &dyn ReferenceBackend,
         caches: &mut HashMap<SatelliteId, EvictingReferenceCache>,
         targets: &[(LocationId, Band)],
         contacts: &[ContactWindow],
@@ -194,6 +198,7 @@ impl ConstellationScheduler {
 mod tests {
     use super::*;
     use crate::reference::ReferenceImage;
+    use crate::store::ShardedReferenceStore;
     use earthplus_raster::{PlanetBand, Raster};
 
     fn red() -> Band {

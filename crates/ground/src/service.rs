@@ -8,22 +8,46 @@
 //! metric scrapers — the shape a real ground segment serving a
 //! constellation needs.
 
+use crate::backend::ReferenceBackend;
 use crate::cache::{CacheStats, EvictingReferenceCache, EvictionPolicy};
+use crate::persistent::PersistentReferenceStore;
 use crate::reference::ReferenceImage;
 use crate::scheduler::{ConstellationScheduler, ContactWindow};
 use crate::store::{IngestReport, ShardedReferenceStore};
 use crate::uplink::UplinkReport;
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId};
+use earthplus_refstore::{RecoveryReport, RefLogConfig, RefStoreError};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Which reference-store backend a [`GroundService`] runs on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum ReferenceBackendConfig {
+    /// The in-memory sharded store — fast, forgets everything on restart
+    /// (the seed behaviour, and the right choice for pure simulation).
+    #[default]
+    InMemory,
+    /// The durable log-structured store under `dir` — survives ground
+    /// segment restarts with a replay-recovered index.
+    Persistent {
+        /// Root directory; shard subdirectories are created beneath it.
+        dir: PathBuf,
+        /// Storage-engine tuning (segment size, compaction, fsync).
+        log: RefLogConfig,
+    },
+}
 
 /// Configuration of a [`GroundService`].
 #[derive(Debug, Clone)]
 pub struct GroundServiceConfig {
-    /// Shard count of the reference store.
+    /// Shard count of the reference store (in-memory shards or on-disk
+    /// shard directories — same routing either way).
     pub shards: usize,
+    /// Which store backend holds the references.
+    pub backend: ReferenceBackendConfig,
     /// Pixel-difference threshold for delta compression of reference
     /// updates.
     pub theta: f32,
@@ -43,6 +67,7 @@ impl Default for GroundServiceConfig {
     fn default() -> Self {
         GroundServiceConfig {
             shards: ShardedReferenceStore::DEFAULT_SHARDS,
+            backend: ReferenceBackendConfig::InMemory,
             theta: 0.01,
             cache_capacity_bytes: None,
             eviction: EvictionPolicy::default(),
@@ -68,6 +93,21 @@ impl GroundServiceConfig {
     /// Sets the delta threshold θ.
     pub fn with_theta(mut self, theta: f32) -> Self {
         self.theta = theta;
+        self
+    }
+
+    /// Selects the durable backend rooted at `dir` with default
+    /// storage-engine tuning.
+    pub fn with_persistence(self, dir: impl Into<PathBuf>) -> Self {
+        self.with_backend(ReferenceBackendConfig::Persistent {
+            dir: dir.into(),
+            log: RefLogConfig::default(),
+        })
+    }
+
+    /// Sets the backend explicitly.
+    pub fn with_backend(mut self, backend: ReferenceBackendConfig) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -103,7 +143,10 @@ pub struct GroundServiceStats {
 #[derive(Debug)]
 pub struct GroundService {
     config: GroundServiceConfig,
-    store: ShardedReferenceStore,
+    store: Box<dyn ReferenceBackend>,
+    /// What recovery found when a persistent backend was opened; `None`
+    /// on the in-memory backend.
+    recovery: Option<RecoveryReport>,
     scheduler: ConstellationScheduler,
     caches: Mutex<HashMap<SatelliteId, EvictingReferenceCache>>,
     ingest_accepted: AtomicU64,
@@ -116,9 +159,37 @@ pub struct GroundService {
 
 impl GroundService {
     /// Creates the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a persistent backend cannot open its directory; use
+    /// [`GroundService::try_new`] to handle storage errors.
     pub fn new(config: GroundServiceConfig) -> Self {
-        GroundService {
-            store: ShardedReferenceStore::new(config.shards),
+        Self::try_new(config).expect("reference backend failed to open")
+    }
+
+    /// Creates the service, surfacing storage errors from a persistent
+    /// backend instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the storage-engine error when the persistent backend
+    /// cannot be opened (I/O failure on its directory). The in-memory
+    /// backend never fails.
+    pub fn try_new(config: GroundServiceConfig) -> Result<Self, RefStoreError> {
+        let (store, recovery): (Box<dyn ReferenceBackend>, Option<RecoveryReport>) =
+            match &config.backend {
+                ReferenceBackendConfig::InMemory => {
+                    (Box::new(ShardedReferenceStore::new(config.shards)), None)
+                }
+                ReferenceBackendConfig::Persistent { dir, log } => {
+                    let (store, report) = PersistentReferenceStore::open(dir, config.shards, *log)?;
+                    (Box::new(store), Some(report))
+                }
+            };
+        Ok(GroundService {
+            store,
+            recovery,
             scheduler: ConstellationScheduler::new(config.theta),
             caches: Mutex::new(HashMap::new()),
             ingest_accepted: AtomicU64::new(0),
@@ -128,7 +199,7 @@ impl GroundService {
             uplink_bytes_sent: AtomicU64::new(0),
             peak_cache_bytes: AtomicU64::new(0),
             config,
-        }
+        })
     }
 
     /// The configuration in force.
@@ -136,9 +207,21 @@ impl GroundService {
         &self.config
     }
 
-    /// The underlying sharded reference store.
-    pub fn store(&self) -> &ShardedReferenceStore {
-        &self.store
+    /// The underlying reference store, whichever backend was configured.
+    pub fn store(&self) -> &dyn ReferenceBackend {
+        self.store.as_ref()
+    }
+
+    /// What recovery found when the persistent backend opened (`None` on
+    /// the in-memory backend): live records replayed, torn bytes
+    /// truncated, corrupt records dropped.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Flushes the backend's durability (no-op in memory).
+    pub fn sync(&self) {
+        self.store.sync();
     }
 
     fn new_cache(&self) -> EvictingReferenceCache {
@@ -197,11 +280,11 @@ impl GroundService {
             &self.config.targets
         };
         let mut caches = self.caches.lock().expect("cache table poisoned");
-        let reports = self
-            .scheduler
-            .plan_pass(&self.store, &mut caches, targets, contacts, || {
-                self.new_cache()
-            });
+        let reports =
+            self.scheduler
+                .plan_pass(self.store.as_ref(), &mut caches, targets, contacts, || {
+                    self.new_cache()
+                });
         let mut sent = 0u64;
         let mut skipped = 0u64;
         let mut bytes = 0u64;

@@ -44,6 +44,20 @@ impl Hasher for ShardHasher {
     }
 }
 
+/// Shard an operation on `(location, band)` routes to, out of
+/// `shard_count` shards.
+///
+/// Shared by every backend: [`ShardedReferenceStore`] uses it to pick an
+/// in-memory shard, [`crate::PersistentReferenceStore`] to pick a segment
+/// directory — so multi-ground-station sharding maps one-to-one onto disk
+/// layout, and a shard's files can be rehomed to another station without
+/// re-routing keys.
+pub fn shard_index(location: LocationId, band: Band, shard_count: usize) -> usize {
+    let mut hasher = ShardHasher::default();
+    (location, band).hash(&mut hasher);
+    (hasher.finish() as usize) % shard_count.max(1)
+}
+
 /// Outcome of one (possibly parallel) batch ingest.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IngestReport {
@@ -93,9 +107,7 @@ impl ShardedReferenceStore {
     }
 
     fn shard_of(&self, location: LocationId, band: Band) -> &Shard {
-        let mut hasher = ShardHasher::default();
-        (location, band).hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        &self.shards[shard_index(location, band, self.shards.len())]
     }
 
     /// Offers a new cloud-free reference; kept if fresher than the current

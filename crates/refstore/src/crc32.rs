@@ -1,0 +1,60 @@
+//! CRC32 (IEEE 802.3 polynomial, reflected) — the per-record integrity
+//! check of the segment format.
+//!
+//! Std-only by necessity (the build environment has no crates.io access)
+//! and table-driven: the 256-entry table is built in a `const` context, so
+//! the runtime cost is one lookup and one XOR per byte.
+
+/// Reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes` (IEEE, as produced by zlib's `crc32` and the `crc32fast`
+/// crate).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        let clean = crc32(&data);
+        data[17] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,806 @@
+//! The log engine: open/replay, append, read, compact.
+//!
+//! One [`RefLog`] owns one directory of segment files plus a manifest. It
+//! is single-writer by construction (`append`/`compact` take `&mut self`);
+//! concurrent use is layered on top by sharding — the ground segment runs
+//! one `RefLog` per shard directory behind an `RwLock`, mirroring the
+//! in-memory store's shard routing.
+//!
+//! ## Durability contract
+//!
+//! * **Commit point** — a record is committed once its CRC-framed bytes
+//!   are fully in the segment file. With `fsync_appends` enabled the
+//!   append also forces the file to stable storage before returning;
+//!   without it (the default, matching the simulation's needs) the OS may
+//!   hold the tail in its page cache, and the commit point is
+//!   process-crash-safe but not power-loss-safe.
+//! * **Recovery** — replay scans manifest-listed segments plus anything
+//!   newer, in id then offset order. A torn tail is truncated back to the
+//!   last valid record; CRC-corrupt records in the middle of a segment
+//!   are dropped and counted; both are reported in [`RecoveryReport`].
+//! * **Compaction** — live records are rewritten (in key order, so the
+//!   result is deterministic) into fresh segments, the manifest is
+//!   atomically swapped, and the old segments deleted. Superseded
+//!   reference generations die here; an interrupted compaction leaves
+//!   either the old manifest (the half-written new segments replay after
+//!   the originals, lose every equal-day freshness tie to them, and are
+//!   reclaimed as dead bytes by the next compaction) or the new one (the
+//!   retired old segments are swept as orphans on next open), never a
+//!   mix.
+
+use crate::error::{RefStoreError, Result};
+use crate::index::{IndexEntry, MemIndex};
+use crate::manifest::Manifest;
+use crate::record::{decode_frame, encode_frame, Record, RecordKey, BODY_FIXED_LEN, MAX_BODY_LEN};
+use crate::segment::{
+    list_segments, scan_segment, segment_file_name, SegmentWriter, SEGMENT_HEADER_LEN,
+};
+use std::collections::{hash_map, HashMap};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs of one [`RefLog`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefLogConfig {
+    /// Appends rotate to a new segment once the active one reaches this
+    /// many bytes.
+    pub segment_max_bytes: u64,
+    /// Automatically compact after an append when both dead-byte
+    /// thresholds are exceeded. Disable for tests that need a fixed file
+    /// layout.
+    pub auto_compact: bool,
+    /// Auto-compaction requires at least this many dead bytes…
+    pub compact_min_dead_bytes: u64,
+    /// …and a dead fraction (dead / (dead + live)) at or above this.
+    pub compact_min_dead_fraction: f64,
+    /// `fsync` every append (power-loss durability) instead of only
+    /// handing bytes to the OS (process-crash durability).
+    pub fsync_appends: bool,
+}
+
+impl Default for RefLogConfig {
+    fn default() -> Self {
+        RefLogConfig {
+            segment_max_bytes: 4 << 20,
+            auto_compact: true,
+            compact_min_dead_bytes: 256 << 10,
+            compact_min_dead_fraction: 0.5,
+            fsync_appends: false,
+        }
+    }
+}
+
+/// What recovery found while rebuilding the index from a directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segment files scanned.
+    pub segments_scanned: u64,
+    /// Records now live in the index.
+    pub live_records: u64,
+    /// Valid records superseded by fresher generations of the same key.
+    pub superseded_records: u64,
+    /// CRC-invalid or undecodable records dropped mid-segment.
+    pub corrupt_records_dropped: u64,
+    /// Torn-tail bytes truncated off segment ends.
+    pub truncated_bytes: u64,
+    /// Segment files removed as compaction leftovers, plus files whose
+    /// header was unreadable (quarantined in place, counted here).
+    pub orphan_segments: u64,
+    /// Whether a valid manifest directed the replay (false on fresh
+    /// directories and after manifest corruption, when the engine falls
+    /// back to replaying everything present).
+    pub manifest_loaded: bool,
+}
+
+impl RecoveryReport {
+    /// Accumulates another shard's report into this one (manifest flag
+    /// AND-ed: "all shards recovered via manifest").
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.segments_scanned += other.segments_scanned;
+        self.live_records += other.live_records;
+        self.superseded_records += other.superseded_records;
+        self.corrupt_records_dropped += other.corrupt_records_dropped;
+        self.truncated_bytes += other.truncated_bytes;
+        self.orphan_segments += other.orphan_segments;
+        self.manifest_loaded &= other.manifest_loaded;
+    }
+
+    /// Whether recovery saw any damage at all.
+    pub fn clean(&self) -> bool {
+        self.corrupt_records_dropped == 0 && self.truncated_bytes == 0
+    }
+}
+
+/// Point-in-time accounting of one log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefLogStats {
+    /// Segment files currently referenced.
+    pub segments: u64,
+    /// Live (indexed) records.
+    pub live_records: u64,
+    /// Superseded records still occupying file bytes.
+    pub dead_records: u64,
+    /// File bytes of live records (frames, headers excluded).
+    pub live_bytes: u64,
+    /// File bytes of superseded/corrupt records awaiting compaction.
+    pub dead_bytes: u64,
+    /// Compactions run since open.
+    pub compactions: u64,
+}
+
+/// A durable, crash-recoverable, log-structured store of freshest-wins
+/// reference records. See the module docs for the durability contract.
+#[derive(Debug)]
+pub struct RefLog {
+    dir: PathBuf,
+    config: RefLogConfig,
+    index: MemIndex,
+    active: SegmentWriter,
+    /// Ids of sealed + active segments, ascending.
+    segments: Vec<u64>,
+    next_segment_id: u64,
+    dead_records: u64,
+    dead_bytes: u64,
+    live_bytes: u64,
+    compactions: u64,
+}
+
+impl RefLog {
+    /// Opens (or creates) the log at `dir`, replaying every committed
+    /// record into a fresh index and healing crash damage as described in
+    /// the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures. Corruption is healed and reported, not
+    /// returned as an error.
+    pub fn open(dir: &Path, config: RefLogConfig) -> Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(dir)?;
+        let mut report = RecoveryReport::default();
+
+        let manifest = Manifest::load(dir)?;
+        report.manifest_loaded = manifest.is_some();
+        let mut orphans: Vec<PathBuf> = Vec::new();
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        let all = list_segments(dir)?;
+        match &manifest {
+            Some(manifest) => {
+                for (id, path) in all {
+                    if manifest.live_segments.contains(&id) || id >= manifest.next_segment_id {
+                        segments.push((id, path));
+                    } else {
+                        // Unlisted and pre-manifest: a leftover from an
+                        // interrupted compaction sweep.
+                        orphans.push(path);
+                    }
+                }
+            }
+            None => segments = all,
+        }
+        for path in orphans {
+            std::fs::remove_file(&path)?;
+            report.orphan_segments += 1;
+        }
+
+        let mut index = MemIndex::new();
+        let mut live_bytes = 0u64;
+        let mut dead_records = 0u64;
+        let mut dead_bytes = 0u64;
+        let mut kept_segments: Vec<u64> = Vec::new();
+        let mut tail: Option<(u64, u64)> = None; // (id, valid_len) of last good segment
+        for (id, path) in &segments {
+            let scan = scan_segment(path, *id)?;
+            report.segments_scanned += 1;
+            if scan.header_invalid {
+                // Quarantine: leave the file for forensics, index nothing.
+                report.orphan_segments += 1;
+                continue;
+            }
+            if scan.torn_bytes > 0 {
+                // Heal the torn tail now so the file is clean even if this
+                // segment does not become the active one.
+                let file = std::fs::OpenOptions::new().write(true).open(path)?;
+                file.set_len(scan.valid_len)?;
+                report.truncated_bytes += scan.torn_bytes;
+            }
+            report.corrupt_records_dropped += scan.corrupt_dropped;
+            // Corrupt gaps stay in the file until compaction; counting
+            // them keeps dead_bytes + live_bytes reconciled with the
+            // files and lets auto-compaction reclaim them.
+            dead_bytes += scan.corrupt_bytes;
+            for scanned in scan.records {
+                let entry = IndexEntry {
+                    segment: *id,
+                    offset: scanned.offset,
+                    framed_len: scanned.framed_len,
+                    day: scanned.record.day,
+                };
+                if index.is_fresher(&scanned.record.key, scanned.record.day) {
+                    if let Some(old) = index.install(scanned.record.key, entry) {
+                        dead_records += 1;
+                        dead_bytes += old.framed_len;
+                        live_bytes -= old.framed_len;
+                    }
+                    live_bytes += scanned.framed_len;
+                } else {
+                    dead_records += 1;
+                    dead_bytes += scanned.framed_len;
+                }
+            }
+            kept_segments.push(*id);
+            tail = Some((*id, scan.valid_len));
+        }
+        report.live_records = index.len() as u64;
+        report.superseded_records = dead_records;
+
+        // Allocate new ids past everything seen on disk — including
+        // quarantined files, whose names must not be reused.
+        let next_free = segments
+            .last()
+            .map(|&(id, _)| id + 1)
+            .max(manifest.as_ref().map(|m| m.next_segment_id))
+            .unwrap_or(0);
+
+        // Continue appending into the last segment when it has room;
+        // otherwise start a new one. Continuing keeps the file layout of a
+        // crashed-and-reopened store byte-identical to one that never
+        // crashed, which the recovery tests rely on.
+        let active = match tail {
+            Some((id, valid_len)) if valid_len < config.segment_max_bytes => {
+                SegmentWriter::reopen(dir, id, valid_len)?
+            }
+            _ => {
+                let writer = SegmentWriter::create(dir, next_free)?;
+                kept_segments.push(next_free);
+                writer
+            }
+        };
+        let next_segment_id = next_free.max(active.id + 1);
+
+        Ok((
+            RefLog {
+                dir: dir.to_path_buf(),
+                config,
+                index,
+                active,
+                segments: kept_segments,
+                next_segment_id,
+                dead_records,
+                dead_bytes,
+                live_bytes,
+                compactions: 0,
+            },
+            report,
+        ))
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RefLogConfig {
+        &self.config
+    }
+
+    /// Appends a record under freshest-wins semantics. Returns `false`
+    /// (writing nothing) when the stored generation is at least as fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RefStoreError::TooLarge`] — before writing anything —
+    /// for a payload the frame format cannot commit (recovery would
+    /// treat its frame as framing corruption). Propagates write
+    /// failures; on error the index is unchanged (the partially written
+    /// frame, if any, is healed by the next recovery).
+    pub fn append(&mut self, key: RecordKey, day: f64, payload: &[u8]) -> Result<bool> {
+        if BODY_FIXED_LEN + payload.len() as u64 > MAX_BODY_LEN {
+            return Err(RefStoreError::TooLarge(payload.len() as u64));
+        }
+        if !self.index.is_fresher(&key, day) {
+            return Ok(false);
+        }
+        let frame = encode_frame(key, day, payload);
+        if self.active.len + frame.len() as u64 > self.config.segment_max_bytes
+            && self.active.len > SEGMENT_HEADER_LEN
+        {
+            self.rotate()?;
+        }
+        let offset = self.active.append_frame(&frame)?;
+        if self.config.fsync_appends {
+            self.active.sync()?;
+        }
+        let entry = IndexEntry {
+            segment: self.active.id,
+            offset,
+            framed_len: frame.len() as u64,
+            day,
+        };
+        if let Some(old) = self.index.install(key, entry) {
+            self.dead_records += 1;
+            self.dead_bytes += old.framed_len;
+            self.live_bytes -= old.framed_len;
+        }
+        self.live_bytes += frame.len() as u64;
+        if self.config.auto_compact && self.should_compact() {
+            self.compact()?;
+        }
+        Ok(true)
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        let id = self.next_segment_id;
+        self.next_segment_id += 1;
+        self.active = SegmentWriter::create(&self.dir, id)?;
+        self.segments.push(id);
+        Ok(())
+    }
+
+    fn should_compact(&self) -> bool {
+        let total = self.live_bytes + self.dead_bytes;
+        self.dead_bytes >= self.config.compact_min_dead_bytes
+            && total > 0
+            && self.dead_bytes as f64 >= self.config.compact_min_dead_fraction * total as f64
+    }
+
+    /// The capture day of the live generation of `key`, from the index
+    /// alone — the scheduler's staleness probe never touches the disk.
+    pub fn fresh_day(&self, key: &RecordKey) -> Option<f64> {
+        self.index.get(key).map(|e| e.day)
+    }
+
+    /// Reads the live record for `key` from its segment file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; returns [`RefStoreError::Corrupt`] when
+    /// the committed bytes no longer pass their CRC or decode to a
+    /// different key (storage decay).
+    pub fn get(&self, key: &RecordKey) -> Result<Option<Record>> {
+        let Some(entry) = self.index.get(key) else {
+            return Ok(None);
+        };
+        let mut file = File::open(self.dir.join(segment_file_name(entry.segment)))?;
+        read_entry_at(&mut file, key, entry).map(Some)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no key is live.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// All live keys, sorted (deterministic across backends and restarts).
+    pub fn keys(&self) -> Vec<RecordKey> {
+        self.index.keys_sorted()
+    }
+
+    /// All live `(key, entry)` pairs sorted by key — the material of the
+    /// byte-identity assertions in the recovery tests.
+    pub fn index_entries(&self) -> Vec<(RecordKey, IndexEntry)> {
+        self.index.entries_sorted()
+    }
+
+    /// Payload bytes of the live generation of `key`, without reading the
+    /// file (derived from the frame length).
+    pub fn payload_len(&self, key: &RecordKey) -> Option<u64> {
+        self.index.get(key).map(IndexEntry::payload_len)
+    }
+
+    /// Iterates live `(key, entry)` pairs in arbitrary order (no sort,
+    /// no allocation) — for whole-store accounting such as a backend's
+    /// logical size model.
+    pub fn entries(&self) -> impl Iterator<Item = (&RecordKey, &IndexEntry)> {
+        self.index.iter()
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> RefLogStats {
+        RefLogStats {
+            segments: self.segments.len() as u64,
+            live_records: self.index.len() as u64,
+            dead_records: self.dead_records,
+            live_bytes: self.live_bytes,
+            dead_bytes: self.dead_bytes,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Total bytes of all referenced segment files on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata failures.
+    pub fn disk_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for &id in &self.segments {
+            total += std::fs::metadata(self.dir.join(segment_file_name(id)))?.len();
+        }
+        Ok(total)
+    }
+
+    /// Forces the active segment onto stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fsync` failures.
+    pub fn sync(&mut self) -> Result<()> {
+        self.active.sync()
+    }
+
+    /// Rewrites live records into fresh segments (key order), swaps the
+    /// manifest atomically, and deletes the retired segments. Drops every
+    /// superseded reference generation. This *is* the snapshot mechanism:
+    /// the compacted segments plus the manifest are a consistent
+    /// point-in-time image that replay can start from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures. If the failure happens before the
+    /// manifest rename, the store is unchanged — in memory too, so the
+    /// engine keeps running on the old segments (the partially written
+    /// new ones are reclaimed via replay-and-recompact, see the module
+    /// docs); after the rename, the retired segments are swept instead.
+    pub fn compact(&mut self) -> Result<()> {
+        let live = self.index.entries_sorted();
+
+        let mut new_segments: Vec<u64> = Vec::new();
+        let mut writer: Option<SegmentWriter> = None;
+        let mut new_index = MemIndex::new();
+        let mut live_bytes = 0u64;
+        // One read handle per source segment: live entries are in key
+        // order, not segment order, so without this every record would
+        // reopen its file.
+        let mut sources: HashMap<u64, File> = HashMap::new();
+        for (key, entry) in live {
+            let source = match sources.entry(entry.segment) {
+                hash_map::Entry::Occupied(o) => o.into_mut(),
+                hash_map::Entry::Vacant(v) => {
+                    v.insert(File::open(self.dir.join(segment_file_name(entry.segment)))?)
+                }
+            };
+            let record = read_entry_at(source, &key, &entry)?;
+            let frame = encode_frame(key, record.day, &record.payload);
+            let rotate = writer.as_ref().is_none_or(|w| {
+                w.len + frame.len() as u64 > self.config.segment_max_bytes
+                    && w.len > SEGMENT_HEADER_LEN
+            });
+            if rotate {
+                if let Some(mut w) = writer.take() {
+                    w.sync()?;
+                }
+                let id = self.next_segment_id;
+                self.next_segment_id += 1;
+                writer = Some(SegmentWriter::create(&self.dir, id)?);
+                new_segments.push(id);
+            }
+            let w = writer.as_mut().expect("writer just ensured");
+            let offset = w.append_frame(&frame)?;
+            new_index.install(
+                key,
+                IndexEntry {
+                    segment: w.id,
+                    offset,
+                    framed_len: frame.len() as u64,
+                    day: record.day,
+                },
+            );
+            live_bytes += frame.len() as u64;
+        }
+        // An empty store still needs an active segment to append into.
+        if writer.is_none() {
+            let id = self.next_segment_id;
+            self.next_segment_id += 1;
+            writer = Some(SegmentWriter::create(&self.dir, id)?);
+            new_segments.push(id);
+        }
+        let mut active = writer.expect("active segment ensured");
+        active.sync()?;
+
+        // Commit point: atomically swap the manifest…
+        Manifest {
+            live_segments: new_segments.clone(),
+            next_segment_id: self.next_segment_id,
+        }
+        .store(&self.dir)?;
+
+        // …adopt the new state — `self` is untouched up to the manifest
+        // commit, so an error anywhere above leaves the engine running on
+        // the old segments (the partially written new ones are swept as
+        // orphans on next open)…
+        let retired: Vec<u64> = self
+            .segments
+            .iter()
+            .copied()
+            .filter(|id| !new_segments.contains(id))
+            .collect();
+        self.index = new_index;
+        self.segments = new_segments;
+        self.active = active;
+        self.live_bytes = live_bytes;
+        self.dead_bytes = 0;
+        self.dead_records = 0;
+        self.compactions += 1;
+
+        // …then sweep the retired segments, which the new manifest no
+        // longer lists (idempotent; redone on next open if we crash or
+        // fail here).
+        for id in retired {
+            std::fs::remove_file(self.dir.join(segment_file_name(id)))?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads and validates one indexed record from an already-open segment
+/// file — shared by [`RefLog::get`] and compaction (which holds one
+/// handle per source segment instead of reopening per record).
+fn read_entry_at(file: &mut File, key: &RecordKey, entry: &IndexEntry) -> Result<Record> {
+    file.seek(SeekFrom::Start(entry.offset))?;
+    let mut frame = vec![0u8; entry.framed_len as usize];
+    file.read_exact(&mut frame).map_err(|e| {
+        RefStoreError::Corrupt(format!(
+            "live record at segment {} offset {} unreadable: {e}",
+            entry.segment, entry.offset
+        ))
+    })?;
+    let record = decode_frame(&frame)?;
+    if record.key != *key {
+        return Err(RefStoreError::Corrupt(
+            "index entry points at a record with a different key".into(),
+        ));
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthplus_raster::{Band, LocationId, PlanetBand};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "earthplus-refstore-log-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(loc: u32) -> RecordKey {
+        (LocationId(loc), Band::Planet(PlanetBand::Red))
+    }
+
+    fn no_autocompact() -> RefLogConfig {
+        RefLogConfig {
+            auto_compact: false,
+            ..RefLogConfig::default()
+        }
+    }
+
+    #[test]
+    fn append_get_round_trip_and_freshest_wins() {
+        let dir = test_dir("roundtrip");
+        let (mut log, report) = RefLog::open(&dir, RefLogConfig::default()).unwrap();
+        assert!(report.clean());
+        assert!(!report.manifest_loaded);
+        assert!(log.append(key(0), 5.0, b"gen5").unwrap());
+        assert!(!log.append(key(0), 3.0, b"gen3").unwrap(), "stale rejected");
+        assert!(
+            !log.append(key(0), 5.0, b"gen5b").unwrap(),
+            "equal rejected"
+        );
+        assert!(log.append(key(0), 9.0, b"gen9").unwrap());
+        let record = log.get(&key(0)).unwrap().unwrap();
+        assert_eq!(record.day, 9.0);
+        assert_eq!(record.payload, b"gen9");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.stats().dead_records, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_replays_to_identical_index() {
+        let dir = test_dir("replay");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        for loc in 0..20u32 {
+            for day in [1.0, 2.0] {
+                log.append(key(loc), day, format!("{loc}@{day}").as_bytes())
+                    .unwrap();
+            }
+        }
+        let before = log.index_entries();
+        let stats_before = log.stats();
+        drop(log);
+        let (log, report) = RefLog::open(&dir, no_autocompact()).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.live_records, 20);
+        assert_eq!(report.superseded_records, 20);
+        assert_eq!(
+            log.index_entries(),
+            before,
+            "replayed index must be identical"
+        );
+        assert_eq!(log.stats().dead_bytes, stats_before.dead_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_rotation_spreads_records() {
+        let dir = test_dir("rotate");
+        let config = RefLogConfig {
+            segment_max_bytes: 256,
+            auto_compact: false,
+            ..RefLogConfig::default()
+        };
+        let (mut log, _) = RefLog::open(&dir, config).unwrap();
+        for loc in 0..32u32 {
+            log.append(key(loc), 1.0, &[0u8; 48]).unwrap();
+        }
+        assert!(log.stats().segments > 1, "rotation must have happened");
+        // Every record still readable after rotation.
+        for loc in 0..32u32 {
+            assert!(log.get(&key(loc)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_superseded_generations_and_survives_reopen() {
+        let dir = test_dir("compact");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        for generation in 0..10 {
+            for loc in 0..8u32 {
+                log.append(key(loc), generation as f64, &[generation as u8; 64])
+                    .unwrap();
+            }
+        }
+        let disk_before = log.disk_bytes().unwrap();
+        log.compact().unwrap();
+        assert_eq!(log.stats().dead_bytes, 0);
+        assert_eq!(log.len(), 8);
+        assert!(log.disk_bytes().unwrap() < disk_before / 4);
+        for loc in 0..8u32 {
+            assert_eq!(log.get(&key(loc)).unwrap().unwrap().day, 9.0);
+        }
+        // Reopen: manifest-directed replay, same content.
+        let entries = log.index_entries();
+        drop(log);
+        let (log, report) = RefLog::open(&dir, no_autocompact()).unwrap();
+        assert!(report.manifest_loaded);
+        assert_eq!(log.index_entries(), entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_compaction_duplicates_replay_benignly() {
+        let dir = test_dir("interrupted");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        for loc in 0..4u32 {
+            log.append(key(loc), 2.0, &[9u8; 24]).unwrap();
+        }
+        let entries = log.index_entries();
+        drop(log);
+        // Simulate a compaction that crashed after writing its output
+        // segment but before the manifest rename: a fresh higher-id
+        // segment holding a copy of every live record.
+        let mut writer = SegmentWriter::create(&dir, 7).unwrap();
+        for loc in 0..4u32 {
+            writer
+                .append_frame(&encode_frame(key(loc), 2.0, &[9u8; 24]))
+                .unwrap();
+        }
+        writer.sync().unwrap();
+        drop(writer);
+        let (mut log, report) = RefLog::open(&dir, no_autocompact()).unwrap();
+        assert_eq!(
+            log.index_entries(),
+            entries,
+            "originals replay first and win every equal-day tie"
+        );
+        assert_eq!(
+            report.superseded_records, 4,
+            "the duplicates are counted as reclaimable dead records"
+        );
+        log.compact().unwrap();
+        assert_eq!(log.stats().dead_bytes, 0);
+        assert_eq!(log.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_dead_fraction() {
+        let dir = test_dir("auto");
+        let config = RefLogConfig {
+            compact_min_dead_bytes: 1024,
+            compact_min_dead_fraction: 0.5,
+            ..RefLogConfig::default()
+        };
+        let (mut log, _) = RefLog::open(&dir, config).unwrap();
+        for generation in 0..50 {
+            log.append(key(0), generation as f64, &[0u8; 256]).unwrap();
+        }
+        assert!(log.stats().compactions > 0, "auto-compaction never ran");
+        assert_eq!(log.get(&key(0)).unwrap().unwrap().day, 49.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_compacts_and_reopens() {
+        let dir = test_dir("empty");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        log.compact().unwrap();
+        assert!(log.is_empty());
+        drop(log);
+        let (log, report) = RefLog::open(&dir, no_autocompact()).unwrap();
+        assert!(log.is_empty());
+        assert!(report.manifest_loaded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_append_is_rejected_before_writing() {
+        let dir = test_dir("toolarge");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        // Allocated but never touched: the append must bounce off the
+        // size check before encoding a frame.
+        let payload = vec![0u8; (MAX_BODY_LEN - BODY_FIXED_LEN + 1) as usize];
+        assert!(matches!(
+            log.append(key(0), 1.0, &payload),
+            Err(RefStoreError::TooLarge(_))
+        ));
+        assert!(log.is_empty());
+        assert_eq!(log.active.len, SEGMENT_HEADER_LEN, "nothing was written");
+        assert!(log.append(key(0), 1.0, b"still usable").unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_corrupt_bytes_count_as_dead_and_compact_away() {
+        let dir = test_dir("corruptdead");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        for loc in 0..3u32 {
+            log.append(key(loc), 1.0, &[7u8; 32]).unwrap();
+        }
+        drop(log);
+        let framed = crate::record::framed_len(32);
+        let path = dir.join(segment_file_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let middle_last_byte = (SEGMENT_HEADER_LEN + 2 * framed - 1) as usize;
+        bytes[middle_last_byte] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut log, report) = RefLog::open(&dir, no_autocompact()).unwrap();
+        assert_eq!(report.corrupt_records_dropped, 1);
+        assert_eq!(log.len(), 2);
+        let stats = log.stats();
+        assert_eq!(
+            stats.dead_bytes, framed,
+            "the corrupt gap must be accounted as reclaimable dead bytes"
+        );
+        assert_eq!(
+            stats.live_bytes + stats.dead_bytes,
+            log.disk_bytes().unwrap() - SEGMENT_HEADER_LEN,
+            "accounting must reconcile with the file"
+        );
+        log.compact().unwrap();
+        assert_eq!(log.stats().dead_bytes, 0);
+        assert_eq!(log.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_len_matches_without_disk_read() {
+        let dir = test_dir("payloadlen");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        log.append(key(0), 1.0, &[0u8; 123]).unwrap();
+        assert_eq!(log.payload_len(&key(0)), Some(123));
+        assert_eq!(log.payload_len(&key(1)), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

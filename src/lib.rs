@@ -11,8 +11,11 @@
 //! * [`codec`] — layered wavelet image codec with ROI support.
 //! * [`orbit`] — constellation, ground-contact, and link simulator.
 //! * [`cloud`] — on-board and ground cloud detectors.
+//! * [`refstore`] — durable, crash-recoverable log-structured storage
+//!   engine (CRC-framed segments, replay recovery, compaction).
 //! * [`ground`] — the concurrent ground-segment reference service
-//!   (sharded store, constellation uplink scheduler, cache models).
+//!   (sharded store, constellation uplink scheduler, cache models,
+//!   pluggable in-memory/persistent backends).
 //! * [`system`] — the Earth+ system itself plus the Kodan / SatRoI
 //!   baselines and the mission simulator.
 
@@ -22,4 +25,5 @@ pub use earthplus_codec as codec;
 pub use earthplus_ground as ground;
 pub use earthplus_orbit as orbit;
 pub use earthplus_raster as raster;
+pub use earthplus_refstore as refstore;
 pub use earthplus_scene as scene;
