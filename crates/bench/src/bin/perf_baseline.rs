@@ -1,0 +1,189 @@
+//! Committed perf baseline: the on-board pipeline's throughput trajectory.
+//!
+//! Runs the same scenario as the `pipeline_runtime` criterion bench (one
+//! warmed Earth+ strategy processing a fresh capture) plus a full-image
+//! ROI-encode microbenchmark, and writes the numbers to
+//! `BENCH_pipeline.json` so every PR has a committed baseline to beat.
+//!
+//! ```text
+//! cargo run -p earthplus-bench --release --bin perf_baseline
+//! cargo run -p earthplus-bench --release --bin perf_baseline -- --quick --out /tmp/b.json
+//! ```
+//!
+//! * `--quick` — fewer samples (CI smoke: proves the emitter works).
+//! * `--out <path>` — where to write the JSON (default
+//!   `BENCH_pipeline.json` in the current directory).
+//!
+//! Per-stage seconds come from the strategy's own [`StageTimings`] (the
+//! quantities of the paper's Figure 16); throughput is reported in
+//! megapixels per second of capture data processed. The encoder speedup
+//! against the pre-refactor copy path is measured *in-process* against
+//! the vendored reference implementation, in interleaved pairs, so
+//! machine-load drift cancels out of the ratio.
+
+use earthplus::prelude::*;
+use earthplus::{CaptureContext, StageTimings};
+use earthplus_cloud::{train_onboard_detector, TrainingConfig};
+use earthplus_codec::{encode_roi_with_scratch, reference, CodecConfig, CodecScratch};
+use earthplus_orbit::SatelliteId;
+use earthplus_raster::{LocationId, TileGrid, TileMask};
+use earthplus_scene::terrain::LocationArchetype;
+use earthplus_scene::{LocationScene, SceneConfig};
+use std::time::Instant;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other:?} (expected --quick / --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = if quick { 3 } else { 15 };
+
+    // Scenario: identical to benches/pipeline_runtime.rs.
+    let scene = LocationScene::new(SceneConfig::quick(7, LocationArchetype::Agriculture));
+    let detector = train_onboard_detector(&scene, &TrainingConfig::default());
+    let capture = scene.capture_with_coverage(60.0, 0.1);
+    let warmup = scene.capture_with_coverage(55.0, 0.0);
+    let targets: Vec<_> = scene
+        .config()
+        .bands
+        .iter()
+        .map(|&b| (LocationId(0), b))
+        .collect();
+    let config = EarthPlusConfig::paper();
+    let (w, h) = capture.image.dimensions();
+    let bands = capture.image.band_count();
+    let capture_mpix = (w * h * bands) as f64 / 1e6;
+
+    // 1. Steady-state capture: warm the reference path, then time one
+    //    capture end to end; per-stage seconds from the strategy itself.
+    let mut totals: Vec<f64> = Vec::with_capacity(reps);
+    let mut stages: Vec<StageTimings> = Vec::with_capacity(reps);
+    let mut tile_fraction = 0.0f64;
+    let mut steady_grow_events = 0u64;
+    for _ in 0..reps {
+        let mut s = EarthPlusStrategy::new(config, detector.clone(), targets.clone());
+        s.on_capture(&CaptureContext {
+            day: 55.0,
+            satellite: SatelliteId(0),
+            location: LocationId(0),
+            capture: &warmup,
+        });
+        s.on_ground_contact(SatelliteId(0), 56.0, 20_000_000);
+        let grow_before = s.codec_scratch().grow_events();
+        let t = Instant::now();
+        let report = s.on_capture(&CaptureContext {
+            day: 60.0,
+            satellite: SatelliteId(0),
+            location: LocationId(0),
+            capture: &capture,
+        });
+        totals.push(t.elapsed().as_secs_f64());
+        tile_fraction = report.downloaded_tile_fraction;
+        stages.push(report.timings);
+        steady_grow_events = s.codec_scratch().grow_events() - grow_before;
+    }
+    let mut cloud: Vec<f64> = stages.iter().map(|t| t.cloud_s).collect();
+    let mut change: Vec<f64> = stages.iter().map(|t| t.change_s).collect();
+    let mut encode: Vec<f64> = stages.iter().map(|t| t.encode_s).collect();
+    let cloud_s = median(&mut cloud);
+    let change_s = median(&mut change);
+    let encode_s = median(&mut encode);
+    let total_s = median(&mut totals);
+    // Pixels actually pushed through the encoder (changed tiles only).
+    let encoded_mpix = tile_fraction * capture_mpix;
+
+    // 2. Encoder throughput in isolation: every tile of one band through
+    //    the γ-budgeted ROI path, optimized vs reference (pre-refactor)
+    //    implementation, interleaved so the ratio is load-immune.
+    let band_raster = capture
+        .image
+        .iter()
+        .next()
+        .expect("capture has bands")
+        .1
+        .clone();
+    let grid = TileGrid::new(w, h, config.tile_size).expect("capture is tileable");
+    let mut all = TileMask::new(&grid);
+    all.fill();
+    let budget = config.tile_budget_bytes();
+    let codec = CodecConfig::lossy();
+    let mut scratch = CodecScratch::new();
+    // Warm both paths (and prove they agree before timing them).
+    let roi_ref = reference::encode_roi_reference(&band_raster, &grid, &all, &codec, budget)
+        .expect("image matches grid");
+    let roi_new = encode_roi_with_scratch(&band_raster, &grid, &all, &codec, budget, &mut scratch)
+        .expect("image matches grid");
+    assert_eq!(roi_ref, roi_new, "optimized encoder output drifted");
+    let (mut ref_times, mut new_times, mut pair_ratios) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps.max(8) {
+        let t = Instant::now();
+        let _ = reference::encode_roi_reference(&band_raster, &grid, &all, &codec, budget);
+        let r = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &codec, budget, &mut scratch);
+        let n = t.elapsed().as_secs_f64();
+        ref_times.push(r);
+        new_times.push(n);
+        pair_ratios.push(r / n);
+    }
+    let ref_s = median(&mut ref_times);
+    let new_s = median(&mut new_times);
+    let speedup = median(&mut pair_ratios);
+    let full_encode_mpix_s = (w * h) as f64 / 1e6 / new_s;
+
+    let json = format!(
+        r#"{{
+  "schema": 1,
+  "scenario": "pipeline_runtime quick scene (seed 7, agriculture, {w}x{h}, {bands} bands)",
+  "mode": "{mode}",
+  "samples": {reps},
+  "capture": {{
+    "total_s": {total_s:.6},
+    "cloud_s": {cloud_s:.6},
+    "change_s": {change_s:.6},
+    "encode_s": {encode_s:.6},
+    "capture_mpix": {capture_mpix:.4},
+    "encoded_mpix": {encoded_mpix:.4},
+    "pipeline_mpix_per_s": {pipeline_rate:.3}
+  }},
+  "encode_full_band": {{
+    "seconds": {new_s:.6},
+    "mpix_per_s": {full_encode_mpix_s:.3},
+    "reference_seconds": {ref_s:.6},
+    "speedup_vs_reference": {speedup:.3},
+    "tiles": {tiles},
+    "budget_bytes_per_tile": {budget}
+  }},
+  "codec_scratch": {{
+    "reserved_bytes": {reserved},
+    "steady_state_grow_events": {steady_grow_events}
+  }}
+}}
+"#,
+        mode = if quick { "quick" } else { "full" },
+        pipeline_rate = capture_mpix / total_s,
+        tiles = grid.tile_count(),
+        reserved = scratch.reserved_bytes(),
+    );
+    std::fs::write(&out, &json).expect("write baseline JSON");
+    print!("{json}");
+    eprintln!("wrote {out}");
+    if steady_grow_events != 0 {
+        eprintln!("ERROR: codec scratch grew during steady state ({steady_grow_events} events)");
+        std::process::exit(1);
+    }
+}

@@ -75,19 +75,21 @@ pub fn tile_features(image: &MultiBandImage, grid: &TileGrid) -> Vec<FeatureVect
                 .unwrap_or_else(|| c.get(t.col.min(c.width() - 1), t.row.min(c.height() - 1))),
             None => brightness,
         };
-        // Variance over the tile's block in the mid-resolution image.
-        let x0 = t.col * per_tile;
-        let y0 = t.row * per_tile;
+        // Variance over the tile's block in the mid-resolution image,
+        // traversed through a zero-copy clipped view (same pixels, in the
+        // same row-major order, as the old per-pixel `try_get` probing).
+        let x0 = (t.col * per_tile).min(mid.width());
+        let y0 = (t.row * per_tile).min(mid.height());
+        let bw = per_tile.min(mid.width() - x0);
+        let bh = per_tile.min(mid.height() - y0);
+        let block = mid.view(x0, y0, bw, bh);
+        let n = (bw * bh) as u32;
         let mut sum = 0.0f64;
         let mut sum2 = 0.0f64;
-        let mut n = 0u32;
-        for dy in 0..per_tile {
-            for dx in 0..per_tile {
-                if let Some(v) = mid.try_get(x0 + dx, y0 + dy) {
-                    sum += v as f64;
-                    sum2 += (v as f64) * (v as f64);
-                    n += 1;
-                }
+        for row in block.rows() {
+            for &v in row {
+                sum += v as f64;
+                sum2 += (v as f64) * (v as f64);
             }
         }
         let texture = if n == 0 {

@@ -16,6 +16,7 @@
 //! degrades (§5, *Handling bandwidth fluctuation*).
 
 use crate::rangecoder::{BitModel, RangeDecoder, RangeEncoder};
+use crate::scratch::CodecScratch;
 
 /// Decoder lookahead margin, in bytes: the range decoder primes itself with
 /// five bytes, so each recorded pass boundary must include them.
@@ -23,6 +24,9 @@ const LOOKAHEAD: usize = 5;
 
 /// Maximum magnitude bitplanes supported.
 pub const MAX_PLANES: u8 = 28;
+
+/// Mask of the magnitude bits carried in a packed traversal entry.
+const LOW_MAG_MASK: u32 = (1 << MAX_PLANES) - 1;
 
 /// Result of bitplane-encoding a coefficient block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,16 +63,16 @@ impl EncodedPlanes {
     }
 }
 
-struct Contexts {
+pub(crate) struct Contexts {
     /// Significance contexts indexed by the number of significant causal
     /// neighbours (0, 1, 2+).
-    significance: [BitModel; 3],
+    pub(crate) significance: [BitModel; 3],
     /// Refinement context.
-    refinement: BitModel,
+    pub(crate) refinement: BitModel,
 }
 
 impl Contexts {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Contexts {
             significance: [BitModel::new(); 3],
             refinement: BitModel::new(),
@@ -77,7 +81,7 @@ impl Contexts {
 }
 
 #[inline]
-fn neighbor_context(sig: &[bool], width: usize, idx: usize) -> usize {
+pub(crate) fn neighbor_context(sig: &[bool], width: usize, idx: usize) -> usize {
     let x = idx % width;
     let mut n = 0usize;
     if x > 0 && sig[idx - 1] {
@@ -99,6 +103,34 @@ fn neighbor_context(sig: &[bool], width: usize, idx: usize) -> usize {
 ///
 /// Panics if `width` is zero or does not divide `coefficients.len()`.
 pub fn encode_planes(coefficients: &[i32], width: usize) -> EncodedPlanes {
+    let mut scratch = CodecScratch::new();
+    let planes = encode_planes_into(coefficients, width, &mut scratch);
+    EncodedPlanes {
+        payload: std::mem::take(&mut scratch.payload),
+        planes,
+        pass_offsets: std::mem::take(&mut scratch.pass_offsets),
+    }
+}
+
+/// Scratch-arena encoder: bit-identical to [`encode_planes`], but every
+/// intermediate buffer (context counts, traversal lists, range-coder
+/// output) lives in `scratch` and is reused across calls. The payload ends
+/// up in `scratch.payload` with per-pass offsets in `scratch.pass_offsets`;
+/// the number of magnitude bitplanes is returned.
+///
+/// Instead of scanning all `n` coefficients twice per plane and branching
+/// on a significance flag, the coder maintains two ascending packed lists —
+/// not-yet-significant (significance pass order) and significant
+/// (refinement pass order) — so each coefficient is visited exactly once
+/// per plane, streaming its sign and magnitude inside the list entry.
+/// Neighbour contexts come from an incrementally maintained per-coefficient
+/// count (`ctx_of`), published only between passes, which reproduces the
+/// original dense traversal's context modelling and skip rules exactly.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `coefficients.len()`.
+pub fn encode_planes_into(coefficients: &[i32], width: usize, scratch: &mut CodecScratch) -> u8 {
     assert!(width > 0, "width must be positive");
     assert_eq!(
         coefficients.len() % width,
@@ -113,62 +145,185 @@ pub fn encode_planes(coefficients: &[i32], width: usize) -> EncodedPlanes {
         .unwrap_or(0);
     let planes = (32 - max_mag.leading_zeros()).min(MAX_PLANES as u32) as u8;
 
-    let mut enc = RangeEncoder::new();
+    let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.payload));
     let mut ctx = Contexts::new();
-    let mut sig = vec![false; n];
-    let mut pass_offsets = Vec::with_capacity(planes as usize * 2);
-
-    for plane in (0..planes).rev() {
-        let bit_mask = 1u32 << plane;
-        // Pass 1: significance.
-        let mut newly_significant = Vec::new();
-        for i in 0..n {
-            if sig[i] {
-                continue;
-            }
-            let mag = coefficients[i].unsigned_abs();
-            let becomes = mag & bit_mask != 0;
-            let c = neighbor_context(&sig, width, i);
-            enc.encode(&mut ctx.significance[c], becomes);
-            if becomes {
-                enc.encode_raw(coefficients[i] < 0);
-                newly_significant.push(i);
-            }
-        }
-        for i in newly_significant {
-            sig[i] = true;
-        }
-        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
-        // Pass 2: refinement of previously-significant coefficients.
-        for i in 0..n {
-            if !sig[i] {
-                continue;
-            }
-            let mag = coefficients[i].unsigned_abs();
-            // Skip those that became significant in THIS plane: their
-            // current bit was already conveyed by the significance pass.
-            if (mag >> plane).count_ones() == 1 && mag & bit_mask != 0 {
-                continue;
-            }
-            enc.encode(&mut ctx.refinement, mag & bit_mask != 0);
-        }
-        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
-    }
+    scratch.ctx_of.clear();
+    scratch.ctx_of.resize(n, 0);
+    scratch.pass_offsets.clear();
+    // The traversal lists are fixed-length buffers with explicit logical
+    // lengths: appends in the per-coefficient loops are plain indexed
+    // stores (no capacity checks, no potential reallocation call in the
+    // hot loop), and all five swap roles across planes, so sizing them
+    // identically keeps steady-state reuse allocation-free.
+    prepare(&mut scratch.insignificant, n);
+    prepare(&mut scratch.next_insig, n);
+    prepare(&mut scratch.significant, n);
+    prepare(&mut scratch.merge, n);
+    prepare(&mut scratch.newly, n);
+    encode_planes_passes(coefficients, width, planes, &mut enc, &mut ctx, scratch);
 
     let mut payload = enc.finish();
     // Pad to the final recorded offset: offsets include the decoder
     // lookahead margin, so a full (untruncated) stream must physically
     // contain every offset for the availability check to admit all passes.
-    if let Some(&last) = pass_offsets.last() {
+    if let Some(&last) = scratch.pass_offsets.last() {
         if payload.len() < last as usize {
             payload.resize(last as usize, 0);
         }
     }
-    EncodedPlanes {
-        payload,
-        planes,
-        pass_offsets,
+    scratch.payload = payload;
+    planes
+}
+
+fn prepare<T: Copy + Default>(buf: &mut Vec<T>, n: usize) {
+    if buf.len() < n {
+        buf.resize(n, T::default());
     }
+}
+
+/// Runs the per-plane significance/refinement passes over packed entries
+/// (`index << 32 | sign << 31 | low 28 magnitude bits`): the plane masks
+/// never reach the sign bit (`MAX_PLANES = 28 < 31`), magnitude bits at
+/// or above `MAX_PLANES` are unencodable either way, and plain `u64`
+/// comparison orders entries by index.
+fn encode_planes_passes(
+    coefficients: &[i32],
+    width: usize,
+    planes: u8,
+    enc: &mut RangeEncoder,
+    ctx: &mut Contexts,
+    scratch: &mut CodecScratch,
+) {
+    let CodecScratch {
+        ctx_of,
+        insignificant,
+        next_insig,
+        significant,
+        merge,
+        newly,
+        pass_offsets,
+        ..
+    } = &mut *scratch;
+    let ctx_of = &mut ctx_of[..];
+    let n = coefficients.len();
+    for (k, (slot, &c)) in insignificant[..n].iter_mut().zip(coefficients).enumerate() {
+        let low = (c.unsigned_abs() & LOW_MAG_MASK) | (((c < 0) as u32) << 31);
+        *slot = ((k as u64) << 32) | low as u64;
+    }
+    let mut insig_len = n;
+    let mut sig_len = 0usize;
+
+    for plane in (0..planes).rev() {
+        let bit_mask = 1u32 << plane;
+        // Pass 1: significance, over not-yet-significant coefficients in
+        // raster order. Contexts read the counts as of the end of the
+        // previous plane (`ctx_of` is only updated after the pass).
+        // Coefficients that stay insignificant stream straight into the
+        // next plane's list, so no separate compaction sweep is needed.
+        let mut newly_len = 0usize;
+        let mut next_len = 0usize;
+        if sig_len == 0 {
+            // No coefficient is significant yet, so every neighbour
+            // context is 0 — skip the context load entirely (this covers
+            // every plane above the first significant magnitude).
+            for &e in &insignificant[..insig_len] {
+                let becomes = e as u32 & bit_mask != 0;
+                enc.encode(&mut ctx.significance[0], becomes);
+                if becomes {
+                    enc.encode_raw((e as u32 as i32) < 0);
+                    newly[newly_len] = e;
+                    newly_len += 1;
+                } else {
+                    next_insig[next_len] = e;
+                    next_len += 1;
+                }
+            }
+        } else {
+            // `ctx_of[i]` already holds the number of significant causal
+            // neighbours (maintained below as coefficients become
+            // significant), so the context is a single byte load — no
+            // neighbour probing, no row bookkeeping, no branches on
+            // noise-like significance data.
+            for &e in &insignificant[..insig_len] {
+                let c = usize::from(ctx_of[(e >> 32) as usize]);
+                let becomes = e as u32 & bit_mask != 0;
+                enc.encode(&mut ctx.significance[c], becomes);
+                if becomes {
+                    enc.encode_raw((e as u32 as i32) < 0);
+                    newly[newly_len] = e;
+                    newly_len += 1;
+                } else {
+                    next_insig[next_len] = e;
+                    next_len += 1;
+                }
+            }
+        }
+        std::mem::swap(insignificant, next_insig);
+        insig_len = next_len;
+        // Publish this plane's significance: each newly-significant
+        // coefficient bumps the context of the (at most three)
+        // coefficients whose causal neighbourhood contains it — the exact
+        // inverse of the left/up/up-right probe in [`neighbor_context`].
+        for &e in &newly[..newly_len] {
+            let i = (e >> 32) as usize;
+            let x = i % width;
+            // Counts saturate at 2: the model array has three contexts
+            // (0, 1, 2+), so storing the clamped value keeps the hot
+            // loop's context a plain byte load.
+            if x + 1 < width {
+                ctx_of[i + 1] = (ctx_of[i + 1] + 1).min(2);
+            }
+            if i + width < n {
+                ctx_of[i + width] = (ctx_of[i + width] + 1).min(2);
+            }
+            if x > 0 && i + width - 1 < n {
+                ctx_of[i + width - 1] = (ctx_of[i + width - 1] + 1).min(2);
+            }
+        }
+        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
+        // Pass 2: refinement. The list holds exactly the coefficients that
+        // were significant *before* this plane (this plane's arrivals are
+        // merged below), so the original "skip those that became
+        // significant in THIS plane" rule needs no per-coefficient check,
+        // and the packed magnitudes stream sequentially.
+        for &e in &significant[..sig_len] {
+            enc.encode(&mut ctx.refinement, e as u32 & bit_mask != 0);
+        }
+        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
+        sig_len = merge_ascending(significant, sig_len, &newly[..newly_len], merge);
+    }
+}
+
+/// Merges the ascending packed run `add` into the first `dst_len` entries
+/// of `dst` (also ascending) via the equally-sized buffer `tmp`, swapping
+/// buffers when a true merge is needed; returns the merged length. The
+/// index lives in the entries' high bits, so packed comparison orders by
+/// index.
+fn merge_ascending(dst: &mut Vec<u64>, dst_len: usize, add: &[u64], tmp: &mut Vec<u64>) -> usize {
+    if add.is_empty() {
+        return dst_len;
+    }
+    if dst_len == 0 || dst[dst_len - 1] < add[0] {
+        dst[dst_len..dst_len + add.len()].copy_from_slice(add);
+        return dst_len + add.len();
+    }
+    let (mut a, mut b, mut k) = (0usize, 0usize, 0usize);
+    while a < dst_len && b < add.len() {
+        if dst[a] < add[b] {
+            tmp[k] = dst[a];
+            a += 1;
+        } else {
+            tmp[k] = add[b];
+            b += 1;
+        }
+        k += 1;
+    }
+    tmp[k..k + dst_len - a].copy_from_slice(&dst[a..dst_len]);
+    k += dst_len - a;
+    tmp[k..k + add.len() - b].copy_from_slice(&add[b..]);
+    k += add.len() - b;
+    std::mem::swap(dst, tmp);
+    k
 }
 
 /// Decodes coefficients from an (optionally truncated) payload.
@@ -311,6 +466,32 @@ mod tests {
         let enc = encode_planes(&coeffs, 16);
         let dec = decode_planes(&enc.payload, 256, 16, enc.planes, &enc.pass_offsets);
         assert_eq!(dec, coeffs);
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_across_blocks() {
+        // One arena across blocks of different sizes, shapes, and
+        // sparsity: every output must match a fresh dense encode.
+        let mut scratch = CodecScratch::new();
+        for (i, &(n, w)) in [(64 * 64, 64usize), (16 * 16, 16), (40 * 25, 40), (8, 4)]
+            .iter()
+            .enumerate()
+        {
+            let coeffs = sample_coefficients(n, i as u64 * 31 + 7);
+            let fresh = encode_planes(&coeffs, w);
+            let planes = encode_planes_into(&coeffs, w, &mut scratch);
+            assert_eq!(planes, fresh.planes);
+            assert_eq!(scratch.payload, fresh.payload, "block {i}");
+            assert_eq!(scratch.pass_offsets, fresh.pass_offsets, "block {i}");
+        }
+        // Steady state: repeating the largest block grows nothing.
+        let coeffs = sample_coefficients(64 * 64, 7);
+        encode_planes_into(&coeffs, 64, &mut scratch);
+        scratch.track_growth();
+        let grown = scratch.grow_events();
+        encode_planes_into(&coeffs, 64, &mut scratch);
+        scratch.track_growth();
+        assert_eq!(scratch.grow_events(), grown, "steady-state reuse grew");
     }
 
     #[test]

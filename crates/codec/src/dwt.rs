@@ -99,13 +99,46 @@ pub fn max_levels(width: usize, height: usize) -> u8 {
 ///
 /// Panics if `levels` exceeds [`max_levels`] for the buffer.
 pub fn forward(coeffs: &mut Coefficients, wavelet: Wavelet, levels: u8) {
-    assert!(
-        levels <= max_levels(coeffs.width, coeffs.height),
-        "too many DWT levels"
+    let (w, h) = (coeffs.width, coeffs.height);
+    forward_into(
+        &mut coeffs.data,
+        w,
+        h,
+        wavelet,
+        levels,
+        &mut Vec::new(),
+        &mut Vec::new(),
     );
-    let (mut w, mut h) = (coeffs.width, coeffs.height);
+}
+
+/// Forward multi-level transform over a raw row-major buffer, reusing
+/// `line` as the row-lifting scratch and `block` for the vertical
+/// deinterleave (both grow once and are reused across levels and calls).
+///
+/// # Panics
+///
+/// Panics if `data.len() != width * height` or `levels` exceeds
+/// [`max_levels`].
+pub fn forward_into(
+    data: &mut [f32],
+    width: usize,
+    height: usize,
+    wavelet: Wavelet,
+    levels: u8,
+    line: &mut Vec<f32>,
+    block: &mut Vec<f32>,
+) {
+    assert_eq!(data.len(), width * height, "coefficient buffer size");
+    assert!(levels <= max_levels(width, height), "too many DWT levels");
+    if line.len() < width.max(height) {
+        line.resize(width.max(height), 0.0);
+    }
+    if block.len() < width * height {
+        block.resize(width * height, 0.0);
+    }
+    let (mut w, mut h) = (width, height);
     for _ in 0..levels {
-        forward_single(coeffs, wavelet, w, h);
+        forward_single(data, width, wavelet, w, h, line, block);
         w = w.div_ceil(2);
         h = h.div_ceil(2);
     }
@@ -117,46 +150,154 @@ pub fn forward(coeffs: &mut Coefficients, wavelet: Wavelet, levels: u8) {
 ///
 /// Panics if `levels` exceeds [`max_levels`] for the buffer.
 pub fn inverse(coeffs: &mut Coefficients, wavelet: Wavelet, levels: u8) {
-    assert!(
-        levels <= max_levels(coeffs.width, coeffs.height),
-        "too many DWT levels"
+    let (w, h) = (coeffs.width, coeffs.height);
+    inverse_into(
+        &mut coeffs.data,
+        w,
+        h,
+        wavelet,
+        levels,
+        &mut Vec::new(),
+        &mut Vec::new(),
     );
+}
+
+/// Inverse multi-level transform over a raw row-major buffer (mirror of
+/// [`forward_into`], with two reusable scratch lines).
+///
+/// # Panics
+///
+/// Panics if `data.len() != width * height` or `levels` exceeds
+/// [`max_levels`].
+pub fn inverse_into(
+    data: &mut [f32],
+    width: usize,
+    height: usize,
+    wavelet: Wavelet,
+    levels: u8,
+    line: &mut Vec<f32>,
+    planar: &mut Vec<f32>,
+) {
+    assert_eq!(data.len(), width * height, "coefficient buffer size");
+    assert!(levels <= max_levels(width, height), "too many DWT levels");
+    let side = width.max(height);
+    if line.len() < side {
+        line.resize(side, 0.0);
+    }
+    if planar.len() < side {
+        planar.resize(side, 0.0);
+    }
     // Rebuild the per-level sizes, then undo from the deepest level out.
-    let mut sizes = Vec::with_capacity(levels as usize);
-    let (mut w, mut h) = (coeffs.width, coeffs.height);
-    for _ in 0..levels {
-        sizes.push((w, h));
+    let mut sizes = [(0usize, 0usize); 12];
+    let (mut w, mut h) = (width, height);
+    for level in 0..levels as usize {
+        sizes[level] = (w, h);
         w = w.div_ceil(2);
         h = h.div_ceil(2);
     }
-    for &(w, h) in sizes.iter().rev() {
-        inverse_single(coeffs, wavelet, w, h);
+    for &(w, h) in sizes[..levels as usize].iter().rev() {
+        inverse_single(data, width, wavelet, w, h, line, planar);
     }
 }
 
-fn forward_single(coeffs: &mut Coefficients, wavelet: Wavelet, w: usize, h: usize) {
-    let stride = coeffs.width;
-    let mut line = vec![0.0f32; w.max(h)];
+fn forward_single(
+    data: &mut [f32],
+    stride: usize,
+    wavelet: Wavelet,
+    w: usize,
+    h: usize,
+    line: &mut [f32],
+    block: &mut [f32],
+) {
     // Rows.
     for y in 0..h {
-        for x in 0..w {
-            line[x] = coeffs.data[y * stride + x];
-        }
+        line[..w].copy_from_slice(&data[y * stride..y * stride + w]);
         lift_forward(&mut line[..w], wavelet);
-        deinterleave(&mut coeffs.data[y * stride..y * stride + w], &line[..w]);
+        deinterleave(&mut data[y * stride..y * stride + w], &line[..w]);
     }
-    // Columns.
-    for x in 0..w {
-        for y in 0..h {
-            line[y] = coeffs.data[y * stride + x];
+    // Columns: the same lifting, applied as whole-row vector operations
+    // (each pass reads the two vertically adjacent rows), so the inner
+    // loops are contiguous and auto-vectorize instead of walking the
+    // buffer with a per-element column stride. Column `x` sees the exact
+    // operation sequence of a gathered per-column lift.
+    if h >= 2 {
+        match wavelet {
+            Wavelet::Cdf53 => {
+                col_lift_pass(data, stride, w, h, 1, |c, u, d| c - ((u + d) / 2.0).floor());
+                col_lift_pass(data, stride, w, h, 0, |c, u, d| {
+                    c + ((u + d + 2.0) / 4.0).floor()
+                });
+            }
+            Wavelet::Cdf97 => {
+                for (step, coef) in [(1usize, ALPHA), (0, BETA), (1, GAMMA), (0, DELTA)] {
+                    col_lift_pass(data, stride, w, h, step, |c, u, d| c + coef * (u + d));
+                }
+                for y in 0..h {
+                    let row = &mut data[y * stride..y * stride + w];
+                    if y % 2 == 0 {
+                        for v in row {
+                            *v *= KAPPA;
+                        }
+                    } else {
+                        for v in row {
+                            *v /= KAPPA;
+                        }
+                    }
+                }
+            }
         }
-        lift_forward(&mut line[..h], wavelet);
-        // Deinterleave vertically: low-pass into the top half, high-pass
-        // into the bottom half.
-        let half = h.div_ceil(2);
-        for y in 0..h {
-            let dst = if y % 2 == 0 { y / 2 } else { half + y / 2 };
-            coeffs.data[dst * stride + x] = line[y];
+    }
+    // Deinterleave vertically: low-pass rows into the top half, high-pass
+    // rows into the bottom half, via a block permute of whole rows.
+    let half = h.div_ceil(2);
+    for y in 0..h {
+        let dst = if y % 2 == 0 { y / 2 } else { half + y / 2 };
+        block[dst * w..dst * w + w].copy_from_slice(&data[y * stride..y * stride + w]);
+    }
+    for y in 0..h {
+        data[y * stride..y * stride + w].copy_from_slice(&block[y * w..y * w + w]);
+    }
+}
+
+/// One vertical lifting pass as row-vector operations: for every other
+/// row starting at `start`, `row[i] = f(row[i], row[up], row[down])`
+/// elementwise, with symmetric boundary extension (mirrors
+/// [`lift_pass`]'s index handling, transposed).
+#[inline(always)]
+fn col_lift_pass<F: Fn(f32, f32, f32) -> f32>(
+    data: &mut [f32],
+    stride: usize,
+    w: usize,
+    h: usize,
+    start: usize,
+    f: F,
+) {
+    let mut i = start;
+    if i == 0 {
+        // up = down = row 1 (symmetric extension at the top edge).
+        let (top, rest) = data.split_at_mut(stride);
+        let neighbour = &rest[..w];
+        for (c, &n) in top[..w].iter_mut().zip(neighbour) {
+            *c = f(*c, n, n);
+        }
+        i = 2;
+    }
+    while i + 1 < h {
+        let (head, tail) = data.split_at_mut(i * stride);
+        let up = &head[(i - 1) * stride..(i - 1) * stride + w];
+        let (mid, below) = tail.split_at_mut(stride);
+        let down = &below[..w];
+        for x in 0..w {
+            mid[x] = f(mid[x], up[x], down[x]);
+        }
+        i += 2;
+    }
+    if i < h {
+        // i == h - 1: down = row h - 2 (symmetric extension at the bottom).
+        let (head, tail) = data.split_at_mut(i * stride);
+        let up = &head[(i - 1) * stride..(i - 1) * stride + w];
+        for (c, &u) in tail[..w].iter_mut().zip(up) {
+            *c = f(*c, u, u);
         }
     }
 }
@@ -184,31 +325,39 @@ fn interleave(dst: &mut [f32], planar: &[f32]) {
     }
 }
 
-fn inverse_single(coeffs: &mut Coefficients, wavelet: Wavelet, w: usize, h: usize) {
-    let stride = coeffs.width;
-    let mut planar = vec![0.0f32; w.max(h)];
-    let mut line = vec![0.0f32; w.max(h)];
+fn inverse_single(
+    data: &mut [f32],
+    stride: usize,
+    wavelet: Wavelet,
+    w: usize,
+    h: usize,
+    line: &mut [f32],
+    planar: &mut [f32],
+) {
     // Columns first (mirror of the forward order).
     for x in 0..w {
         for y in 0..h {
-            planar[y] = coeffs.data[y * stride + x];
+            planar[y] = data[y * stride + x];
         }
         interleave(&mut line[..h], &planar[..h]);
         lift_inverse(&mut line[..h], wavelet);
         for y in 0..h {
-            coeffs.data[y * stride + x] = line[y];
+            data[y * stride + x] = line[y];
         }
     }
     // Rows.
     for y in 0..h {
-        planar[..w].copy_from_slice(&coeffs.data[y * stride..y * stride + w]);
+        planar[..w].copy_from_slice(&data[y * stride..y * stride + w]);
         interleave(&mut line[..w], &planar[..w]);
         lift_inverse(&mut line[..w], wavelet);
-        coeffs.data[y * stride..y * stride + w].copy_from_slice(&line[..w]);
+        data[y * stride..y * stride + w].copy_from_slice(&line[..w]);
     }
 }
 
-/// Symmetric extension index for out-of-range neighbours.
+/// Symmetric extension index for out-of-range neighbours ([`lift_pass`]
+/// open-codes the two boundary cases; this reference form documents them
+/// and anchors the tests).
+#[cfg(test)]
 #[inline]
 fn sym(i: isize, n: isize) -> usize {
     let mut i = i;
@@ -221,34 +370,45 @@ fn sym(i: isize, n: isize) -> usize {
     i.max(0) as usize
 }
 
+/// Applies `f(center, left, right)` to every other element starting at
+/// `start`, with symmetric boundary extension. The interior runs without
+/// the [`sym`] index reflection (for `0 < i < n - 1`, `sym` is the
+/// identity), so only the first and last touched elements pay for
+/// boundary handling — the per-element arithmetic is unchanged.
+#[inline(always)]
+fn lift_pass<F: Fn(f32, f32, f32) -> f32>(line: &mut [f32], start: usize, f: F) {
+    let n = line.len();
+    let mut i = start;
+    if i == 0 {
+        // left = line[sym(-1)] = line[1]; right = line[sym(1)] = line[1].
+        line[0] = f(line[0], line[1], line[1]);
+        i = 2;
+    }
+    while i + 1 < n {
+        line[i] = f(line[i], line[i - 1], line[i + 1]);
+        i += 2;
+    }
+    if i < n {
+        // i == n - 1: right = line[sym(n)] = line[n - 2].
+        line[i] = f(line[i], line[i - 1], line[n - 2]);
+    }
+}
+
 fn lift_forward(line: &mut [f32], wavelet: Wavelet) {
     let n = line.len();
     if n < 2 {
         return;
     }
-    let ni = n as isize;
     match wavelet {
         Wavelet::Cdf53 => {
             // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
-            for i in (1..n).step_by(2) {
-                let left = line[sym(i as isize - 1, ni)];
-                let right = line[sym(i as isize + 1, ni)];
-                line[i] -= ((left + right) / 2.0).floor();
-            }
+            lift_pass(line, 1, |c, l, r| c - ((l + r) / 2.0).floor());
             // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
-            for i in (0..n).step_by(2) {
-                let left = line[sym(i as isize - 1, ni)];
-                let right = line[sym(i as isize + 1, ni)];
-                line[i] += ((left + right + 2.0) / 4.0).floor();
-            }
+            lift_pass(line, 0, |c, l, r| c + ((l + r + 2.0) / 4.0).floor());
         }
         Wavelet::Cdf97 => {
             for (step, coef) in [(1usize, ALPHA), (0, BETA), (1, GAMMA), (0, DELTA)] {
-                for i in (step..n).step_by(2) {
-                    let left = line[sym(i as isize - 1, ni)];
-                    let right = line[sym(i as isize + 1, ni)];
-                    line[i] += coef * (left + right);
-                }
+                lift_pass(line, step, |c, l, r| c + coef * (l + r));
             }
             for (i, v) in line.iter_mut().enumerate() {
                 if i % 2 == 0 {
@@ -266,19 +426,10 @@ fn lift_inverse(line: &mut [f32], wavelet: Wavelet) {
     if n < 2 {
         return;
     }
-    let ni = n as isize;
     match wavelet {
         Wavelet::Cdf53 => {
-            for i in (0..n).step_by(2) {
-                let left = line[sym(i as isize - 1, ni)];
-                let right = line[sym(i as isize + 1, ni)];
-                line[i] -= ((left + right + 2.0) / 4.0).floor();
-            }
-            for i in (1..n).step_by(2) {
-                let left = line[sym(i as isize - 1, ni)];
-                let right = line[sym(i as isize + 1, ni)];
-                line[i] += ((left + right) / 2.0).floor();
-            }
+            lift_pass(line, 0, |c, l, r| c - ((l + r + 2.0) / 4.0).floor());
+            lift_pass(line, 1, |c, l, r| c + ((l + r) / 2.0).floor());
         }
         Wavelet::Cdf97 => {
             for (i, v) in line.iter_mut().enumerate() {
@@ -289,11 +440,7 @@ fn lift_inverse(line: &mut [f32], wavelet: Wavelet) {
                 }
             }
             for (step, coef) in [(0usize, DELTA), (1, GAMMA), (0, BETA), (1, ALPHA)] {
-                for i in (step..n).step_by(2) {
-                    let left = line[sym(i as isize - 1, ni)];
-                    let right = line[sym(i as isize + 1, ni)];
-                    line[i] -= coef * (left + right);
-                }
+                lift_pass(line, step, |c, l, r| c - coef * (l + r));
             }
         }
     }
@@ -382,6 +529,28 @@ mod tests {
             "LL fraction {}",
             ll_energy / total
         );
+    }
+
+    #[test]
+    fn buffer_entry_points_match_coefficients_path() {
+        // Reusing (and over-sized, dirty) scratch lines must not change a
+        // single bit of the transform.
+        let mut line = vec![123.0f32; 500];
+        let mut block = vec![55.0f32; 3];
+        let mut planar = vec![-9.0f32; 1];
+        for &(w, h, levels) in &[(64usize, 64usize, 5u8), (67, 41, 3), (5, 3, 1)] {
+            for wavelet in [Wavelet::Cdf53, Wavelet::Cdf97] {
+                let original = test_image(w, h, 11);
+                let mut reference = Coefficients::new(w, h, original.clone());
+                forward(&mut reference, wavelet, levels);
+                let mut buf = original.clone();
+                forward_into(&mut buf, w, h, wavelet, levels, &mut line, &mut block);
+                assert_eq!(buf, reference.as_slice(), "forward {w}x{h} {wavelet:?}");
+                inverse(&mut reference, wavelet, levels);
+                inverse_into(&mut buf, w, h, wavelet, levels, &mut line, &mut planar);
+                assert_eq!(buf, reference.as_slice(), "inverse {w}x{h} {wavelet:?}");
+            }
+        }
     }
 
     #[test]

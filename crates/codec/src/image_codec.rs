@@ -1,10 +1,11 @@
 //! Whole-image wavelet codec with embedded rate control.
 
-use crate::bitplane::{decode_planes, encode_planes, EncodedPlanes};
+use crate::bitplane::{decode_planes, encode_planes_into};
 use crate::dwt::{self, Coefficients, Wavelet};
+use crate::scratch::CodecScratch;
 use crate::CodecError;
-use bytes::{Buf, BufMut};
-use earthplus_raster::Raster;
+use bytes::{Buf, BufMut, Bytes};
+use earthplus_raster::{Raster, TileView};
 
 /// Magic number identifying an encoded image ("EP" wavelet codec v1).
 const MAGIC: u32 = 0x4550_5743;
@@ -60,6 +61,10 @@ impl Default for CodecConfig {
 }
 
 /// An encoded image: header plus embedded payload.
+///
+/// The payload is a shared [`Bytes`] buffer, so [`EncodedImage::truncated`]
+/// and [`EncodedImage::with_layers`] are O(1) byte-range views — rate
+/// control and downlink-layer dropping no longer clone the stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncodedImage {
     width: u32,
@@ -70,10 +75,37 @@ pub struct EncodedImage {
     quant_step: f32,
     input_levels: u16,
     pass_offsets: Vec<u32>,
-    payload: Vec<u8>,
+    payload: Bytes,
 }
 
 impl EncodedImage {
+    /// Assembles an image from already-encoded parts (the reference
+    /// encoder uses this; the payload is copied into shared storage).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        width: u32,
+        height: u32,
+        wavelet: Wavelet,
+        levels: u8,
+        planes: u8,
+        quant_step: f32,
+        input_levels: u16,
+        pass_offsets: Vec<u32>,
+        payload: Vec<u8>,
+    ) -> EncodedImage {
+        EncodedImage {
+            width,
+            height,
+            wavelet,
+            levels,
+            planes,
+            quant_step,
+            input_levels,
+            pass_offsets,
+            payload: Bytes::from(payload),
+        }
+    }
+
     /// Image width in pixels.
     pub fn width(&self) -> u32 {
         self.width
@@ -106,9 +138,10 @@ impl EncodedImage {
         28 + 4 * self.pass_offsets.len()
     }
 
-    /// Returns a copy truncated to at most `max_payload_bytes`, cut at the
+    /// Returns a view truncated to at most `max_payload_bytes`, cut at the
     /// largest pass boundary that fits (rate control and downlink-layer
-    /// dropping both use this).
+    /// dropping both use this). O(1): the payload storage is shared, not
+    /// cloned.
     pub fn truncated(&self, max_payload_bytes: usize) -> EncodedImage {
         let cut = self
             .pass_offsets
@@ -119,11 +152,12 @@ impl EncodedImage {
             .unwrap_or(0)
             .min(self.payload.len());
         let mut out = self.clone();
-        out.payload.truncate(cut);
+        out.payload = self.payload.slice(..cut);
         out
     }
 
-    /// Returns a copy keeping only the first `layers` coding passes.
+    /// Returns a view keeping only the first `layers` coding passes
+    /// (O(1), shared payload storage).
     pub fn with_layers(&self, layers: usize) -> EncodedImage {
         let cut = if layers == 0 {
             0
@@ -135,7 +169,7 @@ impl EncodedImage {
                 .min(self.payload.len())
         };
         let mut out = self.clone();
-        out.payload.truncate(cut);
+        out.payload = self.payload.slice(..cut);
         out
     }
 
@@ -210,7 +244,7 @@ impl EncodedImage {
         let pass_offsets = (0..n_offsets).map(|_| bytes.get_u32()).collect();
         let payload_len = bytes.get_u32() as usize;
         need(bytes, payload_len)?;
-        let payload = bytes[..payload_len].to_vec();
+        let payload = Bytes::copy_from_slice(&bytes[..payload_len]);
         Ok(EncodedImage {
             width,
             height,
@@ -228,55 +262,18 @@ impl EncodedImage {
 /// Encodes a `[0, 1]` raster into a fully-embedded stream (all bitplanes).
 ///
 /// Combine with [`EncodedImage::truncated`] for rate control, or use
-/// [`encode_with_budget`].
+/// [`encode_with_budget`]. Hot paths that encode many tiles should use
+/// [`encode_view`] with a persistent [`CodecScratch`] instead.
 ///
 /// # Errors
 ///
 /// Returns [`CodecError::EmptyImage`] for a zero-sized raster.
 pub fn encode(image: &Raster, config: &CodecConfig) -> Result<EncodedImage, CodecError> {
+    let (w, h) = image.dimensions();
     if image.is_empty() {
         return Err(CodecError::EmptyImage);
     }
-    let (w, h) = image.dimensions();
-    let levels = config.levels.min(dwt::max_levels(w, h));
-    let scale = config.input_levels as f32;
-    let data: Vec<f32> = image
-        .as_slice()
-        .iter()
-        .map(|&v| (v * scale).round())
-        .collect();
-    let mut coeffs = Coefficients::new(w, h, data);
-    dwt::forward(&mut coeffs, config.wavelet, levels);
-    let step = config.quant_step.max(1e-6);
-    let quantized: Vec<i32> = coeffs
-        .as_slice()
-        .iter()
-        .map(|&c| {
-            // Deadzone quantizer: truncate toward zero.
-            let q = (c.abs() / step).floor() as i32;
-            if c < 0.0 {
-                -q
-            } else {
-                q
-            }
-        })
-        .collect();
-    let EncodedPlanes {
-        payload,
-        planes,
-        pass_offsets,
-    } = encode_planes(&quantized, w);
-    Ok(EncodedImage {
-        width: w as u32,
-        height: h as u32,
-        wavelet: config.wavelet,
-        levels,
-        planes,
-        quant_step: step,
-        input_levels: config.input_levels,
-        pass_offsets,
-        payload,
-    })
+    encode_view(&image.view(0, 0, w, h), config, &mut CodecScratch::new())
 }
 
 /// Encodes and truncates to a byte budget (payload bytes).
@@ -289,7 +286,134 @@ pub fn encode_with_budget(
     config: &CodecConfig,
     max_payload_bytes: usize,
 ) -> Result<EncodedImage, CodecError> {
-    Ok(encode(image, config)?.truncated(max_payload_bytes))
+    let (w, h) = image.dimensions();
+    if image.is_empty() {
+        return Err(CodecError::EmptyImage);
+    }
+    encode_view_with_budget(
+        &image.view(0, 0, w, h),
+        config,
+        max_payload_bytes,
+        &mut CodecScratch::new(),
+    )
+}
+
+/// Encodes a zero-copy tile view into a fully-embedded stream, using (and
+/// growing only on first use) the buffers of `scratch`. Bit-identical to
+/// [`encode`] on the materialized tile.
+///
+/// # Errors
+///
+/// Returns [`CodecError::EmptyImage`] for a zero-sized view.
+pub fn encode_view(
+    view: &TileView<'_>,
+    config: &CodecConfig,
+    scratch: &mut CodecScratch,
+) -> Result<EncodedImage, CodecError> {
+    encode_view_impl(view, config, None, scratch)
+}
+
+/// Encodes a zero-copy tile view truncated to a payload byte budget.
+/// Bit-identical to [`encode_with_budget`] on the materialized tile, but
+/// only the surviving prefix of the stream is ever copied out of the
+/// scratch arena.
+///
+/// # Errors
+///
+/// Returns [`CodecError::EmptyImage`] for a zero-sized view.
+pub fn encode_view_with_budget(
+    view: &TileView<'_>,
+    config: &CodecConfig,
+    max_payload_bytes: usize,
+    scratch: &mut CodecScratch,
+) -> Result<EncodedImage, CodecError> {
+    encode_view_impl(view, config, Some(max_payload_bytes), scratch)
+}
+
+fn encode_view_impl(
+    view: &TileView<'_>,
+    config: &CodecConfig,
+    budget: Option<usize>,
+    scratch: &mut CodecScratch,
+) -> Result<EncodedImage, CodecError> {
+    if view.is_empty() {
+        return Err(CodecError::EmptyImage);
+    }
+    let (w, h) = view.dimensions();
+    let levels = config.levels.min(dwt::max_levels(w, h));
+    let scale = config.input_levels as f32;
+    // Gather + scale in one pass (this replaces the old extract-tile copy
+    // followed by a whole-tile map).
+    scratch.samples.clear();
+    scratch.samples.reserve(w * h);
+    for row in view.rows() {
+        scratch
+            .samples
+            .extend(row.iter().map(|&v| (v * scale).round()));
+    }
+    dwt::forward_into(
+        &mut scratch.samples,
+        w,
+        h,
+        config.wavelet,
+        levels,
+        &mut scratch.dwt_line,
+        &mut scratch.dwt_block,
+    );
+    let step = config.quant_step.max(1e-6);
+    scratch.quantized.clear();
+    // Deadzone quantizer: truncate toward zero (`as` truncates, which
+    // equals the floor of the non-negative quotient). Unit step — the
+    // default configuration — divides by exactly 1.0, so the division is
+    // skipped without changing a single output bit.
+    if step == 1.0 {
+        scratch.quantized.extend(scratch.samples.iter().map(|&c| {
+            let q = c.abs() as i32;
+            if c < 0.0 {
+                -q
+            } else {
+                q
+            }
+        }));
+    } else {
+        scratch.quantized.extend(scratch.samples.iter().map(|&c| {
+            let q = (c.abs() / step) as i32;
+            if c < 0.0 {
+                -q
+            } else {
+                q
+            }
+        }));
+    }
+    // The coefficient buffer moves out of the arena for the borrow and
+    // straight back in — no allocation.
+    let quantized = std::mem::take(&mut scratch.quantized);
+    let planes = encode_planes_into(&quantized, w, scratch);
+    scratch.quantized = quantized;
+    let cut = match budget {
+        None => scratch.payload.len(),
+        Some(max) => scratch
+            .pass_offsets
+            .iter()
+            .map(|&o| o as usize)
+            .take_while(|&o| o <= max)
+            .last()
+            .unwrap_or(0)
+            .min(scratch.payload.len()),
+    };
+    let image = EncodedImage {
+        width: w as u32,
+        height: h as u32,
+        wavelet: config.wavelet,
+        levels,
+        planes,
+        quant_step: step,
+        input_levels: config.input_levels,
+        pass_offsets: scratch.pass_offsets.clone(),
+        payload: Bytes::copy_from_slice(&scratch.payload[..cut]),
+    };
+    scratch.track_growth();
+    Ok(image)
 }
 
 /// Decodes an encoded image (possibly truncated) back to a `[0, 1]` raster.
@@ -306,7 +430,7 @@ pub fn decode(encoded: &EncodedImage) -> Raster {
         .take_while(|&&o| o as usize <= encoded.payload.len())
         .count();
     let quantized = decode_planes(
-        &encoded.payload,
+        &encoded.payload[..],
         count,
         w,
         encoded.planes,

@@ -40,11 +40,17 @@ pub mod bitplane;
 pub mod dwt;
 pub mod image_codec;
 pub mod rangecoder;
+pub mod reference;
 pub mod roi;
+pub mod scratch;
 
 pub use dwt::Wavelet;
-pub use image_codec::{decode, encode, encode_with_budget, CodecConfig, EncodedImage};
-pub use roi::{encode_roi, tile_budget_bytes, EncodedTile, RoiBitstream};
+pub use image_codec::{
+    decode, encode, encode_view, encode_view_with_budget, encode_with_budget, CodecConfig,
+    EncodedImage,
+};
+pub use roi::{encode_roi, encode_roi_with_scratch, tile_budget_bytes, EncodedTile, RoiBitstream};
+pub use scratch::CodecScratch;
 
 use std::error::Error;
 use std::fmt;

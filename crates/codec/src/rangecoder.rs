@@ -33,15 +33,16 @@ impl BitModel {
         BitModel { p0: PROB_ONE_HALF }
     }
 
-    #[inline]
+    #[inline(always)]
     fn update(&mut self, bit: bool) {
-        if bit {
-            self.p0 -= self.p0 >> ADAPT_SHIFT;
-        } else {
-            self.p0 += ((1 << PROB_BITS) - self.p0) >> ADAPT_SHIFT;
-        }
+        // Select-style (branchless) update: refinement and sign bits are
+        // near-random, so a data-dependent branch here mispredicts half
+        // the time.
+        let toward_one = self.p0 - (self.p0 >> ADAPT_SHIFT);
+        let toward_zero = self.p0 + (((1 << PROB_BITS) - self.p0) >> ADAPT_SHIFT);
+        let p0 = if bit { toward_one } else { toward_zero };
         // Keep probabilities away from 0/1 so the range never collapses.
-        self.p0 = self.p0.clamp(32, (1 << PROB_BITS) - 32);
+        self.p0 = p0.clamp(32, (1 << PROB_BITS) - 32);
     }
 }
 
@@ -64,25 +65,32 @@ pub struct RangeEncoder {
 impl RangeEncoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
+        Self::with_buffer(Vec::new())
+    }
+
+    /// Creates an encoder that writes into `buf` (cleared first, capacity
+    /// kept) — the allocation-reuse seam for per-tile encoding: take the
+    /// buffer back from [`RangeEncoder::finish`] and pass it to the next
+    /// encoder.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
         RangeEncoder {
             low: 0,
             range: u32::MAX,
             cache: 0,
             cache_size: 1,
-            output: Vec::new(),
+            output: buf,
         }
     }
 
     /// Encodes one bit under an adaptive context.
-    #[inline]
+    #[inline(always)]
     pub fn encode(&mut self, model: &mut BitModel, bit: bool) {
         let bound = (self.range >> PROB_BITS) * model.p0 as u32;
-        if bit {
-            self.low += bound as u64;
-            self.range -= bound;
-        } else {
-            self.range = bound;
-        }
+        // Select-style updates compile to conditional moves: the bit value
+        // is data (not control), so mispredictable branches are avoided.
+        self.low += if bit { bound as u64 } else { 0 };
+        self.range = if bit { self.range - bound } else { bound };
         model.update(bit);
         while self.range < TOP {
             self.shift_low();
@@ -92,15 +100,11 @@ impl RangeEncoder {
 
     /// Encodes one bit with fixed probability 1/2 and no adaptation (used
     /// for signs, which are nearly incompressible).
-    #[inline]
+    #[inline(always)]
     pub fn encode_raw(&mut self, bit: bool) {
         let bound = self.range >> 1;
-        if bit {
-            self.low += bound as u64;
-            self.range -= bound;
-        } else {
-            self.range = bound;
-        }
+        self.low += if bit { bound as u64 } else { 0 };
+        self.range = if bit { self.range - bound } else { bound };
         while self.range < TOP {
             self.shift_low();
             self.range <<= 8;
@@ -366,6 +370,26 @@ mod tests {
         for &expected in bits.iter().take(4000) {
             assert_eq!(dec.decode(&mut m), expected);
         }
+    }
+
+    #[test]
+    fn with_buffer_reuse_is_byte_identical() {
+        let bits: Vec<bool> = (0..4000u64).map(|i| hash_unit(i, 0xA5A5) < 0.3).collect();
+        let run = |buf: Vec<u8>| -> Vec<u8> {
+            let mut enc = RangeEncoder::with_buffer(buf);
+            let mut m = BitModel::new();
+            for &b in &bits {
+                enc.encode(&mut m, b);
+            }
+            enc.finish()
+        };
+        let fresh = run(Vec::new());
+        // Reuse a dirty buffer: same bytes, no reallocation needed.
+        let dirty = vec![0xEEu8; fresh.len() + 64];
+        let cap = dirty.capacity();
+        let reused = run(dirty);
+        assert_eq!(reused, fresh);
+        assert_eq!(reused.capacity(), cap, "buffer capacity must be kept");
     }
 
     #[test]

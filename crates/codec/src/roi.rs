@@ -13,7 +13,8 @@
 //! trades off between downlink bandwidth and the quality of downloaded
 //! imagery" (§5).
 
-use crate::image_codec::{decode, encode, CodecConfig, EncodedImage};
+use crate::image_codec::{decode, encode_view_with_budget, CodecConfig, EncodedImage};
+use crate::scratch::CodecScratch;
 use crate::CodecError;
 use earthplus_raster::{Raster, TileGrid, TileIndex, TileMask};
 
@@ -45,6 +46,20 @@ pub struct RoiBitstream {
 const TILE_HEADER_BYTES: usize = 8;
 
 impl RoiBitstream {
+    /// Assembles a bitstream from already-encoded tiles of `grid` (used by
+    /// the reference encoder).
+    pub(crate) fn from_tiles(
+        grid: &TileGrid,
+        tiles: Vec<EncodedTile>,
+    ) -> Result<RoiBitstream, CodecError> {
+        Ok(RoiBitstream {
+            width: grid.width() as u32,
+            height: grid.height() as u32,
+            tile_size: grid.tile_size() as u32,
+            tiles,
+        })
+    }
+
     /// Image width the tiles belong to.
     pub fn width(&self) -> u32 {
         self.width
@@ -184,6 +199,9 @@ impl RoiBitstream {
 
 /// Encodes the tiles selected by `mask` at a constant per-tile byte budget.
 ///
+/// Allocates a fresh [`CodecScratch`] per call; per-capture hot paths
+/// should hold one arena and use [`encode_roi_with_scratch`].
+///
 /// # Errors
 ///
 /// Returns [`CodecError::Malformed`] if `image` does not match `grid`, or
@@ -194,6 +212,33 @@ pub fn encode_roi(
     mask: &TileMask,
     config: &CodecConfig,
     budget_per_tile: usize,
+) -> Result<RoiBitstream, CodecError> {
+    encode_roi_with_scratch(
+        image,
+        grid,
+        mask,
+        config,
+        budget_per_tile,
+        &mut CodecScratch::new(),
+    )
+}
+
+/// Zero-copy ROI encoding: each selected tile is read through a borrowed
+/// [`TileView`](earthplus_raster::TileView) (no tile materialization) and
+/// encoded through the reusable `scratch` arena. Output is bit-identical
+/// to [`encode_roi`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::Malformed`] if `image` does not match `grid`, or
+/// propagates per-tile encoding errors.
+pub fn encode_roi_with_scratch(
+    image: &Raster,
+    grid: &TileGrid,
+    mask: &TileMask,
+    config: &CodecConfig,
+    budget_per_tile: usize,
+    scratch: &mut CodecScratch,
 ) -> Result<RoiBitstream, CodecError> {
     if image.dimensions() != (grid.width(), grid.height()) {
         return Err(CodecError::Malformed {
@@ -208,12 +253,12 @@ pub fn encode_roi(
     }
     let mut tiles = Vec::with_capacity(mask.count_set());
     for index in mask.iter_set() {
-        let tile = grid
-            .extract_tile(image, index)
+        let view = grid
+            .tile_view(image, index)
             .map_err(|e| CodecError::Malformed {
                 reason: e.to_string(),
             })?;
-        let encoded = encode(&tile, config)?.truncated(budget_per_tile);
+        let encoded = encode_view_with_budget(&view, config, budget_per_tile, scratch)?;
         tiles.push(EncodedTile {
             flat_index: grid.flat_index(index) as u32,
             image: encoded,

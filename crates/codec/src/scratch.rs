@@ -1,0 +1,119 @@
+//! Reusable scratch arena for the encoder hot path.
+//!
+//! Encoding one capture used to allocate thousands of short-lived buffers:
+//! a copied tile raster, a scaled-sample vector, a quantized-coefficient
+//! vector, DWT line buffers per decomposition level, a significance map,
+//! per-plane `newly_significant` vectors, and a range-coder output that was
+//! then cloned by budget truncation. A [`CodecScratch`] owns all of that
+//! state once; threaded through [`encode_view`](crate::encode_view) and
+//! [`encode_roi_with_scratch`](crate::encode_roi_with_scratch) it persists
+//! across tiles, bands, and captures, so the steady-state per-capture path
+//! performs no scratch allocation at all (the only remaining allocations
+//! are the returned payload bytes, which must be owned).
+//!
+//! The arena also keeps growth accounting: [`CodecScratch::grow_events`]
+//! increments whenever any buffer's capacity increases, which is how the
+//! tests (and `perf_baseline`) assert "the second capture allocates no new
+//! scratch".
+
+/// Reusable buffers for the DWT → quantize → bitplane → range-code path.
+///
+/// Create one per encoding context (e.g. per strategy instance) and pass
+/// it to every encode call; buffers grow to the largest tile seen and are
+/// then reused indefinitely.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    /// Scaled input samples; transformed in place into DWT coefficients.
+    pub(crate) samples: Vec<f32>,
+    /// Deadzone-quantized coefficients.
+    pub(crate) quantized: Vec<i32>,
+    /// Line buffer for the DWT row lifting passes.
+    pub(crate) dwt_line: Vec<f32>,
+    /// Block buffer for the DWT vertical deinterleave.
+    pub(crate) dwt_block: Vec<f32>,
+    /// Per-coefficient significant-neighbour count (the significance
+    /// context, maintained incrementally as coefficients become
+    /// significant).
+    pub(crate) ctx_of: Vec<u8>,
+    /// Not-yet-significant coefficients in ascending index order, packed
+    /// as `index | sign | magnitude` words so the significance pass reads
+    /// one sequential stream instead of gathering magnitudes.
+    pub(crate) insignificant: Vec<u64>,
+    /// The next plane's `insignificant` list, built during the pass.
+    pub(crate) next_insig: Vec<u64>,
+    /// Significant coefficients in ascending index order (refinement
+    /// order); the refinement pass streams magnitudes without indexed
+    /// loads.
+    pub(crate) significant: Vec<u64>,
+    /// Merge buffer for maintaining `significant` in ascending order.
+    pub(crate) merge: Vec<u64>,
+    /// Packed entries that became significant in the current plane.
+    pub(crate) newly: Vec<u64>,
+    /// Range-coder output, reused across tiles via `clear()`.
+    pub(crate) payload: Vec<u8>,
+    /// Per-pass payload offsets of the tile being encoded.
+    pub(crate) pass_offsets: Vec<u32>,
+    /// Capacity sum observed after the previous encode call.
+    last_capacity: usize,
+    grow_events: u64,
+}
+
+impl CodecScratch {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently reserved across all scratch buffers.
+    pub fn reserved_bytes(&self) -> usize {
+        self.samples.capacity() * std::mem::size_of::<f32>()
+            + self.quantized.capacity() * std::mem::size_of::<i32>()
+            + self.dwt_line.capacity() * std::mem::size_of::<f32>()
+            + self.dwt_block.capacity() * std::mem::size_of::<f32>()
+            + self.ctx_of.capacity()
+            + self.insignificant.capacity() * std::mem::size_of::<u64>()
+            + self.next_insig.capacity() * std::mem::size_of::<u64>()
+            + self.significant.capacity() * std::mem::size_of::<u64>()
+            + self.merge.capacity() * std::mem::size_of::<u64>()
+            + self.newly.capacity() * std::mem::size_of::<u64>()
+            + self.payload.capacity()
+            + self.pass_offsets.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// How many encode calls had to grow at least one buffer. Stable across
+    /// two identical workloads ⇔ the second one allocated no scratch.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Called at the end of every encode to account for buffer growth.
+    pub(crate) fn track_growth(&mut self) {
+        let now = self.reserved_bytes();
+        if now > self.last_capacity {
+            self.grow_events += 1;
+            self.last_capacity = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_accounting_settles() {
+        let mut s = CodecScratch::new();
+        assert_eq!(s.grow_events(), 0);
+        s.samples.reserve(1024);
+        s.track_growth();
+        assert_eq!(s.grow_events(), 1);
+        // Same capacity again: no new event.
+        s.samples.clear();
+        s.track_growth();
+        assert_eq!(s.grow_events(), 1);
+        s.payload.reserve(4096);
+        s.track_growth();
+        assert_eq!(s.grow_events(), 2);
+        assert!(s.reserved_bytes() >= 1024 * 4 + 4096);
+    }
+}

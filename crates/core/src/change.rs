@@ -89,11 +89,13 @@ impl ChangeDetector {
             low_mask.as_deref(),
             2.0 * self.theta,
         )?;
-        let aligned_ref = alignment.apply_to(&reference.lowres);
 
         // Per-tile mean absolute difference, measured on the low-res grid:
         // each full-res tile maps to a (possibly fractional) low-res block.
-        let scores = tile_scores(&grid, &capture_low, &aligned_ref);
+        // The illumination model is applied to the reference on the fly,
+        // fusing what used to be two whole-image traversals (materialize
+        // the aligned reference, then diff it) into one pass per tile.
+        let scores = tile_scores(&grid, &capture_low, &reference.lowres, alignment);
 
         let mut changed = TileMask::from_scores(&grid, &scores, self.theta);
         if let Some(cloudy) = cloud_tiles {
@@ -119,8 +121,17 @@ impl ChangeDetector {
     }
 }
 
-/// Per-tile difference scores evaluated on the low-resolution pair.
-fn tile_scores(grid: &TileGrid, capture_low: &Raster, reference_low: &Raster) -> Vec<f32> {
+/// Per-tile difference scores evaluated on the low-resolution pair, with
+/// `alignment` applied to the reference sample-by-sample (bit-identical to
+/// materializing `alignment.apply_to(reference_low)` first, without the
+/// intermediate raster or its traversal). Each tile's block is walked via
+/// zero-copy row views rather than per-pixel bounds-checked lookups.
+fn tile_scores(
+    grid: &TileGrid,
+    capture_low: &Raster,
+    reference_low: &Raster,
+    alignment: AlignmentModel,
+) -> Vec<f32> {
     let low_w = capture_low.width();
     let low_h = capture_low.height();
     let sx = low_w as f64 / grid.width() as f64;
@@ -133,11 +144,13 @@ fn tile_scores(grid: &TileGrid, capture_low: &Raster, reference_low: &Raster) ->
         let ly0 = (y0 as f64 * sy).floor() as usize;
         let lx1 = (((x0 + w) as f64 * sx).ceil() as usize).clamp(lx0 + 1, low_w);
         let ly1 = (((y0 + h) as f64 * sy).ceil() as usize).clamp(ly0 + 1, low_h);
+        let cap = capture_low.view(lx0, ly0, lx1 - lx0, ly1 - ly0);
+        let refr = reference_low.view(lx0, ly0, lx1 - lx0, ly1 - ly0);
         let mut sum = 0.0f64;
         let mut n = 0u32;
-        for y in ly0..ly1 {
-            for x in lx0..lx1 {
-                sum += (capture_low.get(x, y) - reference_low.get(x, y)).abs() as f64;
+        for (crow, rrow) in cap.rows().zip(refr.rows()) {
+            for (&c, &r) in crow.iter().zip(rrow) {
+                sum += (c - alignment.apply(r)).abs() as f64;
                 n += 1;
             }
         }

@@ -182,13 +182,17 @@ pub fn masked_tile_mse(
     let mut n = 0u64;
     for t in eval_tiles.iter_set() {
         let (x0, y0, w, h) = grid.tile_rect(t);
-        for y in y0..y0 + h {
-            for x in x0..x0 + w {
-                let d = (belief.get(x, y) - target.get(x, y)) as f64;
+        // Zero-copy row views instead of per-pixel bounds-checked lookups;
+        // accumulation order (row-major within the tile) is unchanged.
+        let b = belief.view(x0, y0, w, h);
+        let g = target.view(x0, y0, w, h);
+        for (brow, grow) in b.rows().zip(g.rows()) {
+            for (&bv, &gv) in brow.iter().zip(grow) {
+                let d = (bv - gv) as f64;
                 sum += d * d;
-                n += 1;
             }
         }
+        n += (w * h) as u64;
     }
     if n == 0 {
         None

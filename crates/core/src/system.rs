@@ -24,7 +24,7 @@ use crate::strategy::{
 };
 use crate::uplink::UplinkReport;
 use earthplus_cloud::OnboardCloudDetector;
-use earthplus_codec::{encode_roi, CodecConfig};
+use earthplus_codec::{encode_roi_with_scratch, CodecConfig, CodecScratch};
 use earthplus_ground::{ContactWindow, GroundService, GroundServiceConfig};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{psnr_from_mse, Band, LocationId, TileGrid, TileMask};
@@ -39,6 +39,9 @@ use std::time::Instant;
 pub struct EarthPlusStrategy {
     config: EarthPlusConfig,
     codec: CodecConfig,
+    // Reusable encoder arena: persists across tiles, bands, and captures,
+    // so the steady-state encode path allocates no scratch at all.
+    codec_scratch: CodecScratch,
     cloud_detector: OnboardCloudDetector,
     change_detector: ChangeDetector,
     // The ground segment: sharded store + pass scheduler + cache models.
@@ -78,6 +81,7 @@ impl EarthPlusStrategy {
         EarthPlusStrategy {
             change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
             codec: CodecConfig::lossy(),
+            codec_scratch: CodecScratch::new(),
             config,
             cloud_detector,
             service,
@@ -96,6 +100,12 @@ impl EarthPlusStrategy {
     /// The ground-segment service (for inspection by experiments).
     pub fn ground(&self) -> &GroundService {
         &self.service
+    }
+
+    /// The encoder scratch arena (for allocation accounting in tests and
+    /// the perf baseline).
+    pub fn codec_scratch(&self) -> &CodecScratch {
+        &self.codec_scratch
     }
 }
 
@@ -223,8 +233,15 @@ impl CompressionStrategy for EarthPlusStrategy {
 
             // 5. ROI-encode the changed tiles at γ bits/pixel.
             let t = Instant::now();
-            let roi = encode_roi(band_raster, &grid, &changed, &self.codec, budget)
-                .expect("image matches grid");
+            let roi = encode_roi_with_scratch(
+                band_raster,
+                &grid,
+                &changed,
+                &self.codec,
+                budget,
+                &mut self.codec_scratch,
+            )
+            .expect("image matches grid");
             timings.encode_s += t.elapsed().as_secs_f64();
             total_bytes += roi.size_bytes() as u64;
             band_bytes.push((band, roi.size_bytes() as u64));

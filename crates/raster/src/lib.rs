@@ -47,6 +47,7 @@ pub mod multiband;
 pub mod raster;
 pub mod resample;
 pub mod tile;
+pub mod view;
 
 mod error;
 
@@ -59,6 +60,7 @@ pub use multiband::MultiBandImage;
 pub use raster::Raster;
 pub use resample::{downsample_box, downsample_to, upsample_bilinear};
 pub use tile::{TileGrid, TileIndex, TileMask};
+pub use view::{TileView, TileViewMut};
 
 /// Default side length, in pixels, of a geographic tile.
 ///

@@ -177,6 +177,32 @@ impl Raster {
         &self.data[y * self.width..(y + 1) * self.width]
     }
 
+    /// A borrowed zero-copy view of a rectangle that lies fully inside the
+    /// raster (see [`TileView`](crate::TileView)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle exceeds the raster bounds (use
+    /// [`Raster::crop`] for clipped-and-filled extraction).
+    pub fn view(&self, x0: usize, y0: usize, width: usize, height: usize) -> crate::TileView<'_> {
+        crate::TileView::new(self, x0, y0, width, height)
+    }
+
+    /// Mutable counterpart of [`Raster::view`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle exceeds the raster bounds.
+    pub fn view_mut(
+        &mut self,
+        x0: usize,
+        y0: usize,
+        width: usize,
+        height: usize,
+    ) -> crate::TileViewMut<'_> {
+        crate::TileViewMut::new(self, x0, y0, width, height)
+    }
+
     /// Applies `f` to every sample, producing a new raster.
     pub fn map<F>(&self, mut f: F) -> Raster
     where

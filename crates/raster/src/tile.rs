@@ -6,7 +6,7 @@
 //! [`TileMask`] is a compact per-tile bitset used for change maps, cloud
 //! masks, and region-of-interest selections.
 
-use crate::{Raster, RasterError};
+use crate::{Raster, RasterError, TileView, TileViewMut};
 use std::fmt;
 
 /// Identifies one tile within a [`TileGrid`] by column and row.
@@ -170,6 +170,41 @@ impl TileGrid {
         self.check_image(image)?;
         let (x0, y0, w, h) = self.tile_rect(index);
         Ok(image.crop(x0, y0, w, h, 0.0))
+    }
+
+    /// A zero-copy strided view of one tile's pixels (clipped at image
+    /// edges, so edge tiles may be smaller than `tile_size`). Traversal
+    /// order matches [`TileGrid::extract_tile`] exactly; no pixels are
+    /// copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RasterError::DimensionMismatch`] if `image` does not match
+    /// the grid's pixel dimensions.
+    pub fn tile_view<'a>(
+        &self,
+        image: &'a Raster,
+        index: TileIndex,
+    ) -> Result<TileView<'a>, RasterError> {
+        self.check_image(image)?;
+        let (x0, y0, w, h) = self.tile_rect(index);
+        Ok(TileView::new(image, x0, y0, w, h))
+    }
+
+    /// Mutable counterpart of [`TileGrid::tile_view`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RasterError::DimensionMismatch`] if `image` does not match
+    /// the grid's pixel dimensions.
+    pub fn tile_view_mut<'a>(
+        &self,
+        image: &'a mut Raster,
+        index: TileIndex,
+    ) -> Result<TileViewMut<'a>, RasterError> {
+        self.check_image(image)?;
+        let (x0, y0, w, h) = self.tile_rect(index);
+        Ok(TileViewMut::new(image, x0, y0, w, h))
     }
 
     /// Writes a tile raster back into `image` at the tile's position.
@@ -523,6 +558,36 @@ mod tests {
         g.insert_tile(&mut out, t, &tile).unwrap();
         let back = g.extract_tile(&out, t).unwrap();
         assert_eq!(back, tile);
+    }
+
+    #[test]
+    fn tile_view_matches_extract_tile() {
+        let g = TileGrid::new(130, 65, 64).unwrap(); // includes partial tiles
+        let img = Raster::from_fn(130, 65, |x, y| ((x * 31 + y * 17) % 97) as f32 / 97.0);
+        for t in g.iter() {
+            let copied = g.extract_tile(&img, t).unwrap();
+            let view = g.tile_view(&img, t).unwrap();
+            assert_eq!(view.to_raster(), copied, "tile {t}");
+        }
+        let wrong = Raster::new(64, 64);
+        assert!(g.tile_view(&wrong, TileIndex::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn tile_view_mut_matches_insert_tile() {
+        let g = TileGrid::new(130, 65, 64).unwrap();
+        let t = TileIndex::new(2, 1); // 2x1 partial edge tile
+        let patch: Vec<f32> = vec![0.25, 0.75];
+        let mut via_insert = Raster::new(130, 65);
+        g.insert_tile(
+            &mut via_insert,
+            t,
+            &Raster::from_vec(2, 1, patch.clone()).unwrap(),
+        )
+        .unwrap();
+        let mut via_view = Raster::new(130, 65);
+        g.tile_view_mut(&mut via_view, t).unwrap().copy_from(&patch);
+        assert_eq!(via_view, via_insert);
     }
 
     #[test]

@@ -39,6 +39,63 @@ use std::collections::{hash_map, HashMap};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache of open read handles, one per segment file, so the read path does
+/// not reopen the file on every [`RefLog::get`] (the ROADMAP follow-up).
+///
+/// Reads go through positioned I/O (`read_at`), so one shared handle
+/// serves concurrent readers without cursor races; on platforms without
+/// positioned reads the cache is bypassed and each read opens its own
+/// handle, which is exactly the old behaviour. The cache holds at most
+/// [`MAX_CACHED_HANDLES`] descriptors: logs with huge segment counts
+/// (e.g. autocompaction disabled) reset it rather than exhausting the
+/// process fd limit.
+#[derive(Debug, Default)]
+struct SegmentHandleCache {
+    handles: Mutex<HashMap<u64, Arc<File>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Upper bound on cached segment file descriptors per log.
+const MAX_CACHED_HANDLES: usize = 64;
+
+impl SegmentHandleCache {
+    #[cfg(unix)]
+    fn get_or_open(&self, dir: &Path, segment: u64) -> std::io::Result<Arc<File>> {
+        let mut handles = self.handles.lock().expect("handle cache poisoned");
+        if handles.len() >= MAX_CACHED_HANDLES && !handles.contains_key(&segment) {
+            // Rare (compaction keeps segment counts low); a full reset is
+            // simpler than LRU bookkeeping on the hot read path.
+            handles.clear();
+        }
+        match handles.entry(segment) {
+            hash_map::Entry::Occupied(o) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(o.get().clone())
+            }
+            hash_map::Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let file = Arc::new(File::open(dir.join(segment_file_name(segment)))?);
+                Ok(v.insert(file).clone())
+            }
+        }
+    }
+
+    /// Drops every cached handle (after compaction retires segments, or
+    /// when a torn tail was healed and the handle must be reopened).
+    fn clear(&self) {
+        self.handles.lock().expect("handle cache poisoned").clear();
+    }
+}
+
+/// Reads `buf` from `file` at `offset` without moving a shared cursor.
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+}
 
 /// Tuning knobs of one [`RefLog`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,6 +184,12 @@ pub struct RefLogStats {
     pub dead_bytes: u64,
     /// Compactions run since open.
     pub compactions: u64,
+    /// Read-path segment-handle cache hits (reads served by an already
+    /// open file handle).
+    pub handle_cache_hits: u64,
+    /// Read-path segment-handle cache misses (reads that had to open the
+    /// segment file).
+    pub handle_cache_misses: u64,
 }
 
 /// A durable, crash-recoverable, log-structured store of freshest-wins
@@ -136,6 +199,7 @@ pub struct RefLog {
     dir: PathBuf,
     config: RefLogConfig,
     index: MemIndex,
+    handles: SegmentHandleCache,
     active: SegmentWriter,
     /// Ids of sealed + active segments, ascending.
     segments: Vec<u64>,
@@ -263,6 +327,7 @@ impl RefLog {
                 dir: dir.to_path_buf(),
                 config,
                 index,
+                handles: SegmentHandleCache::default(),
                 active,
                 segments: kept_segments,
                 next_segment_id,
@@ -351,7 +416,9 @@ impl RefLog {
         self.index.get(key).map(|e| e.day)
     }
 
-    /// Reads the live record for `key` from its segment file.
+    /// Reads the live record for `key` from its segment file, via the
+    /// per-segment handle cache (on platforms with positioned reads, the
+    /// file is opened at most once per segment between compactions).
     ///
     /// # Errors
     ///
@@ -362,8 +429,40 @@ impl RefLog {
         let Some(entry) = self.index.get(key) else {
             return Ok(None);
         };
+        let frame = self.read_frame(entry).map_err(|e| {
+            RefStoreError::Corrupt(format!(
+                "live record at segment {} offset {} unreadable: {e}",
+                entry.segment, entry.offset
+            ))
+        })?;
+        let record = decode_frame(&frame)?;
+        if record.key != *key {
+            return Err(RefStoreError::Corrupt(
+                "index entry points at a record with a different key".into(),
+            ));
+        }
+        Ok(Some(record))
+    }
+
+    /// Fetches one framed record — through the shared handle cache with a
+    /// positioned read where available, otherwise via a fresh handle.
+    #[cfg(unix)]
+    fn read_frame(&self, entry: &IndexEntry) -> std::io::Result<Vec<u8>> {
+        let file = self.handles.get_or_open(&self.dir, entry.segment)?;
+        let mut frame = vec![0u8; entry.framed_len as usize];
+        read_exact_at(&file, &mut frame, entry.offset)?;
+        Ok(frame)
+    }
+
+    /// See the `unix` variant; without positioned reads a shared handle
+    /// would race on its cursor, so each read opens its own.
+    #[cfg(not(unix))]
+    fn read_frame(&self, entry: &IndexEntry) -> std::io::Result<Vec<u8>> {
         let mut file = File::open(self.dir.join(segment_file_name(entry.segment)))?;
-        read_entry_at(&mut file, key, entry).map(Some)
+        file.seek(SeekFrom::Start(entry.offset))?;
+        let mut frame = vec![0u8; entry.framed_len as usize];
+        file.read_exact(&mut frame)?;
+        Ok(frame)
     }
 
     /// Number of live keys.
@@ -409,6 +508,8 @@ impl RefLog {
             live_bytes: self.live_bytes,
             dead_bytes: self.dead_bytes,
             compactions: self.compactions,
+            handle_cache_hits: self.handles.hits.load(Ordering::Relaxed),
+            handle_cache_misses: self.handles.misses.load(Ordering::Relaxed),
         }
     }
 
@@ -530,7 +631,8 @@ impl RefLog {
 
         // …then sweep the retired segments, which the new manifest no
         // longer lists (idempotent; redone on next open if we crash or
-        // fail here).
+        // fail here), dropping their cached read handles first.
+        self.handles.clear();
         for id in retired {
             std::fs::remove_file(self.dir.join(segment_file_name(id)))?;
         }
@@ -791,6 +893,38 @@ mod tests {
         log.compact().unwrap();
         assert_eq!(log.stats().dead_bytes, 0);
         assert_eq!(log.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_path_caches_segment_handles() {
+        let dir = test_dir("handles");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        for loc in 0..6u32 {
+            log.append(key(loc), 1.0, &[loc as u8; 32]).unwrap();
+        }
+        for _ in 0..3 {
+            for loc in 0..6u32 {
+                assert!(log.get(&key(loc)).unwrap().is_some());
+            }
+        }
+        let stats = log.stats();
+        if cfg!(unix) {
+            assert_eq!(
+                stats.handle_cache_misses, 1,
+                "all records share one segment: one open"
+            );
+            assert_eq!(stats.handle_cache_hits, 17, "subsequent reads reuse it");
+        }
+        // Compaction retires the segment files; reads must reopen (and
+        // still succeed) afterwards.
+        for loc in 0..6u32 {
+            log.append(key(loc), 2.0, &[loc as u8; 32]).unwrap();
+        }
+        log.compact().unwrap();
+        for loc in 0..6u32 {
+            assert_eq!(log.get(&key(loc)).unwrap().unwrap().day, 2.0);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -99,6 +99,118 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+///
+/// Mirrors the subset of `bytes::Bytes` this workspace uses: the storage
+/// is shared (`Arc`), so [`Bytes::clone`] and [`Bytes::slice`] are O(1)
+/// range adjustments rather than payload copies — the property the codec
+/// relies on to make stream truncation allocation-free.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: std::sync::Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer by copying a slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    /// Length of the viewed range in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the viewed range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a view of a sub-range, sharing the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&s) => s,
+            std::ops::Bound::Excluded(&s) => s + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&e) => e + 1,
+            std::ops::Bound::Excluded(&e) => e,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of bounds for {} bytes",
+            self.len()
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +243,31 @@ mod tests {
     fn underflow_panics() {
         let mut cursor: &[u8] = &[1, 2];
         let _ = cursor.get_u32();
+    }
+
+    #[test]
+    fn bytes_slice_shares_storage() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        let ss = s.slice(..2);
+        assert_eq!(&ss[..], &[1, 2]);
+        assert_eq!(b.len(), 6);
+        assert!(b.slice(..0).is_empty());
+    }
+
+    #[test]
+    fn bytes_equality_by_content() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::copy_from_slice(&[0, 1, 2, 3]).slice(1..);
+        assert_eq!(a, b);
+        assert_eq!(a, *[1u8, 2, 3].as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bytes_slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2]);
+        let _ = b.slice(..3);
     }
 }
