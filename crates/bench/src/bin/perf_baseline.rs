@@ -8,44 +8,72 @@
 //! ```text
 //! cargo run -p earthplus-bench --release --bin perf_baseline
 //! cargo run -p earthplus-bench --release --bin perf_baseline -- --quick --out /tmp/b.json
+//! cargo run -p earthplus-bench --release --bin perf_baseline -- --quick --check BENCH_pipeline.json
 //! ```
 //!
 //! * `--quick` — fewer samples (CI smoke: proves the emitter works).
 //! * `--out <path>` — where to write the JSON (default
 //!   `BENCH_pipeline.json` in the current directory).
+//! * `--check <path>` — after measuring, compare this run's
+//!   `encode_full_band.mpix_per_s` against the committed baseline at
+//!   `<path>` and exit non-zero below [`CHECK_MIN_RATIO`]× of it. The
+//!   generous ratio absorbs machine differences (CI runners vs the
+//!   container the baseline was committed from) while still catching
+//!   catastrophic encoder regressions.
 //!
 //! Per-stage seconds come from the strategy's own [`StageTimings`] (the
 //! quantities of the paper's Figure 16); throughput is reported in
-//! megapixels per second of capture data processed. The encoder speedup
-//! against the pre-refactor copy path is measured *in-process* against
-//! the vendored reference implementation, in interleaved pairs, so
-//! machine-load drift cancels out of the ratio.
+//! megapixels per second of capture data processed. Since the EPC2 format
+//! bump the encoder microbenchmark times **both formats** — the EPC2
+//! default and the frozen EPC1 path — against the vendored pre-refactor
+//! reference encoder, interleaved in-process so machine-load drift cancels
+//! out of the ratios. EPC1 output is asserted bit-identical to the
+//! reference before timing; EPC2 output is asserted to decode and patch.
 
 use earthplus::prelude::*;
 use earthplus::{CaptureContext, StageTimings};
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
-use earthplus_codec::{encode_roi_with_scratch, reference, CodecConfig, CodecScratch};
+use earthplus_codec::{
+    encode_roi_with_scratch, reference, CodecConfig, CodecScratch, FormatVersion,
+};
 use earthplus_orbit::SatelliteId;
-use earthplus_raster::{LocationId, TileGrid, TileMask};
+use earthplus_raster::{LocationId, Raster, TileGrid, TileMask};
 use earthplus_scene::terrain::LocationArchetype;
 use earthplus_scene::{LocationScene, SceneConfig};
 use std::time::Instant;
+
+/// `--check` fails when this run's EPC2 throughput drops below this
+/// fraction of the committed baseline's.
+const CHECK_MIN_RATIO: f64 = 0.4;
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
     samples[samples.len() / 2]
 }
 
+/// Pulls `"mpix_per_s": <float>` out of the `"encode_full_band"` object of
+/// a committed baseline file (hand-rolled: the workspace builds offline,
+/// with no JSON dependency — and we wrote the format).
+fn committed_mpix_per_s(json: &str) -> Option<f64> {
+    let section = json.split("\"encode_full_band\"").nth(1)?;
+    let value = section.split("\"mpix_per_s\":").nth(1)?;
+    value.split([',', '}', '\n']).next()?.trim().parse().ok()
+}
+
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_pipeline.json");
+    let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out needs a path"),
+            "--check" => check = Some(args.next().expect("--check needs a path")),
             other => {
-                eprintln!("unknown argument {other:?} (expected --quick / --out <path>)");
+                eprintln!(
+                    "unknown argument {other:?} (expected --quick / --out <path> / --check <path>)"
+                );
                 std::process::exit(2);
             }
         }
@@ -107,8 +135,9 @@ fn main() {
     let encoded_mpix = tile_fraction * capture_mpix;
 
     // 2. Encoder throughput in isolation: every tile of one band through
-    //    the γ-budgeted ROI path, optimized vs reference (pre-refactor)
-    //    implementation, interleaved so the ratio is load-immune.
+    //    the γ-budgeted ROI path — EPC2 (default), EPC1 (frozen format),
+    //    and the reference (pre-refactor EPC1) implementation, interleaved
+    //    so the ratios are load-immune.
     let band_raster = capture
         .image
         .iter()
@@ -120,34 +149,52 @@ fn main() {
     let mut all = TileMask::new(&grid);
     all.fill();
     let budget = config.tile_budget_bytes();
-    let codec = CodecConfig::lossy();
+    let epc1 = CodecConfig::lossy().with_format(FormatVersion::Epc1);
+    let epc2 = CodecConfig::lossy().with_format(FormatVersion::Epc2);
     let mut scratch = CodecScratch::new();
-    // Warm both paths (and prove they agree before timing them).
-    let roi_ref = reference::encode_roi_reference(&band_raster, &grid, &all, &codec, budget)
+    // Warm all paths and prove correctness before timing: EPC1 must be
+    // bit-identical to the reference; EPC2 must decode and patch.
+    let roi_ref = reference::encode_roi_reference(&band_raster, &grid, &all, &epc1, budget)
         .expect("image matches grid");
-    let roi_new = encode_roi_with_scratch(&band_raster, &grid, &all, &codec, budget, &mut scratch)
+    let roi_epc1 = encode_roi_with_scratch(&band_raster, &grid, &all, &epc1, budget, &mut scratch)
         .expect("image matches grid");
-    assert_eq!(roi_ref, roi_new, "optimized encoder output drifted");
-    let (mut ref_times, mut new_times, mut pair_ratios) = (Vec::new(), Vec::new(), Vec::new());
+    assert_eq!(roi_ref, roi_epc1, "optimized EPC1 encoder output drifted");
+    let roi_epc2 = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch)
+        .expect("image matches grid");
+    let mut canvas = Raster::new(w, h);
+    roi_epc2
+        .patch_into(&mut canvas)
+        .expect("EPC2 stream must decode");
+    let (mut ref_times, mut epc1_times, mut epc2_times) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut epc2_vs_ref, mut epc2_vs_epc1) = (Vec::new(), Vec::new());
     for _ in 0..reps.max(8) {
         let t = Instant::now();
-        let _ = reference::encode_roi_reference(&band_raster, &grid, &all, &codec, budget);
+        let _ = reference::encode_roi_reference(&band_raster, &grid, &all, &epc1, budget);
         let r = t.elapsed().as_secs_f64();
         let t = Instant::now();
-        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &codec, budget, &mut scratch);
-        let n = t.elapsed().as_secs_f64();
+        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc1, budget, &mut scratch);
+        let n1 = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch);
+        let n2 = t.elapsed().as_secs_f64();
         ref_times.push(r);
-        new_times.push(n);
-        pair_ratios.push(r / n);
+        epc1_times.push(n1);
+        epc2_times.push(n2);
+        epc2_vs_ref.push(r / n2);
+        epc2_vs_epc1.push(n1 / n2);
     }
     let ref_s = median(&mut ref_times);
-    let new_s = median(&mut new_times);
-    let speedup = median(&mut pair_ratios);
-    let full_encode_mpix_s = (w * h) as f64 / 1e6 / new_s;
+    let epc1_s = median(&mut epc1_times);
+    let epc2_s = median(&mut epc2_times);
+    let speedup_vs_reference = median(&mut epc2_vs_ref);
+    let speedup_vs_epc1 = median(&mut epc2_vs_epc1);
+    let band_mpix = (w * h) as f64 / 1e6;
+    let full_encode_mpix_s = band_mpix / epc2_s;
+    let epc1_mpix_s = band_mpix / epc1_s;
 
     let json = format!(
         r#"{{
-  "schema": 1,
+  "schema": 2,
   "scenario": "pipeline_runtime quick scene (seed 7, agriculture, {w}x{h}, {bands} bands)",
   "mode": "{mode}",
   "samples": {reps},
@@ -161,12 +208,19 @@ fn main() {
     "pipeline_mpix_per_s": {pipeline_rate:.3}
   }},
   "encode_full_band": {{
-    "seconds": {new_s:.6},
+    "format": "EPC2",
+    "seconds": {epc2_s:.6},
     "mpix_per_s": {full_encode_mpix_s:.3},
     "reference_seconds": {ref_s:.6},
-    "speedup_vs_reference": {speedup:.3},
+    "speedup_vs_reference": {speedup_vs_reference:.3},
+    "speedup_vs_epc1": {speedup_vs_epc1:.3},
     "tiles": {tiles},
     "budget_bytes_per_tile": {budget}
+  }},
+  "encode_full_band_epc1": {{
+    "format": "EPC1",
+    "seconds": {epc1_s:.6},
+    "mpix_per_s": {epc1_mpix_s:.3}
   }},
   "codec_scratch": {{
     "reserved_bytes": {reserved},
@@ -185,5 +239,23 @@ fn main() {
     if steady_grow_events != 0 {
         eprintln!("ERROR: codec scratch grew during steady state ({steady_grow_events} events)");
         std::process::exit(1);
+    }
+    if let Some(path) = check {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+        let committed_rate = committed_mpix_per_s(&committed)
+            .unwrap_or_else(|| panic!("--check: no encode_full_band.mpix_per_s in {path}"));
+        let floor = committed_rate * CHECK_MIN_RATIO;
+        eprintln!(
+            "check: encode_full_band {full_encode_mpix_s:.3} MPix/s vs committed \
+             {committed_rate:.3} (floor {floor:.3})"
+        );
+        if full_encode_mpix_s < floor {
+            eprintln!(
+                "ERROR: encoder regression — {full_encode_mpix_s:.3} MPix/s is below \
+                 {CHECK_MIN_RATIO}x the committed {committed_rate:.3}"
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -63,12 +63,27 @@ impl EncodedPlanes {
     }
 }
 
+/// Upper bound on an EPC2 zero-run chunk (power of two): consecutive
+/// context-0 coefficients of the significance pass are grouped into chunks
+/// of at most this many and cleared with a single range-coder decision.
+pub(crate) const RUN_MAX: usize = 64;
+
+/// Bits needed to address a position inside a chunk of `len` entries
+/// (`0` for a single-entry chunk).
+#[inline]
+pub(crate) fn run_position_bits(len: usize) -> u32 {
+    usize::BITS - (len - 1).leading_zeros()
+}
+
 pub(crate) struct Contexts {
     /// Significance contexts indexed by the number of significant causal
     /// neighbours (0, 1, 2+).
     pub(crate) significance: [BitModel; 3],
     /// Refinement context.
     pub(crate) refinement: BitModel,
+    /// EPC2 zero-run context: "every coefficient of this chunk stays
+    /// insignificant". Unused (and therefore bit-neutral) in EPC1 streams.
+    pub(crate) run: BitModel,
 }
 
 impl Contexts {
@@ -76,6 +91,7 @@ impl Contexts {
         Contexts {
             significance: [BitModel::new(); 3],
             refinement: BitModel::new(),
+            run: BitModel::new(),
         }
     }
 }
@@ -324,6 +340,308 @@ fn merge_ascending(dst: &mut Vec<u64>, dst_len: usize, add: &[u64], tmp: &mut Ve
     k += add.len() - b;
     std::mem::swap(dst, tmp);
     k
+}
+
+/// EPC2 encoder: the v1 list-driven coder plus the zero-run significance
+/// mode. Runs of consecutive context-0 (no significant causal neighbour)
+/// coefficients are grouped into chunks of up to [`RUN_MAX`]; each chunk
+/// costs one adaptive "all clear" decision when nothing in it becomes
+/// significant — the dominant case in the upper bitplanes — instead of one
+/// decision per coefficient. When a chunk does contain a new significant
+/// coefficient, its position is sent in `ceil(log2(len))` raw bits and the
+/// chunk resumes after it.
+///
+/// Chunk boundaries depend only on state frozen at the start of the pass
+/// (the insignificant list and the neighbour counts, which are published
+/// between passes), so the decoder reproduces them exactly.
+///
+/// Output layout matches [`encode_planes_into`]: payload in
+/// `scratch.payload`, per-pass offsets (lookahead included) in
+/// `scratch.pass_offsets`, planes returned.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `coefficients.len()`.
+pub fn encode_planes_v2_into(coefficients: &[i32], width: usize, scratch: &mut CodecScratch) -> u8 {
+    assert!(width > 0, "width must be positive");
+    assert_eq!(
+        coefficients.len() % width,
+        0,
+        "coefficient count must be a multiple of width"
+    );
+    let n = coefficients.len();
+    let max_mag = coefficients
+        .iter()
+        .map(|&c| c.unsigned_abs())
+        .max()
+        .unwrap_or(0);
+    let planes = (32 - max_mag.leading_zeros()).min(MAX_PLANES as u32) as u8;
+
+    let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.payload));
+    let mut ctx = Contexts::new();
+    scratch.ctx_of.clear();
+    scratch.ctx_of.resize(n, 0);
+    scratch.pass_offsets.clear();
+    prepare(&mut scratch.insignificant, n);
+    prepare(&mut scratch.next_insig, n);
+    prepare(&mut scratch.significant, n);
+    prepare(&mut scratch.merge, n);
+    prepare(&mut scratch.newly, n);
+    encode_planes_passes_v2(coefficients, width, planes, &mut enc, &mut ctx, scratch);
+
+    let mut payload = enc.finish();
+    if let Some(&last) = scratch.pass_offsets.last() {
+        if payload.len() < last as usize {
+            payload.resize(last as usize, 0);
+        }
+    }
+    scratch.payload = payload;
+    planes
+}
+
+/// The per-plane passes of the EPC2 coder (see [`encode_planes_v2_into`]).
+/// Identical to the v1 passes except for the zero-run significance mode.
+fn encode_planes_passes_v2(
+    coefficients: &[i32],
+    width: usize,
+    planes: u8,
+    enc: &mut RangeEncoder,
+    ctx: &mut Contexts,
+    scratch: &mut CodecScratch,
+) {
+    let CodecScratch {
+        ctx_of,
+        insignificant,
+        next_insig,
+        significant,
+        merge,
+        newly,
+        pass_offsets,
+        ..
+    } = &mut *scratch;
+    let ctx_of = &mut ctx_of[..];
+    let n = coefficients.len();
+    for (k, (slot, &c)) in insignificant[..n].iter_mut().zip(coefficients).enumerate() {
+        let low = (c.unsigned_abs() & LOW_MAG_MASK) | (((c < 0) as u32) << 31);
+        *slot = ((k as u64) << 32) | low as u64;
+    }
+    let mut insig_len = n;
+    let mut sig_len = 0usize;
+
+    for plane in (0..planes).rev() {
+        let bit_mask = 1u32 << plane;
+        // Pass 1: significance with zero-run chunking over context-0
+        // stretches. Contexts are frozen for the duration of the pass
+        // (`ctx_of` is published only between passes), so the chunk
+        // boundaries are a pure function of pass-start state.
+        let mut newly_len = 0usize;
+        let mut next_len = 0usize;
+        let list = &insignificant[..insig_len];
+        let mut k = 0usize;
+        while k < insig_len {
+            let e = list[k];
+            let c = usize::from(ctx_of[(e >> 32) as usize]);
+            if c != 0 {
+                let becomes = e as u32 & bit_mask != 0;
+                enc.encode(&mut ctx.significance[c], becomes);
+                if becomes {
+                    enc.encode_raw((e as u32 as i32) < 0);
+                    newly[newly_len] = e;
+                    newly_len += 1;
+                } else {
+                    next_insig[next_len] = e;
+                    next_len += 1;
+                }
+                k += 1;
+                continue;
+            }
+            // Context-0 chunk: up to RUN_MAX consecutive context-0 entries.
+            let mut len = 1usize;
+            while len < RUN_MAX
+                && k + len < insig_len
+                && ctx_of[(list[k + len] >> 32) as usize] == 0
+            {
+                len += 1;
+            }
+            let chunk = &list[k..k + len];
+            let first_hit = chunk.iter().position(|&e| e as u32 & bit_mask != 0);
+            enc.encode(&mut ctx.run, first_hit.is_none());
+            match first_hit {
+                None => {
+                    next_insig[next_len..next_len + len].copy_from_slice(chunk);
+                    next_len += len;
+                    k += len;
+                }
+                Some(p) => {
+                    for b in (0..run_position_bits(len)).rev() {
+                        enc.encode_raw((p >> b) & 1 == 1);
+                    }
+                    next_insig[next_len..next_len + p].copy_from_slice(&chunk[..p]);
+                    next_len += p;
+                    let hit = chunk[p];
+                    enc.encode_raw((hit as u32 as i32) < 0);
+                    newly[newly_len] = hit;
+                    newly_len += 1;
+                    k += p + 1;
+                }
+            }
+        }
+        std::mem::swap(insignificant, next_insig);
+        insig_len = next_len;
+        for &e in &newly[..newly_len] {
+            let i = (e >> 32) as usize;
+            let x = i % width;
+            if x + 1 < width {
+                ctx_of[i + 1] = (ctx_of[i + 1] + 1).min(2);
+            }
+            if i + width < n {
+                ctx_of[i + width] = (ctx_of[i + width] + 1).min(2);
+            }
+            if x > 0 && i + width - 1 < n {
+                ctx_of[i + width - 1] = (ctx_of[i + width - 1] + 1).min(2);
+            }
+        }
+        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
+        // Pass 2: refinement, unchanged from v1.
+        for &e in &significant[..sig_len] {
+            enc.encode(&mut ctx.refinement, e as u32 & bit_mask != 0);
+        }
+        pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
+        sig_len = merge_ascending(significant, sig_len, &newly[..newly_len], merge);
+    }
+}
+
+/// Decodes an EPC2 payload produced by [`encode_planes_v2_into`]
+/// (optionally truncated at a recorded pass boundary).
+///
+/// Mirrors the encoder's list-driven traversal — including the zero-run
+/// chunking, whose boundaries are recomputed from the decoder's own frozen
+/// per-pass state — so the context sequence matches decision for decision.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `count`.
+pub fn decode_planes_v2(
+    payload: &[u8],
+    count: usize,
+    width: usize,
+    planes: u8,
+    pass_offsets: &[u32],
+) -> Vec<i32> {
+    assert!(width > 0, "width must be positive");
+    assert_eq!(count % width, 0, "count must be a multiple of width");
+    let available: usize = pass_offsets
+        .iter()
+        .take_while(|&&o| o as usize <= payload.len())
+        .count();
+    let mut dec = RangeDecoder::new(payload);
+    let mut ctx = Contexts::new();
+    let mut ctx_of = vec![0u8; count];
+    let mut neg = vec![false; count];
+    let mut mag = vec![0u32; count];
+    let mut insig: Vec<u32> = (0..count as u32).collect();
+    let mut next: Vec<u32> = Vec::with_capacity(count);
+    let mut sig: Vec<u32> = Vec::with_capacity(count);
+    let mut merged: Vec<u32> = Vec::with_capacity(count);
+    let mut newly: Vec<u32> = Vec::with_capacity(count);
+    let mut pass_idx = 0usize;
+    for plane in (0..planes).rev() {
+        let bit = 1u32 << plane;
+        // Significance pass.
+        if pass_idx >= available {
+            break;
+        }
+        newly.clear();
+        next.clear();
+        let mut k = 0usize;
+        while k < insig.len() {
+            let i = insig[k] as usize;
+            let c = usize::from(ctx_of[i]);
+            if c != 0 {
+                if dec.decode(&mut ctx.significance[c]) {
+                    neg[i] = dec.decode_raw();
+                    mag[i] |= bit;
+                    newly.push(i as u32);
+                } else {
+                    next.push(i as u32);
+                }
+                k += 1;
+                continue;
+            }
+            let mut len = 1usize;
+            while len < RUN_MAX && k + len < insig.len() && ctx_of[insig[k + len] as usize] == 0 {
+                len += 1;
+            }
+            if dec.decode(&mut ctx.run) {
+                next.extend_from_slice(&insig[k..k + len]);
+                k += len;
+            } else {
+                let mut p = 0usize;
+                for _ in 0..run_position_bits(len) {
+                    p = (p << 1) | dec.decode_raw() as usize;
+                }
+                // A valid stream always addresses inside the chunk; clamp
+                // so corrupt input cannot index out of bounds.
+                let p = p.min(len - 1);
+                next.extend_from_slice(&insig[k..k + p]);
+                let i = insig[k + p] as usize;
+                neg[i] = dec.decode_raw();
+                mag[i] |= bit;
+                newly.push(i as u32);
+                k += p + 1;
+            }
+        }
+        std::mem::swap(&mut insig, &mut next);
+        for &iu in &newly {
+            let i = iu as usize;
+            let x = i % width;
+            if x + 1 < width {
+                ctx_of[i + 1] = (ctx_of[i + 1] + 1).min(2);
+            }
+            if i + width < count {
+                ctx_of[i + width] = (ctx_of[i + width] + 1).min(2);
+            }
+            if x > 0 && i + width - 1 < count {
+                ctx_of[i + width - 1] = (ctx_of[i + width - 1] + 1).min(2);
+            }
+        }
+        pass_idx += 1;
+        // Refinement pass over the pre-merge significant list.
+        if pass_idx >= available {
+            break;
+        }
+        for &iu in &sig {
+            if dec.decode(&mut ctx.refinement) {
+                mag[iu as usize] |= bit;
+            }
+        }
+        pass_idx += 1;
+        // Merge this plane's arrivals (both lists ascending).
+        merged.clear();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < sig.len() && b < newly.len() {
+            if sig[a] < newly[b] {
+                merged.push(sig[a]);
+                a += 1;
+            } else {
+                merged.push(newly[b]);
+                b += 1;
+            }
+        }
+        merged.extend_from_slice(&sig[a..]);
+        merged.extend_from_slice(&newly[b..]);
+        std::mem::swap(&mut sig, &mut merged);
+    }
+    (0..count)
+        .map(|i| {
+            let m = mag[i] as i32;
+            if neg[i] {
+                -m
+            } else {
+                m
+            }
+        })
+        .collect()
 }
 
 /// Decodes coefficients from an (optionally truncated) payload.
@@ -588,5 +906,135 @@ mod tests {
         let enc = encode_planes(&coeffs, 10);
         let dec = decode_planes(&enc.payload, 100, 10, enc.planes, &enc.pass_offsets);
         assert_eq!(dec, coeffs);
+    }
+
+    fn encode_v2(coeffs: &[i32], width: usize) -> (Vec<u8>, u8, Vec<u32>) {
+        let mut scratch = CodecScratch::new();
+        let planes = encode_planes_v2_into(coeffs, width, &mut scratch);
+        (
+            scratch.payload.clone(),
+            planes,
+            scratch.pass_offsets.clone(),
+        )
+    }
+
+    #[test]
+    fn v2_lossless_roundtrip() {
+        for seed in [42u64, 7, 1234] {
+            let coeffs = sample_coefficients(64 * 64, seed);
+            let (payload, planes, offsets) = encode_v2(&coeffs, 64);
+            let dec = decode_planes_v2(&payload, coeffs.len(), 64, planes, &offsets);
+            assert_eq!(dec, coeffs, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn v2_roundtrips_edge_blocks() {
+        // All zero, single large, dense negatives, single coefficient.
+        let blocks: Vec<(Vec<i32>, usize)> = vec![
+            (vec![0i32; 4096], 64),
+            (
+                {
+                    let mut v = vec![0i32; 256];
+                    v[100] = -123_456;
+                    v
+                },
+                16,
+            ),
+            ((-50..50).collect(), 10),
+            (vec![7i32], 1),
+        ];
+        for (coeffs, w) in blocks {
+            let (payload, planes, offsets) = encode_v2(&coeffs, w);
+            let dec = decode_planes_v2(&payload, coeffs.len(), w, planes, &offsets);
+            assert_eq!(dec, coeffs, "width {w}");
+        }
+    }
+
+    #[test]
+    fn v2_beats_v1_on_sparse_blocks() {
+        // The zero-run mode exists for sparse significance data: it must
+        // both shrink the stream and (the real goal) slash decision counts.
+        let coeffs: Vec<i32> = (0..4096)
+            .map(|i| {
+                if hash_unit(i as u64, 5) < 0.05 {
+                    ((hash_unit(i as u64, 6) * 63.0) as i32) + 1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let v1 = encode_planes(&coeffs, 64);
+        let (payload, _, _) = encode_v2(&coeffs, 64);
+        assert!(
+            payload.len() <= v1.payload.len(),
+            "v2 {} > v1 {}",
+            payload.len(),
+            v1.payload.len()
+        );
+    }
+
+    #[test]
+    fn v2_truncated_prefix_decodes_consistently() {
+        // Every recorded pass boundary must yield a stream whose decode
+        // agrees with the full decode on all passes before the cut.
+        let coeffs = sample_coefficients(32 * 32, 11);
+        let (payload, planes, offsets) = encode_v2(&coeffs, 32);
+        let full = decode_planes_v2(&payload, coeffs.len(), 32, planes, &offsets);
+        assert_eq!(full, coeffs);
+        for (pass, &cut) in offsets.iter().enumerate() {
+            let cut = (cut as usize).min(payload.len());
+            let dec = decode_planes_v2(&payload[..cut], coeffs.len(), 32, planes, &offsets);
+            // Decoded magnitudes can only refine toward the truth: bits in
+            // every fully decoded plane pair (significance + refinement)
+            // match, nothing above the truth is ever invented, and signs of
+            // significant coefficients are exact.
+            let full_pairs = pass.div_ceil(2);
+            let lowest_exact = planes as usize - full_pairs.min(planes as usize);
+            for (i, (&d, &c)) in dec.iter().zip(&coeffs).enumerate() {
+                assert_eq!(
+                    d.unsigned_abs() >> lowest_exact,
+                    c.unsigned_abs() >> lowest_exact,
+                    "pass {pass} index {i}"
+                );
+                assert!(
+                    d.unsigned_abs() <= c.unsigned_abs(),
+                    "pass {pass} index {i}"
+                );
+                if d != 0 {
+                    assert_eq!(d.signum(), c.signum(), "pass {pass} index {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_offsets_are_monotone_and_cover_payload() {
+        let coeffs = sample_coefficients(32 * 32, 7);
+        let (payload, planes, offsets) = encode_v2(&coeffs, 32);
+        assert_eq!(offsets.len(), planes as usize * 2);
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*offsets.last().unwrap() as usize, payload.len());
+    }
+
+    #[test]
+    fn v2_scratch_reuse_is_byte_identical() {
+        let mut scratch = CodecScratch::new();
+        // Dirty the arena with a different block first.
+        encode_planes_v2_into(&sample_coefficients(40 * 25, 3), 40, &mut scratch);
+        let coeffs = sample_coefficients(64 * 64, 9);
+        let fresh = encode_v2(&coeffs, 64);
+        let planes = encode_planes_v2_into(&coeffs, 64, &mut scratch);
+        assert_eq!(planes, fresh.1);
+        assert_eq!(scratch.payload, fresh.0);
+        assert_eq!(scratch.pass_offsets, fresh.2);
+    }
+
+    #[test]
+    fn run_position_bits_bounds() {
+        assert_eq!(run_position_bits(1), 0);
+        assert_eq!(run_position_bits(2), 1);
+        assert_eq!(run_position_bits(3), 2);
+        assert_eq!(run_position_bits(64), 6);
     }
 }

@@ -80,6 +80,87 @@ impl Coefficients {
     }
 }
 
+/// One subband's rectangle within the Mallat coefficient layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubbandRect {
+    /// Left edge in the coefficient buffer.
+    pub x0: usize,
+    /// Top edge in the coefficient buffer.
+    pub y0: usize,
+    /// Subband width in coefficients.
+    pub w: usize,
+    /// Subband height in coefficients.
+    pub h: usize,
+}
+
+impl SubbandRect {
+    /// Number of coefficients in the subband.
+    pub fn count(&self) -> usize {
+        self.w * self.h
+    }
+}
+
+/// Appends the subbands of a `levels`-deep Mallat layout of a
+/// `width × height` buffer to `out`, coarsest first: the final LL band,
+/// then for each level from deepest to shallowest its HL (horizontal
+/// detail), LH (vertical detail), and HH bands. Zero-area subbands (which
+/// arise when a dimension collapses to 1) are omitted, so every emitted
+/// rectangle holds at least one coefficient. With `levels == 0` the whole
+/// buffer is one subband.
+///
+/// This enumeration *is* the EPC2 chunk order: both the encoder and the
+/// decoder derive it from `(width, height, levels)`, so the stream never
+/// serializes subband geometry.
+pub fn subband_rects_into(width: usize, height: usize, levels: u8, out: &mut Vec<SubbandRect>) {
+    out.clear();
+    if width == 0 || height == 0 {
+        return;
+    }
+    // Per-level parent sizes: sizes[k] is the region the level-(k+1)
+    // decomposition splits.
+    let mut sizes = [(0usize, 0usize); 12];
+    let (mut w, mut h) = (width, height);
+    for level in 0..levels as usize {
+        sizes[level] = (w, h);
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+    out.push(SubbandRect { x0: 0, y0: 0, w, h });
+    let mut push = |r: SubbandRect| {
+        if r.w > 0 && r.h > 0 {
+            out.push(r);
+        }
+    };
+    for &(pw, ph) in sizes[..levels as usize].iter().rev() {
+        let (cw, ch) = (pw.div_ceil(2), ph.div_ceil(2));
+        push(SubbandRect {
+            x0: cw,
+            y0: 0,
+            w: pw - cw,
+            h: ch,
+        });
+        push(SubbandRect {
+            x0: 0,
+            y0: ch,
+            w: cw,
+            h: ph - ch,
+        });
+        push(SubbandRect {
+            x0: cw,
+            y0: ch,
+            w: pw - cw,
+            h: ph - ch,
+        });
+    }
+}
+
+/// Allocating convenience wrapper around [`subband_rects_into`].
+pub fn subband_rects(width: usize, height: usize, levels: u8) -> Vec<SubbandRect> {
+    let mut out = Vec::new();
+    subband_rects_into(width, height, levels, &mut out);
+    out
+}
+
 /// Maximum usable decomposition depth for the given dimensions (each level
 /// halves the LL band; stop before a dimension reaches 1).
 pub fn max_levels(width: usize, height: usize) -> u8 {
@@ -583,6 +664,44 @@ mod tests {
         assert_eq!(sym(8, 8), 6);
         assert_eq!(sym(9, 8), 5);
         assert_eq!(sym(3, 8), 3);
+    }
+
+    #[test]
+    fn subband_rects_partition_every_coefficient_once() {
+        for &(w, h) in &[(64usize, 64usize), (67, 41), (200, 137), (2, 2), (5, 3)] {
+            for levels in 0..=max_levels(w, h) {
+                let rects = subband_rects(w, h, levels);
+                assert!(!rects.is_empty());
+                if levels == 0 {
+                    assert_eq!(rects.len(), 1, "zero levels is one subband");
+                }
+                let mut counts = vec![0u8; w * h];
+                for r in &rects {
+                    assert!(r.w > 0 && r.h > 0, "empty rect emitted");
+                    for y in r.y0..r.y0 + r.h {
+                        for x in r.x0..r.x0 + r.w {
+                            counts[y * w + x] += 1;
+                        }
+                    }
+                }
+                assert!(
+                    counts.iter().all(|&c| c == 1),
+                    "{w}x{h} levels {levels}: subbands must tile the buffer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subband_rects_order_is_coarsest_first() {
+        let rects = subband_rects(64, 64, 3);
+        // LL(8x8), then 3 bands each at 8x8, 16x16, 32x32.
+        assert_eq!(rects.len(), 10);
+        assert_eq!((rects[0].w, rects[0].h), (8, 8));
+        assert_eq!((rects[0].x0, rects[0].y0), (0, 0));
+        assert_eq!((rects[1].w, rects[1].h), (8, 8));
+        assert_eq!((rects[9].w, rects[9].h), (32, 32));
+        assert_eq!((rects[9].x0, rects[9].y0), (32, 32));
     }
 
     #[test]

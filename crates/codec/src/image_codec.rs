@@ -1,14 +1,59 @@
 //! Whole-image wavelet codec with embedded rate control.
+//!
+//! # Format versioning
+//!
+//! Two wire formats share the header magic and are distinguished by the
+//! version byte ([`FormatVersion`]):
+//!
+//! * **EPC1** — one range-coder chain over the whole Mallat layout, with
+//!   global per-pass truncation offsets. The original format; still fully
+//!   decodable, and still produced bit-identically when requested (the
+//!   golden-hash compatibility tests pin it).
+//! * **EPC2** — the stream is split into independently decodable
+//!   *subband chunks* (coarsest first: LL, then each level's detail
+//!   bands), each with its own range-coder chain and *subband-local* pass
+//!   offsets, and the significance pass batches runs of insignificant
+//!   coefficients into single zero-run decisions. The decoder seeks any
+//!   subband's planes directly from the header — no replay of the global
+//!   chain — and truncation cuts whole trailing chunks plus a pass-aligned
+//!   prefix of one chunk (resolution-progressive).
+//!
+//! EPC1 streams keep their historical wire quirk: a budget-truncated
+//! encode carries the full pass-offset table even for passes beyond the
+//! payload. EPC2 headers always describe exactly the payload present, and
+//! [`EncodedImage::truncated`] / [`EncodedImage::with_layers`] clamp
+//! offsets for both formats, so size accounting agrees with the bytes.
 
-use crate::bitplane::{decode_planes, encode_planes_into};
+use crate::bitplane::{decode_planes, decode_planes_v2, encode_planes_into, encode_planes_v2_into};
 use crate::dwt::{self, Coefficients, Wavelet};
 use crate::scratch::CodecScratch;
 use crate::CodecError;
 use bytes::{Buf, BufMut, Bytes};
 use earthplus_raster::{Raster, TileView};
 
-/// Magic number identifying an encoded image ("EP" wavelet codec v1).
+/// Magic number identifying an encoded image ("EP" wavelet codec).
 const MAGIC: u32 = 0x4550_5743;
+
+/// Bitstream format version (the header's version byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FormatVersion {
+    /// Original format: one global range-coder chain, global pass offsets.
+    Epc1,
+    /// Versioned format 2: per-subband chunks with subband-local pass
+    /// offsets and zero-run significance coding.
+    #[default]
+    Epc2,
+}
+
+impl FormatVersion {
+    /// The wire value of the header version byte.
+    pub fn wire_byte(self) -> u8 {
+        match self {
+            FormatVersion::Epc1 => 1,
+            FormatVersion::Epc2 => 2,
+        }
+    }
+}
 
 /// Codec configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +68,8 @@ pub struct CodecConfig {
     /// Input scaling: `[0, 1]` samples are multiplied by this and rounded;
     /// 4095 matches a 12-bit sensor.
     pub input_levels: u16,
+    /// Bitstream format to emit (EPC2 by default; both decode).
+    pub format: FormatVersion,
 }
 
 impl CodecConfig {
@@ -33,6 +80,7 @@ impl CodecConfig {
             levels: 5,
             quant_step: 1.0,
             input_levels: 4095,
+            format: FormatVersion::Epc2,
         }
     }
 
@@ -44,7 +92,14 @@ impl CodecConfig {
             levels: 5,
             quant_step: 1.0,
             input_levels: 4095,
+            format: FormatVersion::Epc2,
         }
+    }
+
+    /// Overrides the emitted bitstream format.
+    pub fn with_format(mut self, format: FormatVersion) -> Self {
+        self.format = format;
+        self
     }
 
     /// Whether this configuration reconstructs exactly at full rate
@@ -57,6 +112,26 @@ impl CodecConfig {
 impl Default for CodecConfig {
     fn default() -> Self {
         Self::lossy()
+    }
+}
+
+/// One EPC2 subband chunk's header entry: the chunk's magnitude-plane
+/// count and its pass offsets *local to the chunk* (lookahead margin
+/// included; the last offset is the chunk's byte length). Chunk byte
+/// positions are not stored — they are the running sum of chunk lengths in
+/// subband-enumeration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubbandChunk {
+    /// Magnitude bitplanes coded in this chunk (0 ⇒ empty chunk).
+    pub planes: u8,
+    /// Chunk-local byte offset after each coding pass.
+    pub offsets: Vec<u32>,
+}
+
+impl SubbandChunk {
+    /// The chunk's payload length in bytes.
+    fn len(&self) -> usize {
+        self.offsets.last().copied().unwrap_or(0) as usize
     }
 }
 
@@ -74,12 +149,17 @@ pub struct EncodedImage {
     planes: u8,
     quant_step: f32,
     input_levels: u16,
+    format: FormatVersion,
+    /// EPC1: global per-pass payload offsets. Empty for EPC2.
     pass_offsets: Vec<u32>,
+    /// EPC2: per-subband chunk descriptors in enumeration order. Empty for
+    /// EPC1.
+    subbands: Vec<SubbandChunk>,
     payload: Bytes,
 }
 
 impl EncodedImage {
-    /// Assembles an image from already-encoded parts (the reference
+    /// Assembles an EPC1 image from already-encoded parts (the reference
     /// encoder uses this; the payload is copied into shared storage).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
@@ -101,7 +181,9 @@ impl EncodedImage {
             planes,
             quant_step,
             input_levels,
+            format: FormatVersion::Epc1,
             pass_offsets,
+            subbands: Vec::new(),
             payload: Bytes::from(payload),
         }
     }
@@ -126,27 +208,119 @@ impl EncodedImage {
         self.header_len() + self.payload.len()
     }
 
+    /// The stream's format version.
+    pub fn format(&self) -> FormatVersion {
+        self.format
+    }
+
+    /// The EPC2 subband chunk table (empty for EPC1 streams).
+    pub fn subbands(&self) -> &[SubbandChunk] {
+        &self.subbands
+    }
+
     /// Number of quality layers (coding passes) in the stream.
     pub fn layer_count(&self) -> usize {
-        self.pass_offsets.len()
+        match self.format {
+            FormatVersion::Epc1 => self.pass_offsets.len(),
+            FormatVersion::Epc2 => self.subbands.iter().map(|c| c.offsets.len()).sum(),
+        }
     }
 
     fn header_len(&self) -> usize {
-        // magic(4) + ver(1) + wavelet(1) + levels(1) + planes(1) + w(4) +
-        // h(4) + step(4) + input_levels(2) + n_offsets(2) + offsets(4n) +
-        // payload_len(4)
-        28 + 4 * self.pass_offsets.len()
+        // Common: magic(4) + ver(1) + wavelet(1) + levels(1) + planes(1) +
+        // w(4) + h(4) + step(4) + input_levels(2) = 22, plus payload_len(4).
+        match self.format {
+            // + n_offsets(2) + offsets(4n)
+            FormatVersion::Epc1 => 28 + 4 * self.pass_offsets.len(),
+            // + n_subbands(2) + per chunk: planes(1) + n_offsets(2) +
+            // offsets(4n)
+            FormatVersion::Epc2 => {
+                28 + self
+                    .subbands
+                    .iter()
+                    .map(|c| 3 + 4 * c.offsets.len())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Every valid truncation point of the payload, ascending: the byte
+    /// positions at which the stream ends exactly on a coding-pass
+    /// boundary. For EPC2 these are each chunk's local offsets rebased to
+    /// the chunk's position in the payload.
+    pub fn pass_boundaries(&self) -> Vec<usize> {
+        match self.format {
+            FormatVersion::Epc1 => self.pass_offsets.iter().map(|&o| o as usize).collect(),
+            FormatVersion::Epc2 => {
+                let mut cuts = Vec::with_capacity(self.layer_count());
+                let mut start = 0usize;
+                for chunk in &self.subbands {
+                    cuts.extend(chunk.offsets.iter().map(|&o| start + o as usize));
+                    start += chunk.len();
+                }
+                cuts
+            }
+        }
+    }
+
+    /// Cuts the stream at exactly `cut` (a pass boundary), clamping the
+    /// offset metadata so the header describes only surviving passes:
+    /// `size_bytes`, `layer_count`, and re-truncation all agree with the
+    /// payload, and truncating twice at the same budget is a no-op.
+    fn cut_at(&self, cut: usize) -> EncodedImage {
+        let cut = cut.min(self.payload.len());
+        let mut out = self.clone();
+        out.payload = self.payload.slice(..cut);
+        match self.format {
+            FormatVersion::Epc1 => out.pass_offsets.retain(|&o| o as usize <= cut),
+            FormatVersion::Epc2 => {
+                let mut start = 0usize;
+                let mut max_planes = 0u8;
+                for chunk in &mut out.subbands {
+                    let len = chunk.len();
+                    let local = cut.saturating_sub(start);
+                    chunk.offsets.retain(|&o| o as usize <= local);
+                    if chunk.offsets.is_empty() {
+                        // Fully-cut chunk: nothing of it survives, so it
+                        // carries no plane information either.
+                        chunk.planes = 0;
+                    }
+                    max_planes = max_planes.max(chunk.planes);
+                    start += len;
+                }
+                out.planes = max_planes;
+            }
+        }
+        out
     }
 
     /// Returns a view truncated to at most `max_payload_bytes`, cut at the
     /// largest pass boundary that fits (rate control and downlink-layer
-    /// dropping both use this). O(1): the payload storage is shared, not
-    /// cloned.
+    /// dropping both use this). O(1) payload handling: the storage is
+    /// shared, not cloned. The header metadata is clamped to the cut, so
+    /// the result's [`EncodedImage::size_bytes`] and
+    /// [`EncodedImage::layer_count`] describe exactly the surviving bytes.
     pub fn truncated(&self, max_payload_bytes: usize) -> EncodedImage {
         let cut = self
-            .pass_offsets
-            .iter()
-            .map(|&o| o as usize)
+            .pass_boundaries()
+            .into_iter()
+            .take_while(|&o| o <= max_payload_bytes)
+            .last()
+            .unwrap_or(0);
+        self.cut_at(cut)
+    }
+
+    /// Cuts the payload at the largest pass boundary that fits
+    /// `max_payload_bytes` while keeping the header metadata untouched —
+    /// the historical EPC1 on-board wire form, where a budgeted encode
+    /// advertises every pass offset and the decoder derives availability
+    /// from the payload length. Only the vendored reference encoder uses
+    /// this; downlink-side truncation goes through
+    /// [`EncodedImage::truncated`], which clamps.
+    pub(crate) fn wire_truncated(&self, max_payload_bytes: usize) -> EncodedImage {
+        let cut = self
+            .pass_boundaries()
+            .into_iter()
             .take_while(|&o| o <= max_payload_bytes)
             .last()
             .unwrap_or(0)
@@ -157,27 +331,25 @@ impl EncodedImage {
     }
 
     /// Returns a view keeping only the first `layers` coding passes
-    /// (O(1), shared payload storage).
+    /// (O(1), shared payload storage; offset metadata clamped like
+    /// [`EncodedImage::truncated`]).
     pub fn with_layers(&self, layers: usize) -> EncodedImage {
+        let cuts = self.pass_boundaries();
         let cut = if layers == 0 {
             0
         } else {
-            self.pass_offsets
-                .get(layers.min(self.pass_offsets.len()) - 1)
-                .map(|&o| o as usize)
+            cuts.get(layers.min(cuts.len().max(1)) - 1)
+                .copied()
                 .unwrap_or(self.payload.len())
-                .min(self.payload.len())
         };
-        let mut out = self.clone();
-        out.payload = self.payload.slice(..cut);
-        out
+        self.cut_at(cut)
     }
 
     /// Serializes to a self-describing byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.size_bytes());
         buf.put_u32(MAGIC);
-        buf.put_u8(1);
+        buf.put_u8(self.format.wire_byte());
         buf.put_u8(match self.wavelet {
             Wavelet::Cdf53 => 0,
             Wavelet::Cdf97 => 1,
@@ -188,16 +360,31 @@ impl EncodedImage {
         buf.put_u32(self.height);
         buf.put_f32(self.quant_step);
         buf.put_u16(self.input_levels);
-        buf.put_u16(self.pass_offsets.len() as u16);
-        for &o in &self.pass_offsets {
-            buf.put_u32(o);
+        match self.format {
+            FormatVersion::Epc1 => {
+                buf.put_u16(self.pass_offsets.len() as u16);
+                for &o in &self.pass_offsets {
+                    buf.put_u32(o);
+                }
+            }
+            FormatVersion::Epc2 => {
+                buf.put_u16(self.subbands.len() as u16);
+                for chunk in &self.subbands {
+                    buf.put_u8(chunk.planes);
+                    buf.put_u16(chunk.offsets.len() as u16);
+                    for &o in &chunk.offsets {
+                        buf.put_u32(o);
+                    }
+                }
+            }
         }
         buf.put_u32(self.payload.len() as u32);
         buf.extend_from_slice(&self.payload);
         buf
     }
 
-    /// Parses a byte vector produced by [`EncodedImage::to_bytes`].
+    /// Parses a byte vector produced by [`EncodedImage::to_bytes`] — either
+    /// format version.
     ///
     /// # Errors
     ///
@@ -212,18 +399,21 @@ impl EncodedImage {
                 Ok(())
             }
         };
-        need(bytes, 28)?;
+        need(bytes, 24)?;
         if bytes.get_u32() != MAGIC {
             return Err(CodecError::Malformed {
                 reason: "bad magic".to_owned(),
             });
         }
-        let version = bytes.get_u8();
-        if version != 1 {
-            return Err(CodecError::Malformed {
-                reason: format!("unsupported version {version}"),
-            });
-        }
+        let format = match bytes.get_u8() {
+            1 => FormatVersion::Epc1,
+            2 => FormatVersion::Epc2,
+            version => {
+                return Err(CodecError::Malformed {
+                    reason: format!("unsupported version {version}"),
+                })
+            }
+        };
         let wavelet = match bytes.get_u8() {
             0 => Wavelet::Cdf53,
             1 => Wavelet::Cdf97,
@@ -239,9 +429,55 @@ impl EncodedImage {
         let height = bytes.get_u32();
         let quant_step = bytes.get_f32();
         let input_levels = bytes.get_u16();
-        let n_offsets = bytes.get_u16() as usize;
-        need(bytes, 4 * n_offsets + 4)?;
-        let pass_offsets = (0..n_offsets).map(|_| bytes.get_u32()).collect();
+        // The encoder clamps levels to max_levels (≤ 12); anything larger
+        // is corruption, and both the subband enumeration and the inverse
+        // DWT assume the valid range — reject it here rather than panic
+        // downstream.
+        let max_levels = dwt::max_levels(width as usize, height as usize);
+        if levels > max_levels {
+            return Err(CodecError::Malformed {
+                reason: format!(
+                    "levels {levels} exceeds the maximum {max_levels} for {width}x{height}"
+                ),
+            });
+        }
+        let mut pass_offsets = Vec::new();
+        let mut subbands = Vec::new();
+        match format {
+            FormatVersion::Epc1 => {
+                need(bytes, 2)?;
+                let n_offsets = bytes.get_u16() as usize;
+                need(bytes, 4 * n_offsets)?;
+                pass_offsets = (0..n_offsets).map(|_| bytes.get_u32()).collect();
+            }
+            FormatVersion::Epc2 => {
+                need(bytes, 2)?;
+                let n_subbands = bytes.get_u16() as usize;
+                let expected = dwt::subband_rects(width as usize, height as usize, levels).len();
+                if n_subbands != expected {
+                    return Err(CodecError::Malformed {
+                        reason: format!(
+                            "EPC2 stream lists {n_subbands} subbands, geometry has {expected}"
+                        ),
+                    });
+                }
+                subbands.reserve(n_subbands);
+                for _ in 0..n_subbands {
+                    need(bytes, 3)?;
+                    let planes = bytes.get_u8();
+                    let n_offsets = bytes.get_u16() as usize;
+                    need(bytes, 4 * n_offsets)?;
+                    let offsets: Vec<u32> = (0..n_offsets).map(|_| bytes.get_u32()).collect();
+                    if offsets.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(CodecError::Malformed {
+                            reason: "EPC2 chunk offsets not monotone".to_owned(),
+                        });
+                    }
+                    subbands.push(SubbandChunk { planes, offsets });
+                }
+            }
+        }
+        need(bytes, 4)?;
         let payload_len = bytes.get_u32() as usize;
         need(bytes, payload_len)?;
         let payload = Bytes::copy_from_slice(&bytes[..payload_len]);
@@ -253,7 +489,9 @@ impl EncodedImage {
             planes,
             quant_step,
             input_levels,
+            format,
             pass_offsets,
+            subbands,
             payload,
         })
     }
@@ -385,44 +623,188 @@ fn encode_view_impl(
             }
         }));
     }
-    // The coefficient buffer moves out of the arena for the borrow and
-    // straight back in — no allocation.
-    let quantized = std::mem::take(&mut scratch.quantized);
-    let planes = encode_planes_into(&quantized, w, scratch);
-    scratch.quantized = quantized;
-    let cut = match budget {
-        None => scratch.payload.len(),
-        Some(max) => scratch
-            .pass_offsets
-            .iter()
-            .map(|&o| o as usize)
-            .take_while(|&o| o <= max)
-            .last()
-            .unwrap_or(0)
-            .min(scratch.payload.len()),
-    };
-    let image = EncodedImage {
-        width: w as u32,
-        height: h as u32,
-        wavelet: config.wavelet,
-        levels,
-        planes,
-        quant_step: step,
-        input_levels: config.input_levels,
-        pass_offsets: scratch.pass_offsets.clone(),
-        payload: Bytes::copy_from_slice(&scratch.payload[..cut]),
+    let image = match config.format {
+        FormatVersion::Epc1 => {
+            // The coefficient buffer moves out of the arena for the borrow
+            // and straight back in — no allocation.
+            let quantized = std::mem::take(&mut scratch.quantized);
+            let planes = encode_planes_into(&quantized, w, scratch);
+            scratch.quantized = quantized;
+            // Historical EPC1 wire form: the payload is cut at the largest
+            // pass boundary inside the budget, but the header keeps the
+            // full offset table (availability is derived from the payload
+            // length). Preserved byte-for-byte for golden compatibility.
+            let cut = match budget {
+                None => scratch.payload.len(),
+                Some(max) => scratch
+                    .pass_offsets
+                    .iter()
+                    .map(|&o| o as usize)
+                    .take_while(|&o| o <= max)
+                    .last()
+                    .unwrap_or(0)
+                    .min(scratch.payload.len()),
+            };
+            EncodedImage {
+                width: w as u32,
+                height: h as u32,
+                wavelet: config.wavelet,
+                levels,
+                planes,
+                quant_step: step,
+                input_levels: config.input_levels,
+                format: FormatVersion::Epc1,
+                pass_offsets: scratch.pass_offsets.clone(),
+                subbands: Vec::new(),
+                payload: Bytes::copy_from_slice(&scratch.payload[..cut]),
+            }
+        }
+        FormatVersion::Epc2 => encode_epc2(w, h, levels, step, config, budget, scratch),
     };
     scratch.track_growth();
     Ok(image)
 }
 
-/// Decodes an encoded image (possibly truncated) back to a `[0, 1]` raster.
+/// EPC2 chunked encode over the quantized coefficients in
+/// `scratch.quantized`: each subband (enumerated coarsest first) is coded
+/// as an independent zero-run stream, concatenated into one payload with
+/// subband-local pass offsets in the header.
+///
+/// With a byte budget, subbands whose chunk would start at or beyond the
+/// budget are not coded at all — their coefficients cannot survive the
+/// cut, so the encoder skips the work entirely (the format-level win over
+/// EPC1, which must code every plane before truncating). The result is
+/// byte-identical to encoding everything and calling
+/// [`EncodedImage::truncated`] with the same budget.
+fn encode_epc2(
+    w: usize,
+    h: usize,
+    levels: u8,
+    step: f32,
+    config: &CodecConfig,
+    budget: Option<usize>,
+    scratch: &mut CodecScratch,
+) -> EncodedImage {
+    let mut rects = std::mem::take(&mut scratch.sb_rects);
+    dwt::subband_rects_into(w, h, levels, &mut rects);
+    scratch.stream.clear();
+    let quantized = std::mem::take(&mut scratch.quantized);
+    let mut subbands: Vec<SubbandChunk> = Vec::with_capacity(rects.len());
+    for rect in &rects {
+        if budget.is_some_and(|max| scratch.stream.len() >= max) {
+            // This chunk would start at or past the cut: nothing of it can
+            // survive truncation, so skip the coding work.
+            subbands.push(SubbandChunk {
+                planes: 0,
+                offsets: Vec::new(),
+            });
+            continue;
+        }
+        scratch.sb_coeffs.clear();
+        for r in 0..rect.h {
+            let base = (rect.y0 + r) * w + rect.x0;
+            scratch
+                .sb_coeffs
+                .extend_from_slice(&quantized[base..base + rect.w]);
+        }
+        let sb_coeffs = std::mem::take(&mut scratch.sb_coeffs);
+        let planes = encode_planes_v2_into(&sb_coeffs, rect.w, scratch);
+        scratch.sb_coeffs = sb_coeffs;
+        // Append exactly the chunk's recorded length — the padding in the
+        // plane coder guarantees `payload.len()` reaches the last offset.
+        // An all-zero subband records no offsets at all, but the range
+        // coder still flushed a few bytes; those must NOT enter the stream
+        // or every later chunk's derived start would shift.
+        let chunk_len = scratch.pass_offsets.last().copied().unwrap_or(0) as usize;
+        debug_assert_eq!(
+            chunk_len,
+            if planes == 0 {
+                0
+            } else {
+                scratch.payload.len()
+            }
+        );
+        scratch
+            .stream
+            .extend_from_slice(&scratch.payload[..chunk_len]);
+        subbands.push(SubbandChunk {
+            planes,
+            offsets: scratch.pass_offsets.clone(),
+        });
+    }
+    scratch.quantized = quantized;
+    scratch.sb_rects = rects;
+    let full = EncodedImage {
+        width: w as u32,
+        height: h as u32,
+        wavelet: config.wavelet,
+        levels,
+        planes: subbands.iter().map(|c| c.planes).max().unwrap_or(0),
+        quant_step: step,
+        input_levels: config.input_levels,
+        format: FormatVersion::Epc2,
+        pass_offsets: Vec::new(),
+        subbands,
+        payload: Bytes::copy_from_slice(&scratch.stream),
+    };
+    match budget {
+        None => full,
+        Some(max) => full.truncated(max),
+    }
+}
+
+/// Decodes an encoded image (possibly truncated) back to a `[0, 1]` raster
+/// — either format version.
 pub fn decode(encoded: &EncodedImage) -> Raster {
     let w = encoded.width as usize;
     let h = encoded.height as usize;
     if w == 0 || h == 0 {
         return Raster::new(w, h);
     }
+    let data = match encoded.format {
+        FormatVersion::Epc1 => decode_epc1_coefficients(encoded, w, h),
+        FormatVersion::Epc2 => decode_epc2_coefficients(encoded, w, h),
+    };
+    let mut coeffs = Coefficients::new(w, h, data);
+    dwt::inverse(&mut coeffs, encoded.wavelet, encoded.levels);
+    let scale = encoded.input_levels as f32;
+    let data: Vec<f32> = coeffs
+        .into_vec()
+        .into_iter()
+        .map(|v| (v / scale).clamp(0.0, 1.0))
+        .collect();
+    Raster::from_vec(w, h, data).expect("dimensions preserved through transform")
+}
+
+/// Dequantizes one coefficient with the mid-tread reconstruction bias.
+#[inline]
+fn dequantize(q: i32, bias: f32, step: f32) -> f32 {
+    if q == 0 {
+        0.0
+    } else if q > 0 {
+        (q as f32 + bias) * step
+    } else {
+        (q as f32 - bias) * step
+    }
+}
+
+/// The reconstruction bias for a block whose lowest decoded plane is
+/// `lowest_plane`: magnitudes are floored there, so centre them in their
+/// uncertainty interval (zero when the block decoded exactly).
+fn reconstruction_bias(encoded: &EncodedImage, lowest_plane: usize) -> f32 {
+    let reversible =
+        encoded.wavelet == Wavelet::Cdf53 && encoded.quant_step == 1.0 && lowest_plane == 0;
+    if reversible {
+        0.0
+    } else if lowest_plane > 0 {
+        (1u32 << lowest_plane) as f32 * 0.5
+    } else {
+        0.5
+    }
+}
+
+/// EPC1: one global chain over the whole Mallat layout.
+fn decode_epc1_coefficients(encoded: &EncodedImage, w: usize, h: usize) -> Vec<f32> {
     let count = w * h;
     let available_passes = encoded
         .pass_offsets
@@ -436,41 +818,53 @@ pub fn decode(encoded: &EncodedImage) -> Raster {
         encoded.planes,
         &encoded.pass_offsets,
     );
-    // Reconstruction bias: magnitudes are floored at the lowest decoded
-    // plane; centre them in their uncertainty interval.
     let total_passes = encoded.planes as usize * 2;
     let lowest_plane = encoded.planes as usize - available_passes.min(total_passes).div_ceil(2);
-    let reversible =
-        encoded.wavelet == Wavelet::Cdf53 && encoded.quant_step == 1.0 && lowest_plane == 0;
-    let bias = if reversible {
-        0.0
-    } else if lowest_plane > 0 {
-        (1u32 << lowest_plane) as f32 * 0.5
-    } else {
-        0.5
-    };
+    let bias = reconstruction_bias(encoded, lowest_plane);
     let step = encoded.quant_step;
-    let data: Vec<f32> = quantized
+    quantized
         .iter()
-        .map(|&q| {
-            if q == 0 {
-                0.0
-            } else if q > 0 {
-                (q as f32 + bias) * step
-            } else {
-                (q as f32 - bias) * step
+        .map(|&q| dequantize(q, bias, step))
+        .collect()
+}
+
+/// EPC2: every subband chunk decodes independently from its own slice of
+/// the payload — the header's subband-local offsets are all the decoder
+/// needs to seek a chunk; no other chunk's chain is replayed. Chunks cut
+/// off by truncation reconstruct as zero, and the mid-tread bias is
+/// applied per subband at that subband's lowest decoded plane.
+fn decode_epc2_coefficients(encoded: &EncodedImage, w: usize, h: usize) -> Vec<f32> {
+    let mut data = vec![0.0f32; w * h];
+    let rects = dwt::subband_rects(w, h, encoded.levels);
+    let step = encoded.quant_step;
+    let payload = &encoded.payload[..];
+    let mut start = 0usize;
+    for (rect, chunk) in rects.iter().zip(&encoded.subbands) {
+        let chunk_len = chunk.len();
+        let lo = start.min(payload.len());
+        let hi = (start + chunk_len).min(payload.len());
+        start += chunk_len;
+        if chunk.planes == 0 || chunk.offsets.is_empty() {
+            continue;
+        }
+        let slice = &payload[lo..hi];
+        let available = chunk
+            .offsets
+            .iter()
+            .take_while(|&&o| o as usize <= slice.len())
+            .count();
+        let quantized = decode_planes_v2(slice, rect.count(), rect.w, chunk.planes, &chunk.offsets);
+        let total_passes = chunk.planes as usize * 2;
+        let lowest_plane = chunk.planes as usize - available.min(total_passes).div_ceil(2);
+        let bias = reconstruction_bias(encoded, lowest_plane);
+        for (r, row) in quantized.chunks_exact(rect.w).enumerate() {
+            let base = (rect.y0 + r) * w + rect.x0;
+            for (dst, &q) in data[base..base + rect.w].iter_mut().zip(row) {
+                *dst = dequantize(q, bias, step);
             }
-        })
-        .collect();
-    let mut coeffs = Coefficients::new(w, h, data);
-    dwt::inverse(&mut coeffs, encoded.wavelet, encoded.levels);
-    let scale = encoded.input_levels as f32;
-    let data: Vec<f32> = coeffs
-        .into_vec()
-        .into_iter()
-        .map(|v| (v / scale).clamp(0.0, 1.0))
-        .collect();
-    Raster::from_vec(w, h, data).expect("dimensions preserved through transform")
+        }
+    }
+    data
 }
 
 #[cfg(test)]
@@ -541,10 +935,11 @@ mod tests {
         let enc = encode(&img, &CodecConfig::lossy()).unwrap();
         let t = enc.truncated(enc.payload_len() / 3);
         assert!(t.payload_len() <= enc.payload_len() / 3);
-        assert!(t
-            .pass_offsets
-            .iter()
-            .any(|&o| o as usize == t.payload_len()));
+        assert_eq!(
+            t.pass_boundaries().last().copied(),
+            Some(t.payload_len()),
+            "clamped metadata must end exactly at the cut"
+        );
     }
 
     #[test]

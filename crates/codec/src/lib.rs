@@ -14,6 +14,12 @@
 //!   downlink degrades ([`EncodedImage::with_layers`],
 //!   [`RoiBitstream::scaled_to_budget`]).
 //!
+//! Streams are versioned ([`FormatVersion`]): the EPC2 default splits the
+//! payload into independently seekable subband chunks with subband-local
+//! pass offsets and zero-run significance coding; the original EPC1 format
+//! remains fully decodable (and bit-stable when pinned). See the
+//! [`image_codec`] module docs for the wire layouts.
+//!
 //! # Example
 //!
 //! ```
@@ -44,10 +50,10 @@ pub mod reference;
 pub mod roi;
 pub mod scratch;
 
-pub use dwt::Wavelet;
+pub use dwt::{subband_rects, SubbandRect, Wavelet};
 pub use image_codec::{
     decode, encode, encode_view, encode_view_with_budget, encode_with_budget, CodecConfig,
-    EncodedImage,
+    EncodedImage, FormatVersion, SubbandChunk,
 };
 pub use roi::{encode_roi, encode_roi_with_scratch, tile_budget_bytes, EncodedTile, RoiBitstream};
 pub use scratch::CodecScratch;

@@ -9,7 +9,10 @@
 //! benches, which also report the old-vs-new throughput ratio measured
 //! in-process, immune to machine-load drift).
 //!
-//! Nothing here is used by the production pipeline.
+//! Nothing here is used by the production pipeline. The reference encoder
+//! predates format versioning and always emits **EPC1** streams — it
+//! ignores [`CodecConfig::format`]; differential tests pin the optimized
+//! side to EPC1 when comparing against it.
 
 use crate::bitplane::{neighbor_context, EncodedPlanes, MAX_PLANES};
 use crate::dwt::{self, Coefficients, Wavelet};
@@ -257,8 +260,10 @@ pub fn encode_reference(image: &Raster, config: &CodecConfig) -> Result<EncodedI
 }
 
 /// The original ROI path: materialize every selected tile with
-/// `extract_tile`, encode it fully, then truncate (copying the stream) to
-/// the per-tile budget.
+/// `extract_tile`, encode it fully, then cut the payload to the per-tile
+/// budget in the historical EPC1 wire form (full offset table kept — the
+/// exact bytes the pre-refactor encoder emitted, which the golden hashes
+/// pin).
 ///
 /// # Errors
 ///
@@ -289,7 +294,7 @@ pub fn encode_roi_reference(
             .map_err(|e| CodecError::Malformed {
                 reason: e.to_string(),
             })?;
-        let encoded = encode_reference(&tile, config)?.truncated(budget_per_tile);
+        let encoded = encode_reference(&tile, config)?.wire_truncated(budget_per_tile);
         tiles.push(EncodedTile {
             flat_index: grid.flat_index(index) as u32,
             image: encoded,

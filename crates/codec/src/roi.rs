@@ -102,36 +102,67 @@ impl RoiBitstream {
     /// Returns a copy with every tile truncated so the *total* size fits
     /// `budget_bytes`, dropping quality layers uniformly (the downlink-
     /// fluctuation mechanism: fewer layers for all tiles of a contact).
+    ///
+    /// # Contract
+    ///
+    /// The result **never** exceeds the budget:
+    /// `result.size_bytes() <= budget_bytes`, always. When the per-tile
+    /// container overhead alone (headers that survive even a zero-payload
+    /// truncation) does not fit, trailing tiles are dropped — callers that
+    /// care about which tiles survive a starved contact should order the
+    /// mask's tiles most-important first — down to the empty bitstream at
+    /// budget 0.
     pub fn scaled_to_budget(&self, budget_bytes: usize) -> RoiBitstream {
-        if self.size_bytes() <= budget_bytes || self.tiles.is_empty() {
+        if self.size_bytes() <= budget_bytes {
             return self.clone();
         }
-        let overhead: usize = self
-            .tiles
-            .iter()
-            .map(|t| t.image.size_bytes() - t.image.payload_len() + TILE_HEADER_BYTES)
-            .sum();
-        let payload_budget = budget_bytes.saturating_sub(overhead);
-        let total_payload: usize = self.tiles.iter().map(|t| t.image.payload_len()).sum();
-        if total_payload == 0 {
-            return self.clone();
-        }
-        let fraction = payload_budget as f64 / total_payload as f64;
-        let tiles = self
-            .tiles
-            .iter()
-            .map(|t| EncodedTile {
-                flat_index: t.flat_index,
-                image: t
-                    .image
-                    .truncated((t.image.payload_len() as f64 * fraction) as usize),
-            })
-            .collect();
-        RoiBitstream {
+        let remake = |tiles: Vec<EncodedTile>| RoiBitstream {
             width: self.width,
             height: self.height,
             tile_size: self.tile_size,
             tiles,
+        };
+        let mut tiles = self.tiles.clone();
+        loop {
+            if tiles.is_empty() {
+                return remake(tiles);
+            }
+            // Floor cost of keeping these tiles at all: every tile retains
+            // at least its zero-payload header plus container framing.
+            let floor: usize = tiles
+                .iter()
+                .map(|t| t.image.truncated(0).size_bytes() + TILE_HEADER_BYTES)
+                .sum();
+            if floor > budget_bytes {
+                tiles.pop();
+                continue;
+            }
+            let total_payload: usize = tiles.iter().map(|t| t.image.payload_len()).sum();
+            let fraction = if total_payload == 0 {
+                0.0
+            } else {
+                ((budget_bytes - floor) as f64 / total_payload as f64).min(1.0)
+            };
+            let scaled: Vec<EncodedTile> = tiles
+                .iter()
+                .map(|t| EncodedTile {
+                    flat_index: t.flat_index,
+                    image: t
+                        .image
+                        .truncated((t.image.payload_len() as f64 * fraction) as usize),
+                })
+                .collect();
+            let size: usize = scaled
+                .iter()
+                .map(|t| t.image.size_bytes() + TILE_HEADER_BYTES)
+                .sum();
+            if size <= budget_bytes {
+                return remake(scaled);
+            }
+            // The surviving passes carry per-pass header bytes beyond the
+            // zero-payload floor; shed the lowest-priority (trailing) tile
+            // and redistribute.
+            tiles.pop();
         }
     }
 

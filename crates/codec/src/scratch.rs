@@ -49,10 +49,18 @@ pub struct CodecScratch {
     pub(crate) merge: Vec<u64>,
     /// Packed entries that became significant in the current plane.
     pub(crate) newly: Vec<u64>,
-    /// Range-coder output, reused across tiles via `clear()`.
+    /// Range-coder output, reused across tiles via `clear()`. For EPC2
+    /// this holds one subband chunk at a time.
     pub(crate) payload: Vec<u8>,
-    /// Per-pass payload offsets of the tile being encoded.
+    /// Per-pass payload offsets of the tile (EPC1) or subband chunk (EPC2)
+    /// being encoded.
     pub(crate) pass_offsets: Vec<u32>,
+    /// EPC2: gathered coefficients of the subband being coded.
+    pub(crate) sb_coeffs: Vec<i32>,
+    /// EPC2: concatenated subband chunks of the tile being encoded.
+    pub(crate) stream: Vec<u8>,
+    /// EPC2: the tile's subband rectangles (enumeration reused per tile).
+    pub(crate) sb_rects: Vec<crate::dwt::SubbandRect>,
     /// Capacity sum observed after the previous encode call.
     last_capacity: usize,
     grow_events: u64,
@@ -78,6 +86,9 @@ impl CodecScratch {
             + self.newly.capacity() * std::mem::size_of::<u64>()
             + self.payload.capacity()
             + self.pass_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.sb_coeffs.capacity() * std::mem::size_of::<i32>()
+            + self.stream.capacity()
+            + self.sb_rects.capacity() * std::mem::size_of::<crate::dwt::SubbandRect>()
     }
 
     /// How many encode calls had to grow at least one buffer. Stable across

@@ -80,7 +80,7 @@ impl EarthPlusStrategy {
         let service = GroundService::new(ground.with_theta(config.theta));
         EarthPlusStrategy {
             change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
-            codec: CodecConfig::lossy(),
+            codec: CodecConfig::lossy().with_format(config.codec_format),
             codec_scratch: CodecScratch::new(),
             config,
             cloud_detector,

@@ -16,20 +16,35 @@
 use earthplus::prelude::*;
 use earthplus::{CaptureContext, ChangeDetector, ReferenceImage};
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
-use earthplus_codec::{encode_roi_with_scratch, reference, CodecConfig, CodecScratch};
+use earthplus_codec::{
+    decode, encode_roi_with_scratch, reference, CodecConfig, CodecScratch, FormatVersion,
+};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId, PlanetBand, Raster, TileGrid, TileMask};
 use earthplus_scene::terrain::LocationArchetype;
 use earthplus_scene::{Capture, LocationScene, SceneConfig};
 
 /// Golden values captured from the pre-refactor (copy-path) pipeline on
-/// the quickstart scene. Do not update these without understanding exactly
-/// why the output bytes changed.
+/// the quickstart scene; since the EPC2 format bump these pin the **EPC1**
+/// wire format, which must stay decodable and byte-stable forever. Do not
+/// update these without understanding exactly why the output bytes
+/// changed.
 const GOLDEN_ROI_HASH: u64 = 0x568bdefd2376dd56;
 const GOLDEN_ENCODE_HASH: u64 = 0x98b24f4bdc22c080;
 const GOLDEN_SCORES_HASH: u64 = 0x0ef819b08ffb1192;
 const GOLDEN_CLOUD_HASH: u64 = 0x881cb9b960fc813c;
+/// Golden values of the EPC2 encoder on the same scene, captured when the
+/// format landed. Versioned separately from the EPC1 hashes: an encoder
+/// change that alters EPC2 bytes must bump these *and* leave the EPC1
+/// hashes untouched.
+const GOLDEN_EPC2_ROI_HASH: u64 = 0x2a5b716de545500f;
+const GOLDEN_EPC2_ENCODE_HASH: u64 = 0x4af3ef8b26a214c0;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The frozen-format configuration the golden EPC1 hashes pin.
+fn epc1_lossy() -> CodecConfig {
+    CodecConfig::lossy().with_format(FormatVersion::Epc1)
+}
 
 fn fnv1a64(bytes: &[u8], mut hash: u64) -> u64 {
     for &b in bytes {
@@ -61,7 +76,7 @@ fn golden_roi_bytes_unchanged() {
         red,
         &grid,
         &all,
-        &CodecConfig::lossy(),
+        &epc1_lossy(),
         config.tile_budget_bytes(),
         &mut scratch,
     )
@@ -81,11 +96,81 @@ fn golden_full_encode_bytes_unchanged() {
         .image
         .require_band(Band::Planet(PlanetBand::Red))
         .unwrap();
-    let full = earthplus_codec::encode(red, &CodecConfig::lossy()).unwrap();
+    let full = earthplus_codec::encode(red, &epc1_lossy()).unwrap();
     assert_eq!(
         fnv1a64(&full.to_bytes(), FNV_OFFSET),
         GOLDEN_ENCODE_HASH,
         "full-rate encoder output drifted"
+    );
+}
+
+#[test]
+fn golden_epc2_roi_bytes_and_roundtrip() {
+    let (_, capture) = quickstart_scene();
+    let red = capture
+        .image
+        .require_band(Band::Planet(PlanetBand::Red))
+        .unwrap();
+    let config = EarthPlusConfig::paper();
+    let grid = TileGrid::new(256, 256, config.tile_size).unwrap();
+    let mut all = TileMask::new(&grid);
+    all.fill();
+    let mut scratch = CodecScratch::new();
+    let roi = encode_roi_with_scratch(
+        red,
+        &grid,
+        &all,
+        &CodecConfig::lossy(),
+        config.tile_budget_bytes(),
+        &mut scratch,
+    )
+    .unwrap();
+    let mut hash = FNV_OFFSET;
+    for tile in roi.tiles() {
+        assert_eq!(tile.image.format(), FormatVersion::Epc2);
+        hash = fnv1a64(&tile.flat_index.to_be_bytes(), hash);
+        hash = fnv1a64(&tile.image.to_bytes(), hash);
+    }
+    assert_eq!(
+        hash, GOLDEN_EPC2_ROI_HASH,
+        "EPC2 ROI encoder output drifted"
+    );
+    // Every budget-truncated EPC2 tile must survive a serialize → parse →
+    // decode round trip and patch cleanly.
+    let mut canvas = Raster::new(256, 256);
+    roi.patch_into(&mut canvas).unwrap();
+}
+
+#[test]
+fn golden_epc2_full_encode_roundtrips_bit_exact() {
+    let (_, capture) = quickstart_scene();
+    let red = capture
+        .image
+        .require_band(Band::Planet(PlanetBand::Red))
+        .unwrap();
+    let full = earthplus_codec::encode(red, &CodecConfig::lossy()).unwrap();
+    assert_eq!(full.format(), FormatVersion::Epc2);
+    assert_eq!(
+        fnv1a64(&full.to_bytes(), FNV_OFFSET),
+        GOLDEN_EPC2_ENCODE_HASH,
+        "EPC2 full-rate encoder output drifted"
+    );
+    // Bit-exact through serialization, and decode agrees with the EPC1
+    // decode of the same capture to within float noise (same quantizer,
+    // same transform).
+    let parsed = earthplus_codec::EncodedImage::from_bytes(&full.to_bytes()).unwrap();
+    assert_eq!(parsed, full);
+    let epc2_dec = decode(&parsed);
+    let epc1_dec = decode(&earthplus_codec::encode(red, &epc1_lossy()).unwrap());
+    let max_err = epc1_dec
+        .as_slice()
+        .iter()
+        .zip(epc2_dec.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_err < 1e-5,
+        "EPC2 full-rate decode diverged from EPC1: {max_err}"
     );
 }
 
@@ -133,7 +218,7 @@ fn scratch_path_matches_reference_on_every_band() {
     let grid = TileGrid::new(256, 256, config.tile_size).unwrap();
     let mut all = TileMask::new(&grid);
     all.fill();
-    let codec = CodecConfig::lossy();
+    let codec = epc1_lossy();
     let budget = config.tile_budget_bytes();
     let mut scratch = CodecScratch::new();
     for (band, raster) in capture.image.iter() {
@@ -149,7 +234,7 @@ fn view_encode_matches_copy_encode_on_partial_tiles() {
     // Odd dimensions exercise clipped edge tiles through both paths.
     let img = Raster::from_fn(200, 137, |x, y| ((x * 31 + y * 57) % 101) as f32 / 101.0);
     let grid = TileGrid::new(200, 137, 64).unwrap();
-    let codec = CodecConfig::lossy();
+    let codec = epc1_lossy();
     let mut scratch = CodecScratch::new();
     for t in grid.iter() {
         let copied = grid.extract_tile(&img, t).unwrap();

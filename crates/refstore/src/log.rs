@@ -30,7 +30,7 @@
 
 use crate::error::{RefStoreError, Result};
 use crate::index::{IndexEntry, MemIndex};
-use crate::manifest::Manifest;
+use crate::manifest::{sync_dir, Manifest};
 use crate::record::{decode_frame, encode_frame, Record, RecordKey, BODY_FIXED_LEN, MAX_BODY_LEN};
 use crate::segment::{
     list_segments, scan_segment, segment_file_name, SegmentWriter, SEGMENT_HEADER_LEN,
@@ -112,7 +112,10 @@ pub struct RefLogConfig {
     /// …and a dead fraction (dead / (dead + live)) at or above this.
     pub compact_min_dead_fraction: f64,
     /// `fsync` every append (power-loss durability) instead of only
-    /// handing bytes to the OS (process-crash durability).
+    /// handing bytes to the OS (process-crash durability). Also gates the
+    /// parent-directory fsyncs that make segment creation/retirement and
+    /// the manifest rename power-loss durable — fsyncing a file alone does
+    /// not persist its directory entry.
     pub fsync_appends: bool,
 }
 
@@ -316,6 +319,9 @@ impl RefLog {
             }
             _ => {
                 let writer = SegmentWriter::create(dir, next_free)?;
+                if config.fsync_appends {
+                    sync_dir(dir)?;
+                }
                 kept_segments.push(next_free);
                 writer
             }
@@ -399,6 +405,11 @@ impl RefLog {
         let id = self.next_segment_id;
         self.next_segment_id += 1;
         self.active = SegmentWriter::create(&self.dir, id)?;
+        if self.config.fsync_appends {
+            // A synced append into the new segment is only power-loss
+            // durable if the segment's directory entry is too.
+            sync_dir(&self.dir)?;
+        }
         self.segments.push(id);
         Ok(())
     }
@@ -603,13 +614,19 @@ impl RefLog {
         }
         let mut active = writer.expect("active segment ensured");
         active.sync()?;
+        if self.config.fsync_appends {
+            // The new segments' directory entries must be durable *before*
+            // the manifest commits to them: a power loss between the two
+            // must never leave a manifest pointing at unlinked files.
+            sync_dir(&self.dir)?;
+        }
 
         // Commit point: atomically swap the manifest…
         Manifest {
             live_segments: new_segments.clone(),
             next_segment_id: self.next_segment_id,
         }
-        .store(&self.dir)?;
+        .store(&self.dir, self.config.fsync_appends)?;
 
         // …adopt the new state — `self` is untouched up to the manifest
         // commit, so an error anywhere above leaves the engine running on
@@ -635,6 +652,14 @@ impl RefLog {
         self.handles.clear();
         for id in retired {
             std::fs::remove_file(self.dir.join(segment_file_name(id)))?;
+        }
+        if self.config.fsync_appends {
+            // Retirement durability: without this, a power loss can
+            // resurrect deleted segments. Recovery would sweep them as
+            // manifest orphans anyway, so this sync only tightens the
+            // window, but at this durability level the caller asked for
+            // the disk to match the committed state.
+            sync_dir(&self.dir)?;
         }
         Ok(())
     }
@@ -924,6 +949,41 @@ mod tests {
         log.compact().unwrap();
         for loc in 0..6u32 {
             assert_eq!(log.get(&key(loc)).unwrap().unwrap().day, 2.0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_appends_path_covers_rotation_compaction_and_reopen() {
+        // Exercises every directory-fsync site (initial segment creation,
+        // rotation, pre-manifest sync, manifest rename, retirement sweep)
+        // under the power-loss durability knob; the store must behave
+        // identically to the non-synced configuration.
+        let dir = test_dir("fsyncdirs");
+        let config = RefLogConfig {
+            segment_max_bytes: 256,
+            fsync_appends: true,
+            auto_compact: false,
+            ..RefLogConfig::default()
+        };
+        let (mut log, _) = RefLog::open(&dir, config).unwrap();
+        for generation in 0..4 {
+            for loc in 0..8u32 {
+                log.append(key(loc), generation as f64, &[generation as u8; 48])
+                    .unwrap();
+            }
+        }
+        assert!(log.stats().segments > 1, "rotation must have happened");
+        log.compact().unwrap();
+        assert_eq!(log.stats().dead_bytes, 0);
+        let entries = log.index_entries();
+        drop(log);
+        let (log, report) = RefLog::open(&dir, config).unwrap();
+        assert!(report.clean());
+        assert!(report.manifest_loaded);
+        assert_eq!(log.index_entries(), entries);
+        for loc in 0..8u32 {
+            assert_eq!(log.get(&key(loc)).unwrap().unwrap().day, 3.0);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

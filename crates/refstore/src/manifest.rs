@@ -16,6 +16,22 @@ use crate::error::Result;
 use std::io::Write;
 use std::path::Path;
 
+/// Forces a directory's entries (file creations, renames, deletions) onto
+/// stable storage. On non-Unix platforms directories cannot be opened for
+/// syncing; those builds fall back to a no-op, matching the page-cache
+/// durability the platform offers anyway.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
 /// Manifest file name within a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
 const MANIFEST_TMP_NAME: &str = "MANIFEST.tmp";
@@ -44,13 +60,21 @@ impl Manifest {
         body
     }
 
-    /// Writes the manifest durably: tmp file, flush, fsync, atomic rename.
+    /// Writes the manifest: tmp file, flush, fsync, atomic rename.
+    ///
+    /// `fsync_dir` controls whether the parent directory is fsynced after
+    /// the rename. Without it the rename is atomic against a process crash
+    /// but **not** power-loss durable: the directory entry swap can still
+    /// sit in the page cache when power drops, resurrecting the old
+    /// manifest. Callers gate it on the same knob as append durability
+    /// (`RefLogConfig::fsync_appends`) so the two commit points share one
+    /// durability level.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; on failure the previous manifest (if any)
     /// is untouched.
-    pub fn store(&self, dir: &Path) -> Result<()> {
+    pub fn store(&self, dir: &Path, fsync_dir: bool) -> Result<()> {
         let body = self.render_body();
         let mut content = body.clone();
         content.push_str(&format!("crc {:08x}\n", crc32(body.as_bytes())));
@@ -61,6 +85,9 @@ impl Manifest {
             file.sync_data()?;
         }
         std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+        if fsync_dir {
+            sync_dir(dir)?;
+        }
         Ok(())
     }
 
@@ -133,7 +160,7 @@ mod tests {
             live_segments: vec![3, 4],
             next_segment_id: 5,
         };
-        manifest.store(&dir).unwrap();
+        manifest.store(&dir, true).unwrap();
         assert_eq!(Manifest::load(&dir).unwrap(), Some(manifest));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -152,7 +179,7 @@ mod tests {
             live_segments: vec![1],
             next_segment_id: 2,
         };
-        manifest.store(&dir).unwrap();
+        manifest.store(&dir, true).unwrap();
         let path = dir.join(MANIFEST_NAME);
         let mut content = std::fs::read_to_string(&path).unwrap();
         content = content.replace("segment 1", "segment 9");
@@ -168,13 +195,13 @@ mod tests {
             live_segments: vec![0],
             next_segment_id: 1,
         }
-        .store(&dir)
+        .store(&dir, false)
         .unwrap();
         let second = Manifest {
             live_segments: vec![7],
             next_segment_id: 8,
         };
-        second.store(&dir).unwrap();
+        second.store(&dir, false).unwrap();
         assert_eq!(Manifest::load(&dir).unwrap(), Some(second));
         let _ = std::fs::remove_dir_all(&dir);
     }
