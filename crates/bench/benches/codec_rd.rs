@@ -2,7 +2,10 @@
 //! per-tile γ budgets used in the evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use earthplus_codec::{decode, encode, encode_with_budget, tile_budget_bytes, CodecConfig};
+use earthplus_codec::{
+    decode, decode_ll_only, decode_with_scratch, encode, encode_with_budget, tile_budget_bytes,
+    CodecConfig, DecodeScratch,
+};
 use earthplus_raster::{Band, PlanetBand};
 use earthplus_scene::terrain::LocationArchetype;
 use earthplus_scene::{LocationScene, SceneConfig};
@@ -25,13 +28,24 @@ fn bench_codec(c: &mut Criterion) {
         );
     }
     let full = encode(&tile, &CodecConfig::lossy()).unwrap();
-    group.bench_function("decode_tile_full", |b| b.iter(|| decode(&full)));
+    group.bench_function("decode_tile_full", |b| b.iter(|| decode(&full).unwrap()));
     let truncated = full.truncated(full.payload_len() / 4);
     group.bench_function("decode_tile_quarter_rate", |b| {
-        b.iter(|| decode(&truncated))
+        b.iter(|| decode(&truncated).unwrap())
+    });
+    let mut scratch = DecodeScratch::new();
+    group.bench_function("decode_tile_full_scratch", |b| {
+        b.iter(|| decode_with_scratch(&full, &mut scratch).unwrap())
     });
     group.bench_function("encode_full_band_256", |b| {
         b.iter(|| encode(band, &CodecConfig::lossy()).unwrap())
+    });
+    let band_enc = encode(band, &CodecConfig::lossy()).unwrap();
+    group.bench_function("decode_full_band_256", |b| {
+        b.iter(|| decode_with_scratch(&band_enc, &mut scratch).unwrap())
+    });
+    group.bench_function("decode_ll_only_band_256", |b| {
+        b.iter(|| decode_ll_only(&band_enc, &mut scratch).unwrap())
     });
     group.finish();
 }

@@ -15,11 +15,11 @@
 //! * `--out <path>` — where to write the JSON (default
 //!   `BENCH_pipeline.json` in the current directory).
 //! * `--check <path>` — after measuring, compare this run's
-//!   `encode_full_band.mpix_per_s` against the committed baseline at
-//!   `<path>` and exit non-zero below [`CHECK_MIN_RATIO`]× of it. The
-//!   generous ratio absorbs machine differences (CI runners vs the
-//!   container the baseline was committed from) while still catching
-//!   catastrophic encoder regressions.
+//!   `encode_full_band.mpix_per_s` **and** `decode_full.mpix_per_s`
+//!   against the committed baseline at `<path>` and exit non-zero below
+//!   [`CHECK_MIN_RATIO`]× of either. The generous ratio absorbs machine
+//!   differences (CI runners vs the container the baseline was committed
+//!   from) while still catching catastrophic codec regressions.
 //!
 //! Per-stage seconds come from the strategy's own [`StageTimings`] (the
 //! quantities of the paper's Figure 16); throughput is reported in
@@ -29,33 +29,48 @@
 //! reference encoder, interleaved in-process so machine-load drift cancels
 //! out of the ratios. EPC1 output is asserted bit-identical to the
 //! reference before timing; EPC2 output is asserted to decode and patch.
+//!
+//! Since the streaming partial-decode pipeline the baseline also times the
+//! decode stage: a full-rate EPC2 full-band decode, and the LL-only
+//! partial decode interleaved with full-decode + `downsample_box` (the
+//! historical reference-ingest path it replaces) — the binary exits
+//! non-zero if the LL-only path is less than
+//! [`DECODE_LL_MIN_SPEEDUP`]× faster, or if either scratch arena grows in
+//! steady state.
 
 use earthplus::prelude::*;
 use earthplus::{CaptureContext, StageTimings};
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
 use earthplus_codec::{
-    encode_roi_with_scratch, reference, CodecConfig, CodecScratch, FormatVersion,
+    decode_ll_only, decode_with_scratch, encode_roi_with_scratch, reference, CodecConfig,
+    CodecScratch, DecodeScratch, FormatVersion,
 };
 use earthplus_orbit::SatelliteId;
-use earthplus_raster::{LocationId, Raster, TileGrid, TileMask};
+use earthplus_raster::{downsample_box, LocationId, Raster, TileGrid, TileMask};
 use earthplus_scene::terrain::LocationArchetype;
 use earthplus_scene::{LocationScene, SceneConfig};
 use std::time::Instant;
 
-/// `--check` fails when this run's EPC2 throughput drops below this
-/// fraction of the committed baseline's.
+/// `--check` fails when this run's EPC2 encode or full-decode throughput
+/// drops below this fraction of the committed baseline's.
 const CHECK_MIN_RATIO: f64 = 0.4;
+
+/// Minimum in-process speedup of `decode_ll_only` over full decode +
+/// `downsample_box` (the acceptance floor of the partial-decode pipeline;
+/// the measured ratio is far higher — LL-only touches ~1/1000 of the
+/// coefficients).
+const DECODE_LL_MIN_SPEEDUP: f64 = 5.0;
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
     samples[samples.len() / 2]
 }
 
-/// Pulls `"mpix_per_s": <float>` out of the `"encode_full_band"` object of
-/// a committed baseline file (hand-rolled: the workspace builds offline,
-/// with no JSON dependency — and we wrote the format).
-fn committed_mpix_per_s(json: &str) -> Option<f64> {
-    let section = json.split("\"encode_full_band\"").nth(1)?;
+/// Pulls `"mpix_per_s": <float>` out of the named object of a committed
+/// baseline file (hand-rolled: the workspace builds offline, with no JSON
+/// dependency — and we wrote the format).
+fn committed_mpix_per_s(json: &str, section: &str) -> Option<f64> {
+    let section = json.split(&format!("\"{section}\"")).nth(1)?;
     let value = section.split("\"mpix_per_s\":").nth(1)?;
     value.split([',', '}', '\n']).next()?.trim().parse().ok()
 }
@@ -192,9 +207,51 @@ fn main() {
     let full_encode_mpix_s = band_mpix / epc2_s;
     let epc1_mpix_s = band_mpix / epc1_s;
 
+    // 3. Decode throughput: the full band as one full-rate EPC2 stream.
+    //    Full decode, and the LL-only partial decode interleaved with the
+    //    historical full-decode + downsample_box reference-ingest path so
+    //    the speedup ratio is load-immune.
+    let full_enc = earthplus_codec::encode(&band_raster, &epc2).expect("full-band encode");
+    let mut dscratch = DecodeScratch::new();
+    // Warm every path and prove correctness before timing.
+    let ll = decode_ll_only(&full_enc, &mut dscratch).expect("LL-only decode");
+    assert_eq!(
+        ll.dimensions(),
+        full_enc.reduced_dimensions(full_enc.levels()),
+        "LL-only geometry drifted"
+    );
+    let ds_factor = 1usize << full_enc.levels();
+    let warm_full = decode_with_scratch(&full_enc, &mut dscratch).expect("full decode");
+    let _ = downsample_box(&warm_full, ds_factor).expect("downsample");
+    drop(warm_full);
+    let decode_grow_before = dscratch.grow_events();
+    let (mut dec_full_times, mut dec_ll_times, mut ll_speedups) =
+        (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps.max(8) {
+        let t = Instant::now();
+        let dec = decode_with_scratch(&full_enc, &mut dscratch).expect("full decode");
+        let full_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = downsample_box(&dec, ds_factor).expect("downsample");
+        let ds_s = t.elapsed().as_secs_f64();
+        drop(dec);
+        let t = Instant::now();
+        let _ = decode_ll_only(&full_enc, &mut dscratch).expect("LL-only decode");
+        let ll_s = t.elapsed().as_secs_f64();
+        dec_full_times.push(full_s);
+        dec_ll_times.push(ll_s);
+        ll_speedups.push((full_s + ds_s) / ll_s);
+    }
+    let decode_steady_grow_events = dscratch.grow_events() - decode_grow_before;
+    let dec_full_s = median(&mut dec_full_times);
+    let dec_ll_s = median(&mut dec_ll_times);
+    let ll_speedup = median(&mut ll_speedups);
+    let decode_full_mpix_s = band_mpix / dec_full_s;
+    let decode_ll_mpix_s = band_mpix / dec_ll_s;
+
     let json = format!(
         r#"{{
-  "schema": 2,
+  "schema": 3,
   "scenario": "pipeline_runtime quick scene (seed 7, agriculture, {w}x{h}, {bands} bands)",
   "mode": "{mode}",
   "samples": {reps},
@@ -222,9 +279,24 @@ fn main() {
     "seconds": {epc1_s:.6},
     "mpix_per_s": {epc1_mpix_s:.3}
   }},
+  "decode_full": {{
+    "format": "EPC2",
+    "seconds": {dec_full_s:.6},
+    "mpix_per_s": {decode_full_mpix_s:.3}
+  }},
+  "decode_ll_only": {{
+    "seconds": {dec_ll_s:.6},
+    "mpix_per_s": {decode_ll_mpix_s:.3},
+    "output_pixels": {ll_pixels},
+    "speedup_vs_full_plus_downsample": {ll_speedup:.3}
+  }},
   "codec_scratch": {{
     "reserved_bytes": {reserved},
     "steady_state_grow_events": {steady_grow_events}
+  }},
+  "decode_scratch": {{
+    "reserved_bytes": {decode_reserved},
+    "steady_state_grow_events": {decode_steady_grow_events}
   }}
 }}
 "#,
@@ -232,6 +304,8 @@ fn main() {
         pipeline_rate = capture_mpix / total_s,
         tiles = grid.tile_count(),
         reserved = scratch.reserved_bytes(),
+        ll_pixels = ll.len(),
+        decode_reserved = dscratch.reserved_bytes(),
     );
     std::fs::write(&out, &json).expect("write baseline JSON");
     print!("{json}");
@@ -240,21 +314,43 @@ fn main() {
         eprintln!("ERROR: codec scratch grew during steady state ({steady_grow_events} events)");
         std::process::exit(1);
     }
+    if decode_steady_grow_events != 0 {
+        eprintln!(
+            "ERROR: decode scratch grew during steady state ({decode_steady_grow_events} events)"
+        );
+        std::process::exit(1);
+    }
+    if ll_speedup < DECODE_LL_MIN_SPEEDUP {
+        eprintln!(
+            "ERROR: decode_ll_only is only {ll_speedup:.2}x faster than full decode + \
+             downsample_box (floor {DECODE_LL_MIN_SPEEDUP}x)"
+        );
+        std::process::exit(1);
+    }
     if let Some(path) = check {
         let committed = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
-        let committed_rate = committed_mpix_per_s(&committed)
-            .unwrap_or_else(|| panic!("--check: no encode_full_band.mpix_per_s in {path}"));
-        let floor = committed_rate * CHECK_MIN_RATIO;
-        eprintln!(
-            "check: encode_full_band {full_encode_mpix_s:.3} MPix/s vs committed \
-             {committed_rate:.3} (floor {floor:.3})"
-        );
-        if full_encode_mpix_s < floor {
+        let mut failed = false;
+        for (section, measured) in [
+            ("encode_full_band", full_encode_mpix_s),
+            ("decode_full", decode_full_mpix_s),
+        ] {
+            let committed_rate = committed_mpix_per_s(&committed, section)
+                .unwrap_or_else(|| panic!("--check: no {section}.mpix_per_s in {path}"));
+            let floor = committed_rate * CHECK_MIN_RATIO;
             eprintln!(
-                "ERROR: encoder regression — {full_encode_mpix_s:.3} MPix/s is below \
-                 {CHECK_MIN_RATIO}x the committed {committed_rate:.3}"
+                "check: {section} {measured:.3} MPix/s vs committed {committed_rate:.3} \
+                 (floor {floor:.3})"
             );
+            if measured < floor {
+                eprintln!(
+                    "ERROR: {section} regression — {measured:.3} MPix/s is below \
+                     {CHECK_MIN_RATIO}x the committed {committed_rate:.3}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -16,7 +16,7 @@
 //! degrades (§5, *Handling bandwidth fluctuation*).
 
 use crate::rangecoder::{BitModel, RangeDecoder, RangeEncoder};
-use crate::scratch::CodecScratch;
+use crate::scratch::{CodecScratch, DecodeScratch};
 
 /// Decoder lookahead margin, in bytes: the range decoder primes itself with
 /// five bytes, so each recorded pass boundary must include them.
@@ -512,11 +512,8 @@ fn encode_planes_passes_v2(
 }
 
 /// Decodes an EPC2 payload produced by [`encode_planes_v2_into`]
-/// (optionally truncated at a recorded pass boundary).
-///
-/// Mirrors the encoder's list-driven traversal — including the zero-run
-/// chunking, whose boundaries are recomputed from the decoder's own frozen
-/// per-pass state — so the context sequence matches decision for decision.
+/// (optionally truncated at a recorded pass boundary). Allocating
+/// wrapper over [`decode_planes_v2_with`].
 ///
 /// # Panics
 ///
@@ -528,22 +525,76 @@ pub fn decode_planes_v2(
     planes: u8,
     pass_offsets: &[u32],
 ) -> Vec<i32> {
+    let mut scratch = DecodeScratch::new();
+    decode_planes_v2_with(payload, count, width, planes, pass_offsets, &mut scratch);
+    std::mem::take(&mut scratch.quantized)
+}
+
+/// Scratch-arena EPC2 decoder: identical output to [`decode_planes_v2`],
+/// but every intermediate buffer (context counts, traversal lists, the
+/// magnitude/sign planes) lives in `scratch` and is reused across calls;
+/// the decoded coefficients land in `scratch.quantized`.
+///
+/// Mirrors the encoder's list-driven traversal — including the zero-run
+/// chunking, whose boundaries are recomputed from the decoder's own frozen
+/// per-pass state — so the context sequence matches decision for decision.
+/// A `planes` value beyond [`MAX_PLANES`] (only corrupt headers produce
+/// one; the image-level decoder rejects them first) is clamped rather than
+/// shifted out of range.
+///
+/// # Panics
+///
+/// Panics if `width` is zero, does not divide `count`, or `count` exceeds
+/// `u32::MAX` (the traversal lists hold `u32` indices).
+pub fn decode_planes_v2_with(
+    payload: &[u8],
+    count: usize,
+    width: usize,
+    planes: u8,
+    pass_offsets: &[u32],
+    scratch: &mut DecodeScratch,
+) {
     assert!(width > 0, "width must be positive");
     assert_eq!(count % width, 0, "count must be a multiple of width");
+    // The traversal lists hold u32 indices (the image-level entry points
+    // bound pixel counts far below this already).
+    assert!(count <= u32::MAX as usize, "count exceeds the index domain");
+    let planes = planes.min(MAX_PLANES);
     let available: usize = pass_offsets
         .iter()
         .take_while(|&&o| o as usize <= payload.len())
         .count();
     let mut dec = RangeDecoder::new(payload);
     let mut ctx = Contexts::new();
-    let mut ctx_of = vec![0u8; count];
-    let mut neg = vec![false; count];
-    let mut mag = vec![0u32; count];
-    let mut insig: Vec<u32> = (0..count as u32).collect();
-    let mut next: Vec<u32> = Vec::with_capacity(count);
-    let mut sig: Vec<u32> = Vec::with_capacity(count);
-    let mut merged: Vec<u32> = Vec::with_capacity(count);
-    let mut newly: Vec<u32> = Vec::with_capacity(count);
+    let DecodeScratch {
+        ctx_of,
+        neg,
+        mag,
+        insig,
+        next_insig,
+        sig_list,
+        merged,
+        newly,
+        quantized,
+        ..
+    } = &mut *scratch;
+    ctx_of.clear();
+    ctx_of.resize(count, 0);
+    neg.clear();
+    neg.resize(count, false);
+    mag.clear();
+    mag.resize(count, 0);
+    prepare(insig, count);
+    for (k, slot) in insig[..count].iter_mut().enumerate() {
+        *slot = k as u32;
+    }
+    prepare(next_insig, count);
+    prepare(sig_list, count);
+    prepare(merged, count);
+    prepare(newly, count);
+    let ctx_of = &mut ctx_of[..];
+    let mut insig_len = count;
+    let mut sig_len = 0usize;
     let mut pass_idx = 0usize;
     for plane in (0..planes).rev() {
         let bit = 1u32 << plane;
@@ -551,29 +602,32 @@ pub fn decode_planes_v2(
         if pass_idx >= available {
             break;
         }
-        newly.clear();
-        next.clear();
+        let mut newly_len = 0usize;
+        let mut next_len = 0usize;
         let mut k = 0usize;
-        while k < insig.len() {
+        while k < insig_len {
             let i = insig[k] as usize;
             let c = usize::from(ctx_of[i]);
             if c != 0 {
                 if dec.decode(&mut ctx.significance[c]) {
                     neg[i] = dec.decode_raw();
                     mag[i] |= bit;
-                    newly.push(i as u32);
+                    newly[newly_len] = i as u32;
+                    newly_len += 1;
                 } else {
-                    next.push(i as u32);
+                    next_insig[next_len] = i as u32;
+                    next_len += 1;
                 }
                 k += 1;
                 continue;
             }
             let mut len = 1usize;
-            while len < RUN_MAX && k + len < insig.len() && ctx_of[insig[k + len] as usize] == 0 {
+            while len < RUN_MAX && k + len < insig_len && ctx_of[insig[k + len] as usize] == 0 {
                 len += 1;
             }
             if dec.decode(&mut ctx.run) {
-                next.extend_from_slice(&insig[k..k + len]);
+                next_insig[next_len..next_len + len].copy_from_slice(&insig[k..k + len]);
+                next_len += len;
                 k += len;
             } else {
                 let mut p = 0usize;
@@ -583,16 +637,19 @@ pub fn decode_planes_v2(
                 // A valid stream always addresses inside the chunk; clamp
                 // so corrupt input cannot index out of bounds.
                 let p = p.min(len - 1);
-                next.extend_from_slice(&insig[k..k + p]);
+                next_insig[next_len..next_len + p].copy_from_slice(&insig[k..k + p]);
+                next_len += p;
                 let i = insig[k + p] as usize;
                 neg[i] = dec.decode_raw();
                 mag[i] |= bit;
-                newly.push(i as u32);
+                newly[newly_len] = i as u32;
+                newly_len += 1;
                 k += p + 1;
             }
         }
-        std::mem::swap(&mut insig, &mut next);
-        for &iu in &newly {
+        std::mem::swap(insig, next_insig);
+        insig_len = next_len;
+        for &iu in &newly[..newly_len] {
             let i = iu as usize;
             let x = i % width;
             if x + 1 < width {
@@ -610,41 +667,44 @@ pub fn decode_planes_v2(
         if pass_idx >= available {
             break;
         }
-        for &iu in &sig {
+        for &iu in &sig_list[..sig_len] {
             if dec.decode(&mut ctx.refinement) {
                 mag[iu as usize] |= bit;
             }
         }
         pass_idx += 1;
         // Merge this plane's arrivals (both lists ascending).
-        merged.clear();
-        let (mut a, mut b) = (0usize, 0usize);
-        while a < sig.len() && b < newly.len() {
-            if sig[a] < newly[b] {
-                merged.push(sig[a]);
+        let (mut a, mut b, mut m) = (0usize, 0usize, 0usize);
+        while a < sig_len && b < newly_len {
+            if sig_list[a] < newly[b] {
+                merged[m] = sig_list[a];
                 a += 1;
             } else {
-                merged.push(newly[b]);
+                merged[m] = newly[b];
                 b += 1;
             }
+            m += 1;
         }
-        merged.extend_from_slice(&sig[a..]);
-        merged.extend_from_slice(&newly[b..]);
-        std::mem::swap(&mut sig, &mut merged);
+        merged[m..m + sig_len - a].copy_from_slice(&sig_list[a..sig_len]);
+        m += sig_len - a;
+        merged[m..m + newly_len - b].copy_from_slice(&newly[b..newly_len]);
+        m += newly_len - b;
+        std::mem::swap(sig_list, merged);
+        sig_len = m;
     }
-    (0..count)
-        .map(|i| {
-            let m = mag[i] as i32;
-            if neg[i] {
-                -m
-            } else {
-                m
-            }
-        })
-        .collect()
+    quantized.clear();
+    quantized.extend(mag[..count].iter().zip(&neg[..count]).map(|(&m, &n)| {
+        let m = m as i32;
+        if n {
+            -m
+        } else {
+            m
+        }
+    }));
 }
 
 /// Decodes coefficients from an (optionally truncated) payload.
+/// Allocating wrapper over [`decode_planes_with`].
 ///
 /// Only passes entirely contained in `payload` (per `pass_offsets`) are
 /// decoded; missing low-order planes reconstruct as zero bits, with a +½
@@ -660,20 +720,56 @@ pub fn decode_planes(
     planes: u8,
     pass_offsets: &[u32],
 ) -> Vec<i32> {
+    let mut scratch = DecodeScratch::new();
+    decode_planes_with(payload, count, width, planes, pass_offsets, &mut scratch);
+    std::mem::take(&mut scratch.quantized)
+}
+
+/// Scratch-arena EPC1 decoder: identical output to [`decode_planes`], with
+/// every intermediate buffer (significance map, sign/magnitude planes, the
+/// per-plane arrival list) living in `scratch`; the decoded coefficients
+/// land in `scratch.quantized`. A `planes` value beyond [`MAX_PLANES`] is
+/// clamped rather than shifted out of range.
+///
+/// # Panics
+///
+/// Panics if `width` is zero, does not divide `count`, or `count` exceeds
+/// `u32::MAX` (the traversal lists hold `u32` indices).
+pub fn decode_planes_with(
+    payload: &[u8],
+    count: usize,
+    width: usize,
+    planes: u8,
+    pass_offsets: &[u32],
+    scratch: &mut DecodeScratch,
+) {
     assert!(width > 0, "width must be positive");
     assert_eq!(count % width, 0, "count must be a multiple of width");
+    // The arrival list holds u32 indices (the image-level entry points
+    // bound pixel counts far below this already).
+    assert!(count <= u32::MAX as usize, "count exceeds the index domain");
+    let planes = planes.min(MAX_PLANES);
     let available: usize = pass_offsets
         .iter()
         .take_while(|&&o| o as usize <= payload.len())
         .count();
     let mut dec = RangeDecoder::new(payload);
     let mut ctx = Contexts::new();
-    let mut sig = vec![false; count];
-    let mut neg = vec![false; count];
-    let mut mag = vec![0u32; count];
-    // Plane index (from the top) at which each coefficient became
-    // significant; used by callers for reconstruction bias. We fold it into
-    // magnitude directly here.
+    let DecodeScratch {
+        sig,
+        neg,
+        mag,
+        newly,
+        quantized,
+        ..
+    } = &mut *scratch;
+    sig.clear();
+    sig.resize(count, false);
+    neg.clear();
+    neg.resize(count, false);
+    mag.clear();
+    mag.resize(count, 0);
+    prepare(newly, count);
     let mut pass_idx = 0usize;
     'outer: for plane in (0..planes).rev() {
         let bit = 1u32 << plane;
@@ -681,20 +777,21 @@ pub fn decode_planes(
         if pass_idx >= available {
             break 'outer;
         }
-        let mut newly = Vec::new();
+        let mut newly_len = 0usize;
         for i in 0..count {
             if sig[i] {
                 continue;
             }
-            let c = neighbor_context(&sig, width, i);
+            let c = neighbor_context(sig, width, i);
             if dec.decode(&mut ctx.significance[c]) {
                 neg[i] = dec.decode_raw();
                 mag[i] |= bit;
-                newly.push(i);
+                newly[newly_len] = i as u32;
+                newly_len += 1;
             }
         }
-        for i in newly {
-            sig[i] = true;
+        for &i in &newly[..newly_len] {
+            sig[i as usize] = true;
         }
         pass_idx += 1;
         // Refinement pass.
@@ -714,16 +811,15 @@ pub fn decode_planes(
         }
         pass_idx += 1;
     }
-    (0..count)
-        .map(|i| {
-            let m = mag[i] as i32;
-            if neg[i] {
-                -m
-            } else {
-                m
-            }
-        })
-        .collect()
+    quantized.clear();
+    quantized.extend(mag[..count].iter().zip(&neg[..count]).map(|(&m, &n)| {
+        let m = m as i32;
+        if n {
+            -m
+        } else {
+            m
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -1028,6 +1124,67 @@ mod tests {
         assert_eq!(planes, fresh.1);
         assert_eq!(scratch.payload, fresh.0);
         assert_eq!(scratch.pass_offsets, fresh.2);
+    }
+
+    #[test]
+    fn scratch_decoders_match_allocating_decoders_at_every_cut() {
+        // One dirty arena across blocks of different shapes and both
+        // formats, at every recorded truncation point: the scratch
+        // decoders must reproduce the allocating decoders bit for bit.
+        let mut scratch = DecodeScratch::new();
+        for (i, &(n, w)) in [(64 * 64, 64usize), (16 * 16, 16), (40 * 25, 40), (8, 4)]
+            .iter()
+            .enumerate()
+        {
+            let coeffs = sample_coefficients(n, i as u64 * 17 + 3);
+            let v1 = encode_planes(&coeffs, w);
+            let (v2_payload, v2_planes, v2_offsets) = encode_v2(&coeffs, w);
+            let mut cuts: Vec<usize> = vec![0, v1.payload.len()];
+            cuts.extend(v1.pass_offsets.iter().map(|&o| o as usize));
+            for cut in cuts {
+                let cut = cut.min(v1.payload.len());
+                let expect = decode_planes(&v1.payload[..cut], n, w, v1.planes, &v1.pass_offsets);
+                decode_planes_with(
+                    &v1.payload[..cut],
+                    n,
+                    w,
+                    v1.planes,
+                    &v1.pass_offsets,
+                    &mut scratch,
+                );
+                assert_eq!(scratch.quantized, expect, "v1 block {i} cut {cut}");
+            }
+            let mut cuts: Vec<usize> = vec![0, v2_payload.len()];
+            cuts.extend(v2_offsets.iter().map(|&o| o as usize));
+            for cut in cuts {
+                let cut = cut.min(v2_payload.len());
+                let expect = decode_planes_v2(&v2_payload[..cut], n, w, v2_planes, &v2_offsets);
+                decode_planes_v2_with(
+                    &v2_payload[..cut],
+                    n,
+                    w,
+                    v2_planes,
+                    &v2_offsets,
+                    &mut scratch,
+                );
+                assert_eq!(scratch.quantized, expect, "v2 block {i} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_decoders_settle_allocation() {
+        let coeffs = sample_coefficients(64 * 64, 5);
+        let (payload, planes, offsets) = encode_v2(&coeffs, 64);
+        let mut scratch = DecodeScratch::new();
+        decode_planes_v2_with(&payload, coeffs.len(), 64, planes, &offsets, &mut scratch);
+        scratch.track_growth();
+        let grown = scratch.grow_events();
+        for _ in 0..3 {
+            decode_planes_v2_with(&payload, coeffs.len(), 64, planes, &offsets, &mut scratch);
+            scratch.track_growth();
+        }
+        assert_eq!(scratch.grow_events(), grown, "steady-state decode grew");
     }
 
     #[test]

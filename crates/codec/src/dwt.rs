@@ -161,6 +161,42 @@ pub fn subband_rects(width: usize, height: usize, levels: u8) -> Vec<SubbandRect
     out
 }
 
+/// Dimensions of the low-pass (LL) band after `levels` decompositions of a
+/// `width × height` buffer: each level takes the ceiling half of both axes.
+/// This is also the size of the raster a level-limited decode produces when
+/// it discards the finest `levels` detail levels.
+pub fn reduced_dims(width: usize, height: usize, levels: u8) -> (usize, usize) {
+    let (mut w, mut h) = (width, height);
+    for _ in 0..levels {
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+    (w, h)
+}
+
+/// DC gain of the 1-D low-pass analysis lifting chain: the factor a
+/// constant signal's even (low-pass) samples acquire per decomposition
+/// level. A level-limited decode stops the inverse transform while the
+/// remaining samples still carry this gain once per level per axis, so the
+/// truncated reconstruction divides it back out (`gain^(2k)` for `k`
+/// discarded 2-D levels).
+///
+/// The reversible 5/3 chain is gain-free on constants (`floor((c+c)/2)`
+/// cancels exactly); the 9/7 value follows from composing the lifting
+/// steps on a constant line.
+pub fn low_pass_dc_gain(wavelet: Wavelet) -> f32 {
+    match wavelet {
+        Wavelet::Cdf53 => 1.0,
+        Wavelet::Cdf97 => {
+            let d = 1.0 + 2.0 * ALPHA;
+            let s = 1.0 + 2.0 * BETA * d;
+            let d = d + 2.0 * GAMMA * s;
+            let s = s + 2.0 * DELTA * d;
+            s * KAPPA
+        }
+    }
+}
+
 /// Maximum usable decomposition depth for the given dimensions (each level
 /// halves the LL band; stop before a dimension reaches 1).
 pub fn max_levels(width: usize, height: usize) -> u8 {
@@ -702,6 +738,50 @@ mod tests {
         assert_eq!((rects[1].w, rects[1].h), (8, 8));
         assert_eq!((rects[9].w, rects[9].h), (32, 32));
         assert_eq!((rects[9].x0, rects[9].y0), (32, 32));
+    }
+
+    #[test]
+    fn reduced_dims_match_ll_rect() {
+        for &(w, h) in &[(64usize, 64usize), (67, 41), (510, 510), (5, 3)] {
+            for levels in 0..=max_levels(w, h) {
+                let rects = subband_rects(w, h, levels);
+                let (rw, rh) = reduced_dims(w, h, levels);
+                assert_eq!((rects[0].w, rects[0].h), (rw, rh), "{w}x{h}@{levels}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_enumeration_is_a_prefix_of_the_full_one() {
+        // The property partial decode leans on: the subbands of the
+        // reduced geometry (after discarding k fine levels) are exactly
+        // the first entries of the full enumeration, in order.
+        for &(w, h) in &[(64usize, 64usize), (67, 41), (200, 137), (5, 3)] {
+            let levels = max_levels(w, h);
+            let full = subband_rects(w, h, levels);
+            for k in 0..=levels {
+                let (rw, rh) = reduced_dims(w, h, k);
+                let reduced = subband_rects(rw, rh, levels - k);
+                assert_eq!(&full[..reduced.len()], &reduced[..], "{w}x{h} discard {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_pass_dc_gain_matches_lifting_on_constants() {
+        for wavelet in [Wavelet::Cdf53, Wavelet::Cdf97] {
+            let mut line = vec![100.0f32; 64];
+            lift_forward(&mut line, wavelet);
+            let gain = low_pass_dc_gain(wavelet);
+            // Even positions hold the low-pass samples before deinterleave.
+            for i in (0..64).step_by(2) {
+                assert!(
+                    (line[i] / 100.0 - gain).abs() < 1e-4,
+                    "{wavelet:?} sample {i}: {} vs gain {gain}",
+                    line[i] / 100.0
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,15 +24,25 @@
 //! [`EncodedImage::truncated`] / [`EncodedImage::with_layers`] clamp
 //! offsets for both formats, so size accounting agrees with the bytes.
 
-use crate::bitplane::{decode_planes, decode_planes_v2, encode_planes_into, encode_planes_v2_into};
-use crate::dwt::{self, Coefficients, Wavelet};
-use crate::scratch::CodecScratch;
-use crate::CodecError;
+use crate::bitplane::{
+    decode_planes_v2_with, decode_planes_with, encode_planes_into, encode_planes_v2_into,
+    MAX_PLANES,
+};
+use crate::dwt::{self, Wavelet};
+use crate::scratch::{CodecScratch, DecodeScratch};
+use crate::{CodecError, DecodeError};
 use bytes::{Buf, BufMut, Bytes};
 use earthplus_raster::{Raster, TileView};
 
 /// Magic number identifying an encoded image ("EP" wavelet codec).
 const MAGIC: u32 = 0x4550_5743;
+
+/// Upper bound on the pixel count a stream may claim (268 MPix — an order
+/// of magnitude beyond a full Doves capture). Headers are trusted to size
+/// decoder allocations, so a bit-flipped dimension field must be rejected
+/// before it can drive an unbounded allocation; both
+/// [`EncodedImage::from_bytes`] and the decode entry points enforce this.
+pub const MAX_PIXELS: u64 = 1 << 28;
 
 /// Bitstream format version (the header's version byte).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -211,6 +221,28 @@ impl EncodedImage {
     /// The stream's format version.
     pub fn format(&self) -> FormatVersion {
         self.format
+    }
+
+    /// Decomposition depth of the stream.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Magnitude bitplanes coded (the maximum across subband chunks for
+    /// EPC2 streams).
+    pub fn planes(&self) -> u8 {
+        self.planes
+    }
+
+    /// Output dimensions of a level-limited decode that discards the
+    /// finest `discard_levels` detail levels (clamped to the stream's
+    /// depth): `ceil(w / 2^k) × ceil(h / 2^k)`.
+    pub fn reduced_dimensions(&self, discard_levels: u8) -> (usize, usize) {
+        dwt::reduced_dims(
+            self.width as usize,
+            self.height as usize,
+            discard_levels.min(self.levels),
+        )
     }
 
     /// The EPC2 subband chunk table (empty for EPC1 streams).
@@ -429,6 +461,11 @@ impl EncodedImage {
         let height = bytes.get_u32();
         let quant_step = bytes.get_f32();
         let input_levels = bytes.get_u16();
+        if width as u64 * height as u64 > MAX_PIXELS {
+            return Err(CodecError::Malformed {
+                reason: format!("{width}x{height} exceeds the decodable pixel bound"),
+            });
+        }
         // The encoder clamps levels to max_levels (≤ 12); anything larger
         // is corruption, and both the subband enumeration and the inverse
         // DWT assume the valid range — reject it here rather than panic
@@ -439,6 +476,14 @@ impl EncodedImage {
                 reason: format!(
                     "levels {levels} exceeds the maximum {max_levels} for {width}x{height}"
                 ),
+            });
+        }
+        // No encoder emits more than MAX_PLANES magnitude planes; a larger
+        // value is corruption, and the bitplane decoders' plane masks
+        // assume the valid range — reject here rather than decode garbage.
+        if planes > MAX_PLANES {
+            return Err(CodecError::Malformed {
+                reason: format!("plane count {planes} exceeds the maximum {MAX_PLANES}"),
             });
         }
         let mut pass_offsets = Vec::new();
@@ -465,6 +510,13 @@ impl EncodedImage {
                 for _ in 0..n_subbands {
                     need(bytes, 3)?;
                     let planes = bytes.get_u8();
+                    if planes > MAX_PLANES {
+                        return Err(CodecError::Malformed {
+                            reason: format!(
+                                "subband plane count {planes} exceeds the maximum {MAX_PLANES}"
+                            ),
+                        });
+                    }
                     let n_offsets = bytes.get_u16() as usize;
                     need(bytes, 4 * n_offsets)?;
                     let offsets: Vec<u32> = (0..n_offsets).map(|_| bytes.get_u32()).collect();
@@ -578,6 +630,14 @@ fn encode_view_impl(
         return Err(CodecError::EmptyImage);
     }
     let (w, h) = view.dimensions();
+    // The decoder rejects headers past MAX_PIXELS (they size its
+    // allocations), so refuse to emit a stream that could not be decoded
+    // back.
+    if w as u64 * h as u64 > MAX_PIXELS {
+        return Err(CodecError::TooLarge {
+            pixels: w as u64 * h as u64,
+        });
+    }
     let levels = config.levels.min(dwt::max_levels(w, h));
     let scale = config.input_levels as f32;
     // Gather + scale in one pass (this replaces the old extract-tile copy
@@ -754,26 +814,161 @@ fn encode_epc2(
 }
 
 /// Decodes an encoded image (possibly truncated) back to a `[0, 1]` raster
-/// — either format version.
-pub fn decode(encoded: &EncodedImage) -> Raster {
+/// — either format version. Allocating convenience wrapper: hot paths that
+/// decode many tiles should hold a [`DecodeScratch`] and use
+/// [`decode_with_scratch`] (or [`decode_into`] to also reuse the output
+/// raster).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the header metadata is inconsistent with
+/// the stream geometry (truncation is not an error — embedded streams
+/// decode whatever passes survive).
+pub fn decode(encoded: &EncodedImage) -> Result<Raster, DecodeError> {
+    decode_with_scratch(encoded, &mut DecodeScratch::new())
+}
+
+/// Full decode through a reusable [`DecodeScratch`] arena: coefficient
+/// planes, traversal lists, and inverse-DWT line buffers persist across
+/// calls, so steady-state decoding allocates only the returned raster
+/// (which must be owned).
+///
+/// # Errors
+///
+/// As [`decode`].
+pub fn decode_with_scratch(
+    encoded: &EncodedImage,
+    scratch: &mut DecodeScratch,
+) -> Result<Raster, DecodeError> {
+    decode_level_limited(encoded, 0, scratch)
+}
+
+/// Resolution-progressive partial decode: discards the finest
+/// `discard_levels` detail levels (clamped to the stream's depth) and runs
+/// a truncated inverse DWT, producing a `ceil(w/2^k) × ceil(h/2^k)` raster
+/// directly.
+///
+/// On EPC2 streams only the subband chunks of the kept resolution levels
+/// are seeked and decoded — the finer chunks' bytes are never touched. An
+/// EPC1 stream has one global coding chain, so it falls back to replaying
+/// the whole prefix and then reconstructing only the reduced geometry.
+///
+/// # Errors
+///
+/// As [`decode`].
+pub fn decode_level_limited(
+    encoded: &EncodedImage,
+    discard_levels: u8,
+    scratch: &mut DecodeScratch,
+) -> Result<Raster, DecodeError> {
+    let mut out = Raster::new(0, 0);
+    decode_into(encoded, discard_levels, scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes only the LL band — the coarsest resolution the stream carries
+/// (`ceil(w/2^levels) × ceil(h/2^levels)`). On EPC2 this reads exactly one
+/// subband chunk; it is the fast path for building heavily-downsampled
+/// reference images from archived captures without materializing a full
+/// frame.
+///
+/// # Errors
+///
+/// As [`decode`].
+pub fn decode_ll_only(
+    encoded: &EncodedImage,
+    scratch: &mut DecodeScratch,
+) -> Result<Raster, DecodeError> {
+    decode_level_limited(encoded, encoded.levels, scratch)
+}
+
+/// The zero-allocation decode entry point: decodes into `out`, which is
+/// reshaped in place (reusing its allocation) to the output geometry of a
+/// decode that discards the finest `discard_levels` levels. Pass 0 for a
+/// full-resolution decode.
+///
+/// # Errors
+///
+/// As [`decode`]; on error `out`'s contents are unspecified.
+pub fn decode_into(
+    encoded: &EncodedImage,
+    discard_levels: u8,
+    scratch: &mut DecodeScratch,
+    out: &mut Raster,
+) -> Result<(), DecodeError> {
     let w = encoded.width as usize;
     let h = encoded.height as usize;
+    scratch.payload_bytes_read = 0;
     if w == 0 || h == 0 {
-        return Raster::new(w, h);
+        out.reset(w, h);
+        return Ok(());
     }
-    let data = match encoded.format {
-        FormatVersion::Epc1 => decode_epc1_coefficients(encoded, w, h),
-        FormatVersion::Epc2 => decode_epc2_coefficients(encoded, w, h),
-    };
-    let mut coeffs = Coefficients::new(w, h, data);
-    dwt::inverse(&mut coeffs, encoded.wavelet, encoded.levels);
-    let scale = encoded.input_levels as f32;
-    let data: Vec<f32> = coeffs
-        .into_vec()
-        .into_iter()
-        .map(|v| (v / scale).clamp(0.0, 1.0))
-        .collect();
-    Raster::from_vec(w, h, data).expect("dimensions preserved through transform")
+    // Headers size every decoder allocation; re-check the pixel bound here
+    // so even an in-memory stream with a corrupt dimension cannot drive an
+    // unbounded allocation.
+    if w as u64 * h as u64 > MAX_PIXELS {
+        return Err(DecodeError::Malformed {
+            reason: format!("{w}x{h} exceeds the decodable pixel bound"),
+        });
+    }
+    let max = dwt::max_levels(w, h);
+    if encoded.levels > max {
+        return Err(DecodeError::TooManyLevels {
+            levels: encoded.levels,
+            max,
+        });
+    }
+    let k = discard_levels.min(encoded.levels);
+    let keep = encoded.levels - k;
+    let (rw, rh) = dwt::reduced_dims(w, h, k);
+    out.reset(rw, rh);
+    scratch.coeffs.clear();
+    scratch.coeffs.resize(rw * rh, 0.0);
+    match encoded.format {
+        FormatVersion::Epc1 => decode_epc1_reduced(encoded, w, rw, rh, scratch)?,
+        FormatVersion::Epc2 => {
+            // The rects buffer moves out of the arena for the borrow and
+            // straight back in — no allocation, and the chunk loop can
+            // borrow `scratch` for the bitplane decoders.
+            let mut rects = std::mem::take(&mut scratch.sb_rects);
+            let result = decode_epc2_reduced(encoded, w, h, rw, rh, keep, &mut rects, scratch);
+            scratch.sb_rects = rects;
+            result?;
+        }
+    }
+    {
+        let DecodeScratch {
+            coeffs,
+            dwt_line,
+            dwt_planar,
+            ..
+        } = &mut *scratch;
+        dwt::inverse_into(
+            &mut coeffs[..rw * rh],
+            rw,
+            rh,
+            encoded.wavelet,
+            keep,
+            dwt_line,
+            dwt_planar,
+        );
+    }
+    // The stopped inverse leaves level-k low-pass samples, which still
+    // carry the analysis low-pass DC gain once per discarded level per
+    // axis; divide it back out along with the input scaling. With k = 0
+    // the gain factor is exactly 1 and this is the historical full-decode
+    // mapping, bit for bit.
+    let norm =
+        encoded.input_levels as f32 * dwt::low_pass_dc_gain(encoded.wavelet).powi(2 * k as i32);
+    for (dst, &v) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(&scratch.coeffs[..rw * rh])
+    {
+        *dst = (v / norm).clamp(0.0, 1.0);
+    }
+    scratch.track_growth();
+    Ok(())
 }
 
 /// Dequantizes one coefficient with the mid-tread reconstruction bias.
@@ -803,43 +998,99 @@ fn reconstruction_bias(encoded: &EncodedImage, lowest_plane: usize) -> f32 {
     }
 }
 
-/// EPC1: one global chain over the whole Mallat layout.
-fn decode_epc1_coefficients(encoded: &EncodedImage, w: usize, h: usize) -> Vec<f32> {
-    let count = w * h;
+/// EPC1: one global chain over the whole Mallat layout. A partial decode
+/// cannot seek — it replays the whole prefix — but only the top-left
+/// `rw × rh` corner of the coefficient plane (which holds exactly the kept
+/// subbands) is dequantized into the reduced output geometry.
+fn decode_epc1_reduced(
+    encoded: &EncodedImage,
+    w: usize,
+    rw: usize,
+    rh: usize,
+    scratch: &mut DecodeScratch,
+) -> Result<(), DecodeError> {
+    if encoded.planes > MAX_PLANES {
+        return Err(DecodeError::TooManyPlanes {
+            planes: encoded.planes,
+        });
+    }
+    let payload = &encoded.payload[..];
+    scratch.payload_bytes_read = payload.len();
+    let count = encoded.width as usize * encoded.height as usize;
     let available_passes = encoded
         .pass_offsets
         .iter()
-        .take_while(|&&o| o as usize <= encoded.payload.len())
+        .take_while(|&&o| o as usize <= payload.len())
         .count();
-    let quantized = decode_planes(
-        &encoded.payload[..],
+    decode_planes_with(
+        payload,
         count,
         w,
         encoded.planes,
         &encoded.pass_offsets,
+        scratch,
     );
     let total_passes = encoded.planes as usize * 2;
     let lowest_plane = encoded.planes as usize - available_passes.min(total_passes).div_ceil(2);
     let bias = reconstruction_bias(encoded, lowest_plane);
     let step = encoded.quant_step;
-    quantized
-        .iter()
-        .map(|&q| dequantize(q, bias, step))
-        .collect()
+    let DecodeScratch {
+        quantized, coeffs, ..
+    } = &mut *scratch;
+    for r in 0..rh {
+        let src = &quantized[r * w..r * w + rw];
+        let dst = &mut coeffs[r * rw..(r + 1) * rw];
+        for (d, &q) in dst.iter_mut().zip(src) {
+            *d = dequantize(q, bias, step);
+        }
+    }
+    Ok(())
 }
 
 /// EPC2: every subband chunk decodes independently from its own slice of
 /// the payload — the header's subband-local offsets are all the decoder
-/// needs to seek a chunk; no other chunk's chain is replayed. Chunks cut
-/// off by truncation reconstruct as zero, and the mid-tread bias is
-/// applied per subband at that subband's lowest decoded plane.
-fn decode_epc2_coefficients(encoded: &EncodedImage, w: usize, h: usize) -> Vec<f32> {
-    let mut data = vec![0.0f32; w * h];
-    let rects = dwt::subband_rects(w, h, encoded.levels);
-    let step = encoded.quant_step;
+/// needs to seek a chunk; no other chunk's chain is replayed. The reduced
+/// enumeration is a prefix of the full one, so a level-limited decode
+/// touches only the leading chunks' bytes and skips the rest of the
+/// payload entirely. Chunks cut off by truncation reconstruct as zero, and
+/// the mid-tread bias is applied per subband at that subband's lowest
+/// decoded plane.
+#[allow(clippy::too_many_arguments)]
+fn decode_epc2_reduced(
+    encoded: &EncodedImage,
+    w: usize,
+    h: usize,
+    rw: usize,
+    rh: usize,
+    keep: u8,
+    rects: &mut Vec<dwt::SubbandRect>,
+    scratch: &mut DecodeScratch,
+) -> Result<(), DecodeError> {
+    dwt::subband_rects_into(w, h, encoded.levels, rects);
+    if encoded.subbands.len() != rects.len() {
+        return Err(DecodeError::Malformed {
+            reason: format!(
+                "EPC2 stream lists {} subbands, geometry has {}",
+                encoded.subbands.len(),
+                rects.len()
+            ),
+        });
+    }
+    dwt::subband_rects_into(rw, rh, keep, rects);
     let payload = &encoded.payload[..];
+    let step = encoded.quant_step;
     let mut start = 0usize;
     for (rect, chunk) in rects.iter().zip(&encoded.subbands) {
+        if chunk.planes > MAX_PLANES {
+            return Err(DecodeError::TooManyPlanes {
+                planes: chunk.planes,
+            });
+        }
+        if chunk.offsets.windows(2).any(|o| o[0] > o[1]) {
+            return Err(DecodeError::Malformed {
+                reason: "EPC2 chunk offsets not monotone".to_owned(),
+            });
+        }
         let chunk_len = chunk.len();
         let lo = start.min(payload.len());
         let hi = (start + chunk_len).min(payload.len());
@@ -848,23 +1099,34 @@ fn decode_epc2_coefficients(encoded: &EncodedImage, w: usize, h: usize) -> Vec<f
             continue;
         }
         let slice = &payload[lo..hi];
+        scratch.payload_bytes_read += slice.len();
         let available = chunk
             .offsets
             .iter()
             .take_while(|&&o| o as usize <= slice.len())
             .count();
-        let quantized = decode_planes_v2(slice, rect.count(), rect.w, chunk.planes, &chunk.offsets);
+        decode_planes_v2_with(
+            slice,
+            rect.count(),
+            rect.w,
+            chunk.planes,
+            &chunk.offsets,
+            scratch,
+        );
         let total_passes = chunk.planes as usize * 2;
         let lowest_plane = chunk.planes as usize - available.min(total_passes).div_ceil(2);
         let bias = reconstruction_bias(encoded, lowest_plane);
-        for (r, row) in quantized.chunks_exact(rect.w).enumerate() {
-            let base = (rect.y0 + r) * w + rect.x0;
-            for (dst, &q) in data[base..base + rect.w].iter_mut().zip(row) {
+        let DecodeScratch {
+            quantized, coeffs, ..
+        } = &mut *scratch;
+        for (r, row) in quantized[..rect.count()].chunks_exact(rect.w).enumerate() {
+            let base = (rect.y0 + r) * rw + rect.x0;
+            for (dst, &q) in coeffs[base..base + rect.w].iter_mut().zip(row) {
                 *dst = dequantize(q, bias, step);
             }
         }
     }
-    data
+    Ok(())
 }
 
 #[cfg(test)]
@@ -891,7 +1153,7 @@ mod tests {
         // does this in the pipeline).
         let img = natural_image(64, 64, 1).map(|v| (v * 4095.0).round() / 4095.0);
         let enc = encode(&img, &CodecConfig::lossless()).unwrap();
-        let dec = decode(&enc);
+        let dec = decode(&enc).unwrap();
         let max_err = img
             .as_slice()
             .iter()
@@ -905,7 +1167,7 @@ mod tests {
     fn lossy_full_rate_is_high_quality() {
         let img = natural_image(128, 128, 2);
         let enc = encode(&img, &CodecConfig::lossy()).unwrap();
-        let dec = decode(&enc);
+        let dec = decode(&enc).unwrap();
         let q = psnr(&img, &dec).unwrap();
         assert!(q > 45.0, "full-rate PSNR {q}");
     }
@@ -918,7 +1180,7 @@ mod tests {
         let mut last_psnr = 0.0;
         for r in rates {
             let budget = (full.payload_len() as f64 * r) as usize;
-            let dec = decode(&full.truncated(budget));
+            let dec = decode(&full.truncated(budget)).unwrap();
             let q = psnr(&img, &dec).unwrap();
             assert!(
                 q >= last_psnr - 0.3,
@@ -948,7 +1210,7 @@ mod tests {
         let enc = encode(&img, &CodecConfig::lossy()).unwrap();
         let none = enc.with_layers(0);
         assert_eq!(none.payload_len(), 0);
-        let dec = decode(&none);
+        let dec = decode(&none).unwrap();
         assert_eq!(dec.dimensions(), (64, 64));
     }
 
@@ -958,7 +1220,7 @@ mod tests {
         let enc = encode(&img, &CodecConfig::lossy()).unwrap();
         let mut last = -1.0;
         for layers in [2, 6, 10, enc.layer_count()] {
-            let dec = decode(&enc.with_layers(layers));
+            let dec = decode(&enc.with_layers(layers)).unwrap();
             let q = psnr(&img, &dec).unwrap();
             assert!(q >= last - 0.3, "layers {layers}: {q} < {last}");
             last = q;
@@ -973,7 +1235,10 @@ mod tests {
         assert_eq!(bytes.len(), enc.size_bytes());
         let parsed = EncodedImage::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, enc);
-        assert_eq!(decode(&parsed).as_slice(), decode(&enc).as_slice());
+        assert_eq!(
+            decode(&parsed).unwrap().as_slice(),
+            decode(&enc).unwrap().as_slice()
+        );
     }
 
     #[test]
@@ -999,7 +1264,7 @@ mod tests {
     fn odd_dimensions_roundtrip() {
         let img = natural_image(67, 41, 9);
         let enc = encode(&img, &CodecConfig::lossy()).unwrap();
-        let dec = decode(&enc);
+        let dec = decode(&enc).unwrap();
         assert_eq!(dec.dimensions(), (67, 41));
         assert!(psnr(&img, &dec).unwrap() > 40.0);
     }
@@ -1014,7 +1279,7 @@ mod tests {
         let mut budget = enc.payload_len();
         loop {
             let half = budget / 2;
-            let dec = decode(&enc.truncated(half));
+            let dec = decode(&enc.truncated(half)).unwrap();
             if psnr(&img, &dec).unwrap() < 35.0 {
                 break;
             }

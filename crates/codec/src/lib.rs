@@ -30,7 +30,7 @@
 //! let image = Raster::from_fn(64, 64, |x, y| ((x ^ y) % 61) as f32 / 61.0);
 //! let encoded = encode_with_budget(&image, &CodecConfig::lossy(), 1024)?;
 //! assert!(encoded.payload_len() <= 1024);
-//! let reconstructed = decode(&encoded);
+//! let reconstructed = decode(&encoded)?;
 //! assert_eq!(reconstructed.dimensions(), (64, 64));
 //! # Ok(())
 //! # }
@@ -52,11 +52,12 @@ pub mod scratch;
 
 pub use dwt::{subband_rects, SubbandRect, Wavelet};
 pub use image_codec::{
-    decode, encode, encode_view, encode_view_with_budget, encode_with_budget, CodecConfig,
-    EncodedImage, FormatVersion, SubbandChunk,
+    decode, decode_into, decode_level_limited, decode_ll_only, decode_with_scratch, encode,
+    encode_view, encode_view_with_budget, encode_with_budget, CodecConfig, EncodedImage,
+    FormatVersion, SubbandChunk, MAX_PIXELS,
 };
 pub use roi::{encode_roi, encode_roi_with_scratch, tile_budget_bytes, EncodedTile, RoiBitstream};
-pub use scratch::CodecScratch;
+pub use scratch::{CodecScratch, DecodeScratch};
 
 use std::error::Error;
 use std::fmt;
@@ -67,6 +68,14 @@ use std::fmt;
 pub enum CodecError {
     /// The input raster has zero pixels.
     EmptyImage,
+    /// The input raster exceeds the codec's pixel bound
+    /// ([`image_codec::MAX_PIXELS`]): the decoder rejects headers past the
+    /// bound (they size its allocations), so the encoder refuses to
+    /// produce a stream it could not decode back.
+    TooLarge {
+        /// Pixel count of the rejected input.
+        pixels: u64,
+    },
     /// A bitstream failed validation during parsing or decoding.
     Malformed {
         /// What was wrong with it.
@@ -78,12 +87,81 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::EmptyImage => write!(f, "cannot encode an empty image"),
+            CodecError::TooLarge { pixels } => {
+                write!(
+                    f,
+                    "image of {pixels} pixels exceeds the codec bound of {} pixels",
+                    image_codec::MAX_PIXELS
+                )
+            }
             CodecError::Malformed { reason } => write!(f, "malformed bitstream: {reason}"),
         }
     }
 }
 
 impl Error for CodecError {}
+
+/// Errors produced by the decode paths.
+///
+/// Decoding used to panic (or, in release builds, shift out of range) on
+/// headers whose metadata disagreed with the stream geometry; every such
+/// condition is now a typed error. Truncation is *not* an error — embedded
+/// streams decode whatever passes survive — so these only fire on
+/// metadata that no encoder emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The header's decomposition depth exceeds the maximum the stream's
+    /// dimensions admit.
+    TooManyLevels {
+        /// Levels the header claims.
+        levels: u8,
+        /// Maximum valid depth for the stream's dimensions.
+        max: u8,
+    },
+    /// A magnitude-plane count (global or per subband chunk) exceeds
+    /// [`bitplane::MAX_PLANES`].
+    TooManyPlanes {
+        /// Planes the header claims.
+        planes: u8,
+    },
+    /// Header metadata is inconsistent with the stream geometry.
+    Malformed {
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TooManyLevels { levels, max } => {
+                write!(
+                    f,
+                    "stream claims {levels} DWT levels, geometry admits {max}"
+                )
+            }
+            DecodeError::TooManyPlanes { planes } => {
+                write!(
+                    f,
+                    "stream claims {planes} magnitude planes, maximum is {}",
+                    bitplane::MAX_PLANES
+                )
+            }
+            DecodeError::Malformed { reason } => write!(f, "malformed bitstream: {reason}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl From<DecodeError> for CodecError {
+    fn from(e: DecodeError) -> Self {
+        CodecError::Malformed {
+            reason: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 pub(crate) mod test_util {

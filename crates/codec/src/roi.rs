@@ -13,8 +13,8 @@
 //! trades off between downlink bandwidth and the quality of downloaded
 //! imagery" (§5).
 
-use crate::image_codec::{decode, encode_view_with_budget, CodecConfig, EncodedImage};
-use crate::scratch::CodecScratch;
+use crate::image_codec::{decode_with_scratch, encode_view_with_budget, CodecConfig, EncodedImage};
+use crate::scratch::{CodecScratch, DecodeScratch};
 use crate::CodecError;
 use earthplus_raster::{Raster, TileGrid, TileIndex, TileMask};
 
@@ -168,10 +168,31 @@ impl RoiBitstream {
 
     /// Decodes every tile to `(tile index, raster)` pairs.
     ///
+    /// Allocates a fresh [`DecodeScratch`] per call; per-capture hot paths
+    /// should hold one arena and use
+    /// [`RoiBitstream::decode_tiles_with_scratch`].
+    ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Malformed`] if a tile index exceeds the grid.
+    /// Returns [`CodecError::Malformed`] if a tile index exceeds the grid
+    /// or a tile stream fails to decode.
     pub fn decode_tiles(&self) -> Result<Vec<(TileIndex, Raster)>, CodecError> {
+        self.decode_tiles_with_scratch(&mut DecodeScratch::new())
+    }
+
+    /// Decodes every tile through a reusable [`DecodeScratch`] arena:
+    /// coefficient planes, traversal lists, and inverse-DWT buffers are
+    /// reused across tiles (and across captures when the caller keeps the
+    /// arena), so steady-state tile decoding allocates only the returned
+    /// rasters.
+    ///
+    /// # Errors
+    ///
+    /// As [`RoiBitstream::decode_tiles`].
+    pub fn decode_tiles_with_scratch(
+        &self,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Vec<(TileIndex, Raster)>, CodecError> {
         let grid = self.grid()?;
         self.tiles
             .iter()
@@ -182,7 +203,8 @@ impl RoiBitstream {
                         reason: format!("tile index {flat} out of range"),
                     });
                 }
-                Ok((grid.from_flat_index(flat), decode(&t.image)))
+                let tile = decode_with_scratch(&t.image, scratch)?;
+                Ok((grid.from_flat_index(flat), tile))
             })
             .collect()
     }
@@ -192,9 +214,25 @@ impl RoiBitstream {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Malformed`] on dimension mismatch or a bad
-    /// tile index.
+    /// Returns [`CodecError::Malformed`] on dimension mismatch, a bad tile
+    /// index, or a tile stream that fails to decode.
     pub fn patch_into(&self, canvas: &mut Raster) -> Result<(), CodecError> {
+        self.patch_into_with_scratch(canvas, &mut DecodeScratch::new())
+    }
+
+    /// [`RoiBitstream::patch_into`] through a reusable [`DecodeScratch`]
+    /// arena: one decode-and-blit per tile with zero steady-state scratch
+    /// allocation (each tile is decoded into a raster reused across the
+    /// loop via [`Raster::reset`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RoiBitstream::patch_into`].
+    pub fn patch_into_with_scratch(
+        &self,
+        canvas: &mut Raster,
+        scratch: &mut DecodeScratch,
+    ) -> Result<(), CodecError> {
         if canvas.dimensions() != (self.width as usize, self.height as usize) {
             return Err(CodecError::Malformed {
                 reason: format!(
@@ -207,8 +245,16 @@ impl RoiBitstream {
             });
         }
         let grid = self.grid()?;
-        for (index, tile) in self.decode_tiles()? {
-            grid.insert_tile(canvas, index, &tile)
+        let mut tile = Raster::new(0, 0);
+        for t in &self.tiles {
+            let flat = t.flat_index as usize;
+            if flat >= grid.tile_count() {
+                return Err(CodecError::Malformed {
+                    reason: format!("tile index {flat} out of range"),
+                });
+            }
+            crate::image_codec::decode_into(&t.image, 0, scratch, &mut tile)?;
+            grid.insert_tile(canvas, grid.from_flat_index(flat), &tile)
                 .map_err(|e| CodecError::Malformed {
                     reason: e.to_string(),
                 })?;

@@ -107,6 +107,113 @@ impl CodecScratch {
     }
 }
 
+/// Reusable buffers for the decode path: seek → bitplane-decode →
+/// dequantize → inverse-DWT.
+///
+/// The decode side used to allocate everything per call — a coefficient
+/// plane, per-subband quantized vectors, six traversal lists, and two
+/// inverse-DWT scratch lines. A [`DecodeScratch`] owns all of that once;
+/// threaded through [`decode_with_scratch`](crate::decode_with_scratch),
+/// [`decode_into`](crate::decode_into), and the partial-decode entry
+/// points it persists across tiles and captures, so the steady-state
+/// decode path performs no scratch allocation (the only remaining
+/// allocation is a returned raster, which must be owned — `decode_into`
+/// avoids even that).
+///
+/// Growth accounting mirrors [`CodecScratch`]: [`DecodeScratch::grow_events`]
+/// increments whenever any buffer's capacity increases, which is how the
+/// tests assert "the second capture allocates no new decode scratch".
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Dequantized coefficient plane of the (possibly reduced) output
+    /// geometry; transformed in place by the inverse DWT.
+    pub(crate) coeffs: Vec<f32>,
+    /// Decoded quantized coefficients (whole plane for EPC1, one subband
+    /// chunk at a time for EPC2).
+    pub(crate) quantized: Vec<i32>,
+    /// Line buffer for the inverse-DWT lifting passes.
+    pub(crate) dwt_line: Vec<f32>,
+    /// Planar buffer for the inverse-DWT interleave.
+    pub(crate) dwt_planar: Vec<f32>,
+    /// Per-coefficient significant-neighbour count (EPC2 list decoder).
+    pub(crate) ctx_of: Vec<u8>,
+    /// Dense significance map (EPC1 decoder).
+    pub(crate) sig: Vec<bool>,
+    /// Decoded sign per coefficient.
+    pub(crate) neg: Vec<bool>,
+    /// Decoded magnitude bits per coefficient.
+    pub(crate) mag: Vec<u32>,
+    /// Not-yet-significant coefficient indices, ascending (EPC2).
+    pub(crate) insig: Vec<u32>,
+    /// The next plane's `insig` list, built during the pass (EPC2).
+    pub(crate) next_insig: Vec<u32>,
+    /// Significant coefficient indices in refinement order.
+    pub(crate) sig_list: Vec<u32>,
+    /// Merge buffer for maintaining `sig_list` in ascending order.
+    pub(crate) merged: Vec<u32>,
+    /// Indices that became significant in the current plane.
+    pub(crate) newly: Vec<u32>,
+    /// Subband rectangles of the stream being decoded (EPC2).
+    pub(crate) sb_rects: Vec<crate::dwt::SubbandRect>,
+    /// Payload bytes the last decode call handed to the bitplane decoders
+    /// — the byte-access counter the seek tests assert against (an
+    /// LL-only decode of an EPC2 stream must never touch bytes past the
+    /// LL chunk).
+    pub(crate) payload_bytes_read: usize,
+    /// Capacity sum observed after the previous decode call.
+    last_capacity: usize,
+    grow_events: u64,
+}
+
+impl DecodeScratch {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently reserved across all scratch buffers.
+    pub fn reserved_bytes(&self) -> usize {
+        self.coeffs.capacity() * std::mem::size_of::<f32>()
+            + self.quantized.capacity() * std::mem::size_of::<i32>()
+            + self.dwt_line.capacity() * std::mem::size_of::<f32>()
+            + self.dwt_planar.capacity() * std::mem::size_of::<f32>()
+            + self.ctx_of.capacity()
+            + self.sig.capacity()
+            + self.neg.capacity()
+            + self.mag.capacity() * std::mem::size_of::<u32>()
+            + self.insig.capacity() * std::mem::size_of::<u32>()
+            + self.next_insig.capacity() * std::mem::size_of::<u32>()
+            + self.sig_list.capacity() * std::mem::size_of::<u32>()
+            + self.merged.capacity() * std::mem::size_of::<u32>()
+            + self.newly.capacity() * std::mem::size_of::<u32>()
+            + self.sb_rects.capacity() * std::mem::size_of::<crate::dwt::SubbandRect>()
+    }
+
+    /// How many decode calls had to grow at least one buffer. Stable
+    /// across two identical workloads ⇔ the second one allocated no
+    /// scratch.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Payload bytes the most recent decode call actually read (sliced
+    /// for the bitplane decoders). An EPC2 partial decode seeks only the
+    /// chunks it needs, so this is bounded by the kept chunks' lengths —
+    /// the property the byte-access tests pin down.
+    pub fn payload_bytes_read(&self) -> usize {
+        self.payload_bytes_read
+    }
+
+    /// Called at the end of every decode to account for buffer growth.
+    pub(crate) fn track_growth(&mut self) {
+        let now = self.reserved_bytes();
+        if now > self.last_capacity {
+            self.grow_events += 1;
+            self.last_capacity = now;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +233,21 @@ mod tests {
         s.track_growth();
         assert_eq!(s.grow_events(), 2);
         assert!(s.reserved_bytes() >= 1024 * 4 + 4096);
+    }
+
+    #[test]
+    fn decode_growth_accounting_settles() {
+        let mut s = DecodeScratch::new();
+        assert_eq!(s.grow_events(), 0);
+        s.coeffs.reserve(512);
+        s.track_growth();
+        assert_eq!(s.grow_events(), 1);
+        s.coeffs.clear();
+        s.track_growth();
+        assert_eq!(s.grow_events(), 1);
+        s.mag.reserve(512);
+        s.track_growth();
+        assert_eq!(s.grow_events(), 2);
+        assert!(s.reserved_bytes() >= 512 * 4 * 2);
     }
 }

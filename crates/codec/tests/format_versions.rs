@@ -66,7 +66,7 @@ fn epc1_streams_still_encode_and_decode() {
     let enc = encode(&img, &epc1()).unwrap();
     assert_eq!(enc.format(), FormatVersion::Epc1);
     assert_eq!(enc.to_bytes()[4], 1, "version byte");
-    let q = psnr(&img, &decode(&enc)).unwrap();
+    let q = psnr(&img, &decode(&enc).unwrap()).unwrap();
     assert!(q > 45.0, "EPC1 full-rate PSNR {q}");
 }
 
@@ -80,8 +80,8 @@ fn cross_version_serialization_roundtrip() {
         let parsed = EncodedImage::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, enc, "{:?}", config.format);
         assert_eq!(
-            decode(&parsed).as_slice(),
-            decode(&enc).as_slice(),
+            decode(&parsed).unwrap().as_slice(),
+            decode(&enc).unwrap().as_slice(),
             "{:?}",
             config.format
         );
@@ -93,7 +93,7 @@ fn epc2_lossless_roundtrips_bit_exact() {
     let img = natural_image(67, 41, 4).map(|v| (v * 4095.0).round() / 4095.0);
     let config = CodecConfig::lossless().with_format(FormatVersion::Epc2);
     let enc = encode(&img, &config).unwrap();
-    let dec = decode(&enc);
+    let dec = decode(&enc).unwrap();
     let max_err = img
         .as_slice()
         .iter()
@@ -112,8 +112,8 @@ fn epc2_handles_all_zero_subbands_without_chunk_misalignment() {
     // few bytes — those must not enter the payload, or every later
     // chunk's derived start shifts and the decode collapses.
     let img = Raster::from_fn(64, 64, |x, _| if x % 2 == 0 { 0.25 } else { 0.75 });
-    let q1 = psnr(&img, &decode(&encode(&img, &epc1()).unwrap())).unwrap();
-    let q2 = psnr(&img, &decode(&encode(&img, &epc2()).unwrap())).unwrap();
+    let q1 = psnr(&img, &decode(&encode(&img, &epc1()).unwrap()).unwrap()).unwrap();
+    let q2 = psnr(&img, &decode(&encode(&img, &epc2()).unwrap()).unwrap()).unwrap();
     assert!(
         (q1 - q2).abs() < 0.01,
         "EPC2 diverged on zero subbands: EPC1 {q1} dB vs EPC2 {q2} dB"
@@ -125,8 +125,8 @@ fn epc2_handles_all_zero_subbands_without_chunk_misalignment() {
         Raster::from_fn(64, 64, |_, y| if y % 2 == 0 { 0.2 } else { 0.8 }),
     ] {
         let enc = encode(&img, &epc2()).unwrap();
-        let dec = decode(&enc);
-        let e1 = decode(&encode(&img, &epc1()).unwrap());
+        let dec = decode(&enc).unwrap();
+        let e1 = decode(&encode(&img, &epc1()).unwrap()).unwrap();
         let max_diff = e1
             .as_slice()
             .iter()
@@ -160,8 +160,8 @@ fn from_bytes_rejects_corrupt_levels_byte_without_panicking() {
 #[test]
 fn both_formats_decode_to_equivalent_quality_at_full_rate() {
     let img = natural_image(128, 128, 5);
-    let q1 = psnr(&img, &decode(&encode(&img, &epc1()).unwrap())).unwrap();
-    let q2 = psnr(&img, &decode(&encode(&img, &epc2()).unwrap())).unwrap();
+    let q1 = psnr(&img, &decode(&encode(&img, &epc1()).unwrap()).unwrap()).unwrap();
+    let q2 = psnr(&img, &decode(&encode(&img, &epc2()).unwrap()).unwrap()).unwrap();
     // Same quantizer, same transform: full-rate reconstructions match to
     // within float noise of the identical dequantized coefficients.
     assert!((q1 - q2).abs() < 0.01, "EPC1 {q1} dB vs EPC2 {q2} dB");
@@ -205,7 +205,10 @@ fn truncation_is_idempotent_and_metadata_consistent() {
                 // …and the cut stream round-trips through serialization.
                 let parsed = EncodedImage::from_bytes(&t.to_bytes()).unwrap();
                 assert_eq!(parsed, t);
-                assert_eq!(decode(&parsed).as_slice(), decode(&t).as_slice());
+                assert_eq!(
+                    decode(&parsed).unwrap().as_slice(),
+                    decode(&t).unwrap().as_slice()
+                );
             }
         }
     }
@@ -235,7 +238,7 @@ fn with_layers_clamps_metadata_for_both_formats() {
         // More layers never hurt.
         let mut last = -1.0;
         for layers in [2, total / 2, total] {
-            let q = psnr(&img, &decode(&enc.with_layers(layers))).unwrap();
+            let q = psnr(&img, &decode(&enc.with_layers(layers)).unwrap()).unwrap();
             assert!(q >= last - 0.3, "{:?}: {q} after {last}", config.format);
             last = q;
         }
@@ -249,7 +252,7 @@ fn epc2_rate_distortion_is_monotone() {
     let mut last = 0.0;
     for rate in [0.1, 0.25, 0.5, 1.0f64] {
         let budget = (full.payload_len() as f64 * rate) as usize;
-        let q = psnr(&img, &decode(&full.truncated(budget))).unwrap();
+        let q = psnr(&img, &decode(&full.truncated(budget)).unwrap()).unwrap();
         assert!(q >= last - 0.3, "rate {rate}: {q} dB after {last} dB");
         last = q;
     }

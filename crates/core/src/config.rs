@@ -109,7 +109,7 @@ impl EarthPlusConfig {
         EarthPlusConfig {
             tile_size: 64,
             theta: 0.01,
-            reference_downsample: 51,
+            reference_downsample: earthplus_ground::DEFAULT_REFERENCE_DOWNSAMPLE,
             gamma_bpp: 1.0,
             cloud_drop_threshold: 0.5,
             reference_cloud_max: 0.01,
@@ -199,6 +199,11 @@ mod tests {
         assert_eq!(c.tile_size, 64);
         assert_eq!(c.theta, 0.01);
         assert_eq!(c.reference_downsample, 51);
+        assert_eq!(
+            c.reference_downsample,
+            earthplus_ground::DEFAULT_REFERENCE_DOWNSAMPLE,
+            "paper config must track the shared ground constant"
+        );
         assert_eq!(c.guaranteed_period_days, 30.0);
         // 2601x pixel reduction (Appendix A).
         assert_eq!(c.reference_downsample * c.reference_downsample, 2601);

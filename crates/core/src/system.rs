@@ -24,7 +24,7 @@ use crate::strategy::{
 };
 use crate::uplink::UplinkReport;
 use earthplus_cloud::OnboardCloudDetector;
-use earthplus_codec::{encode_roi_with_scratch, CodecConfig, CodecScratch};
+use earthplus_codec::{encode_roi_with_scratch, CodecConfig, CodecScratch, DecodeScratch};
 use earthplus_ground::{ContactWindow, GroundService, GroundServiceConfig};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{psnr_from_mse, Band, LocationId, TileGrid, TileMask};
@@ -42,6 +42,9 @@ pub struct EarthPlusStrategy {
     // Reusable encoder arena: persists across tiles, bands, and captures,
     // so the steady-state encode path allocates no scratch at all.
     codec_scratch: CodecScratch,
+    // Reusable decoder arena for the ground-side tile decode (step 6):
+    // same steady-state contract as the encode arena.
+    decode_scratch: DecodeScratch,
     cloud_detector: OnboardCloudDetector,
     change_detector: ChangeDetector,
     // The ground segment: sharded store + pass scheduler + cache models.
@@ -82,6 +85,7 @@ impl EarthPlusStrategy {
             change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
             codec: CodecConfig::lossy().with_format(config.codec_format),
             codec_scratch: CodecScratch::new(),
+            decode_scratch: DecodeScratch::new(),
             config,
             cloud_detector,
             service,
@@ -106,6 +110,12 @@ impl EarthPlusStrategy {
     /// the perf baseline).
     pub fn codec_scratch(&self) -> &CodecScratch {
         &self.codec_scratch
+    }
+
+    /// The decoder scratch arena used by the ground-side tile decode (for
+    /// allocation accounting in tests and the perf baseline).
+    pub fn decode_scratch(&self) -> &DecodeScratch {
+        &self.decode_scratch
     }
 }
 
@@ -256,7 +266,10 @@ impl CompressionStrategy for EarthPlusStrategy {
             } else {
                 alignment.gain
             };
-            for (index, tile) in roi.decode_tiles().expect("self-produced bitstream") {
+            for (index, tile) in roi
+                .decode_tiles_with_scratch(&mut self.decode_scratch)
+                .expect("self-produced bitstream")
+            {
                 let normalized = if fresh_canonical {
                     tile
                 } else {

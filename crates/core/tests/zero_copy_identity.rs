@@ -160,8 +160,8 @@ fn golden_epc2_full_encode_roundtrips_bit_exact() {
     // same transform).
     let parsed = earthplus_codec::EncodedImage::from_bytes(&full.to_bytes()).unwrap();
     assert_eq!(parsed, full);
-    let epc2_dec = decode(&parsed);
-    let epc1_dec = decode(&earthplus_codec::encode(red, &epc1_lossy()).unwrap());
+    let epc2_dec = decode(&parsed).unwrap();
+    let epc1_dec = decode(&earthplus_codec::encode(red, &epc1_lossy()).unwrap()).unwrap();
     let max_err = epc1_dec
         .as_slice()
         .iter()
@@ -293,7 +293,13 @@ fn second_capture_allocates_no_new_scratch() {
     strategy.on_ground_contact(SatelliteId(0), 56.0, 20_000_000);
     let after_first = strategy.codec_scratch().grow_events();
     assert!(after_first > 0, "first capture must have sized the arena");
+    let decode_after_first = strategy.decode_scratch().grow_events();
+    assert!(
+        decode_after_first > 0,
+        "first capture must have sized the decode arena"
+    );
     let reserved = strategy.codec_scratch().reserved_bytes();
+    let decode_reserved = strategy.decode_scratch().reserved_bytes();
     strategy.on_capture(&CaptureContext {
         day: 60.0,
         satellite: SatelliteId(0),
@@ -306,4 +312,10 @@ fn second_capture_allocates_no_new_scratch() {
         "steady-state capture grew the codec scratch arena"
     );
     assert_eq!(strategy.codec_scratch().reserved_bytes(), reserved);
+    assert_eq!(
+        strategy.decode_scratch().grow_events(),
+        decode_after_first,
+        "steady-state capture grew the decode scratch arena"
+    );
+    assert_eq!(strategy.decode_scratch().reserved_bytes(), decode_reserved);
 }

@@ -70,7 +70,10 @@ pub use backend::ReferenceBackend;
 pub use cache::{CacheStats, EvictingReferenceCache, EvictionPolicy};
 pub use earthplus_refstore::{RecoveryReport, RefLogConfig};
 pub use persistent::{PersistentReferenceStore, PersistentStoreStats};
-pub use reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
+pub use reference::{
+    OnboardReferenceCache, ReferenceFromEncodedError, ReferenceImage, ReferencePool,
+    DEFAULT_REFERENCE_DOWNSAMPLE,
+};
 pub use scheduler::{ConstellationScheduler, ContactWindow};
 pub use service::{GroundService, GroundServiceConfig, GroundServiceStats, ReferenceBackendConfig};
 pub use store::{shard_index, IngestReport, ShardedReferenceStore};

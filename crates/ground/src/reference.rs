@@ -1,8 +1,48 @@
 //! Reference images, the ground-side reference pool, and the on-board
 //! reference cache.
 
+use earthplus_codec::{decode_level_limited, DecodeError, DecodeScratch, EncodedImage};
 use earthplus_raster::{downsample_box, Band, LocationId, Raster, RasterError};
 use std::collections::HashMap;
+
+/// The paper's per-axis reference downsampling factor (51 per axis ⇒
+/// 2601× fewer pixels, Appendix A). The single shared constant behind
+/// `EarthPlusConfig::paper()`, the ground-service default, and the
+/// uplink-ratio tests — change it here and every consumer tracks it.
+pub const DEFAULT_REFERENCE_DOWNSAMPLE: usize = 51;
+
+/// Why a reference could not be built from an encoded capture.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReferenceFromEncodedError {
+    /// The encoded stream failed to decode.
+    Decode(DecodeError),
+    /// The decoded geometry could not be resampled to the reference grid.
+    Resample(RasterError),
+}
+
+impl std::fmt::Display for ReferenceFromEncodedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReferenceFromEncodedError::Decode(e) => write!(f, "decode failed: {e}"),
+            ReferenceFromEncodedError::Resample(e) => write!(f, "resample failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReferenceFromEncodedError {}
+
+impl From<DecodeError> for ReferenceFromEncodedError {
+    fn from(e: DecodeError) -> Self {
+        ReferenceFromEncodedError::Decode(e)
+    }
+}
+
+impl From<RasterError> for ReferenceFromEncodedError {
+    fn from(e: RasterError) -> Self {
+        ReferenceFromEncodedError::Resample(e)
+    }
+}
 
 /// A (downsampled) reference image for one band of one location.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +89,70 @@ impl ReferenceImage {
             downsample: factor,
             full_width: full.width(),
             full_height: full.height(),
+        })
+    }
+
+    /// Builds a reference straight from an archived *encoded* capture,
+    /// without materializing the full frame: only the coarse subband
+    /// chunks needed for the reference resolution are decoded (the LL
+    /// band alone at the paper's 51× operating point — on EPC2 that reads
+    /// one chunk of the payload), then the low-pass raster is resampled
+    /// onto the box-downsample grid.
+    ///
+    /// The result carries the same `downsample` factor and lowres
+    /// geometry as [`ReferenceImage::from_capture`] on the decoded frame,
+    /// so change detection compares captures against it with the exact
+    /// same shrink factor. Content matches the full-decode path to within
+    /// the wavelet-vs-box filter difference (the phase offset between LL
+    /// samples at `stride·i` and block centres is corrected here by
+    /// bilinear resampling at the block-centre positions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a malformed stream and resampling
+    /// errors (e.g. an empty capture).
+    pub fn from_encoded(
+        location: LocationId,
+        band: Band,
+        day: f64,
+        encoded: &EncodedImage,
+        downsample: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Self, ReferenceFromEncodedError> {
+        let full_width = encoded.width() as usize;
+        let full_height = encoded.height() as usize;
+        let factor = downsample.min(full_width).min(full_height).max(1);
+        let out_w = full_width.div_ceil(factor);
+        let out_h = full_height.div_ceil(factor);
+        // Deepest partial decode whose low-pass geometry still covers the
+        // reference grid: never decode finer than the reference needs,
+        // never coarser than it can interpolate from.
+        let mut discard = 0u8;
+        while discard < encoded.levels() {
+            let (rw, rh) = encoded.reduced_dimensions(discard + 1);
+            if rw < out_w || rh < out_h {
+                break;
+            }
+            discard += 1;
+        }
+        let lowpass = decode_level_limited(encoded, discard, scratch)?;
+        let lowres = resample_lowpass_to_box_grid(
+            &lowpass,
+            1usize << discard,
+            factor,
+            full_width,
+            full_height,
+            out_w,
+            out_h,
+        )?;
+        Ok(ReferenceImage {
+            location,
+            band,
+            captured_day: day,
+            lowres,
+            downsample: factor,
+            full_width,
+            full_height,
         })
     }
 
@@ -124,6 +228,59 @@ impl ReferenceImage {
             full_height,
         })
     }
+}
+
+/// Resamples a decoded low-pass band onto the box-downsample grid.
+///
+/// Low-pass sample `i` sits (up to boundary effects) at full-resolution
+/// position `stride·i`, while box-downsampled pixel `j` represents the
+/// mean of full-resolution pixels `[factor·j, min(factor·(j+1), size))` —
+/// centred roughly half a block later. Bilinear interpolation between the
+/// low-pass samples at each block's centre position aligns the two
+/// samplings, so a reference built from a partial decode compares cleanly
+/// against box-downsampled captures.
+#[allow(clippy::too_many_arguments)]
+fn resample_lowpass_to_box_grid(
+    lowpass: &Raster,
+    stride: usize,
+    factor: usize,
+    full_width: usize,
+    full_height: usize,
+    out_w: usize,
+    out_h: usize,
+) -> Result<Raster, RasterError> {
+    if lowpass.is_empty() || out_w == 0 || out_h == 0 {
+        return Err(RasterError::InvalidDimensions {
+            reason: "cannot resample an empty low-pass band".to_owned(),
+        });
+    }
+    let (lw, lh) = lowpass.dimensions();
+    let mut out = Raster::new(out_w, out_h);
+    let max_x = (lw - 1) as f64;
+    let max_y = (lh - 1) as f64;
+    let s = stride as f64;
+    for oy in 0..out_h {
+        let y0 = oy * factor;
+        let y1 = (y0 + factor).min(full_height);
+        let cy = (y0 + y1 - 1) as f64 / 2.0;
+        let fy = (cy / s).clamp(0.0, max_y);
+        let iy = fy.floor() as usize;
+        let jy = (iy + 1).min(lh - 1);
+        let ty = (fy - iy as f64) as f32;
+        for ox in 0..out_w {
+            let x0 = ox * factor;
+            let x1 = (x0 + factor).min(full_width);
+            let cx = (x0 + x1 - 1) as f64 / 2.0;
+            let fx = (cx / s).clamp(0.0, max_x);
+            let ix = fx.floor() as usize;
+            let jx = (ix + 1).min(lw - 1);
+            let tx = (fx - ix as f64) as f32;
+            let top = lowpass.get(ix, iy) * (1.0 - tx) + lowpass.get(jx, iy) * tx;
+            let bot = lowpass.get(ix, jy) * (1.0 - tx) + lowpass.get(jx, jy) * tx;
+            out.set(ox, oy, top * (1.0 - ty) + bot * ty);
+        }
+    }
+    Ok(out)
 }
 
 /// Ground-side pool of the freshest cloud-free reference per
@@ -334,6 +491,83 @@ mod tests {
         cache.apply_delta(LocationId(0), band(), 2.0, &[(10_000_000, 0.9)], None);
         // No panic; day still advanced.
         assert_eq!(cache.get(LocationId(0), band()).unwrap().captured_day, 2.0);
+    }
+
+    #[test]
+    fn from_encoded_matches_from_capture_closely() {
+        // The LL-only ingest path must produce a reference that agrees
+        // with the historical full-decode + box-downsample path: same
+        // geometry, same downsample factor, near-identical content.
+        use earthplus_codec::{decode, encode, CodecConfig};
+        let full = Raster::from_fn(510, 510, |x, y| {
+            let fx = x as f32 / 510.0;
+            let fy = y as f32 / 510.0;
+            (0.45 + 0.3 * (fx * 5.0).sin() * (fy * 4.0).cos()).clamp(0.0, 1.0)
+        });
+        for config in [CodecConfig::lossy(), CodecConfig::lossless()] {
+            let encoded = encode(&full, &config).unwrap();
+            let decoded = decode(&encoded).unwrap();
+            let via_capture = ReferenceImage::from_capture(
+                LocationId(3),
+                band(),
+                4.0,
+                &decoded,
+                DEFAULT_REFERENCE_DOWNSAMPLE,
+            )
+            .unwrap();
+            let mut scratch = earthplus_codec::DecodeScratch::new();
+            let via_encoded = ReferenceImage::from_encoded(
+                LocationId(3),
+                band(),
+                4.0,
+                &encoded,
+                DEFAULT_REFERENCE_DOWNSAMPLE,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(
+                via_encoded.lowres.dimensions(),
+                via_capture.lowres.dimensions()
+            );
+            assert_eq!(via_encoded.downsample, via_capture.downsample);
+            assert_eq!(via_encoded.full_width, 510);
+            assert_eq!(via_encoded.full_height, 510);
+            let mae =
+                earthplus_raster::mean_abs_diff(&via_encoded.lowres, &via_capture.lowres).unwrap();
+            assert!(mae < 0.01, "LL-only reference diverged: MAE {mae}");
+            // And it must never have touched more than the coarse chunks.
+            assert!(
+                scratch.payload_bytes_read() * 4 < encoded.payload_len(),
+                "ingest read {} of {} payload bytes",
+                scratch.payload_bytes_read(),
+                encoded.payload_len()
+            );
+        }
+    }
+
+    #[test]
+    fn from_encoded_handles_tiny_factors_and_images() {
+        use earthplus_codec::{encode, CodecConfig, DecodeScratch};
+        let full = Raster::from_fn(13, 9, |x, y| ((x * 7 + y * 3) % 11) as f32 / 11.0);
+        let encoded = encode(&full, &CodecConfig::lossless()).unwrap();
+        let mut scratch = DecodeScratch::new();
+        for factor in [1usize, 2, 5, 100] {
+            let r = ReferenceImage::from_encoded(
+                LocationId(0),
+                band(),
+                1.0,
+                &encoded,
+                factor,
+                &mut scratch,
+            )
+            .unwrap();
+            let clamped = factor.clamp(1, 9);
+            assert_eq!(r.downsample, clamped);
+            assert_eq!(
+                r.lowres.dimensions(),
+                (13usize.div_ceil(clamped), 9usize.div_ceil(clamped))
+            );
+        }
     }
 
     #[test]

@@ -197,7 +197,7 @@ impl ConstellationScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::ReferenceImage;
+    use crate::reference::{ReferenceImage, DEFAULT_REFERENCE_DOWNSAMPLE};
     use crate::store::ShardedReferenceStore;
     use earthplus_raster::{PlanetBand, Raster};
 
@@ -215,9 +215,9 @@ mod tests {
             band: red(),
             captured_day: day,
             lowres,
-            downsample: 51,
-            full_width: 510,
-            full_height: 510,
+            downsample: DEFAULT_REFERENCE_DOWNSAMPLE,
+            full_width: DEFAULT_REFERENCE_DOWNSAMPLE * 10,
+            full_height: DEFAULT_REFERENCE_DOWNSAMPLE * 10,
         }
     }
 

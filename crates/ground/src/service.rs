@@ -11,10 +11,11 @@
 use crate::backend::ReferenceBackend;
 use crate::cache::{CacheStats, EvictingReferenceCache, EvictionPolicy};
 use crate::persistent::PersistentReferenceStore;
-use crate::reference::ReferenceImage;
+use crate::reference::{ReferenceFromEncodedError, ReferenceImage, DEFAULT_REFERENCE_DOWNSAMPLE};
 use crate::scheduler::{ConstellationScheduler, ContactWindow};
 use crate::store::{IngestReport, ShardedReferenceStore};
 use crate::uplink::UplinkReport;
+use earthplus_codec::{DecodeScratch, EncodedImage};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId};
 use earthplus_refstore::{RecoveryReport, RefLogConfig, RefStoreError};
@@ -61,6 +62,9 @@ pub struct GroundServiceConfig {
     /// The (location, band) pairs the uplink serves; empty means "every
     /// key the store holds".
     pub targets: Vec<(LocationId, Band)>,
+    /// Per-axis downsampling factor for references built from archived
+    /// *encoded* captures ([`GroundService::ingest_encoded`]).
+    pub reference_downsample: usize,
 }
 
 impl Default for GroundServiceConfig {
@@ -73,6 +77,7 @@ impl Default for GroundServiceConfig {
             eviction: EvictionPolicy::default(),
             ingest_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             targets: Vec::new(),
+            reference_downsample: DEFAULT_REFERENCE_DOWNSAMPLE,
         }
     }
 }
@@ -93,6 +98,13 @@ impl GroundServiceConfig {
     /// Sets the delta threshold θ.
     pub fn with_theta(mut self, theta: f32) -> Self {
         self.theta = theta;
+        self
+    }
+
+    /// Sets the per-axis downsampling factor used when building
+    /// references from archived encoded captures.
+    pub fn with_reference_downsample(mut self, factor: usize) -> Self {
+        self.reference_downsample = factor;
         self
     }
 
@@ -137,6 +149,9 @@ pub struct GroundServiceStats {
     pub ingest_accepted: u64,
     /// Downlinked references rejected as stale.
     pub ingest_rejected: u64,
+    /// References built from archived encoded captures (the LL-only
+    /// partial-decode ingest path).
+    pub encoded_ingests: u64,
 }
 
 /// The concurrent ground-segment reference service.
@@ -149,8 +164,14 @@ pub struct GroundService {
     recovery: Option<RecoveryReport>,
     scheduler: ConstellationScheduler,
     caches: Mutex<HashMap<SatelliteId, EvictingReferenceCache>>,
+    /// Pool of decode arenas for the encoded-capture ingest path: each
+    /// ingest pops one (creating it on first use), decodes *outside* the
+    /// lock, and returns it — so concurrent archive backfills decode in
+    /// parallel while steady-state ingest still allocates no scratch.
+    ingest_scratch: Mutex<Vec<DecodeScratch>>,
     ingest_accepted: AtomicU64,
     ingest_rejected: AtomicU64,
+    encoded_ingests: AtomicU64,
     deltas_sent: AtomicU64,
     deltas_skipped: AtomicU64,
     uplink_bytes_sent: AtomicU64,
@@ -192,8 +213,10 @@ impl GroundService {
             recovery,
             scheduler: ConstellationScheduler::new(config.theta),
             caches: Mutex::new(HashMap::new()),
+            ingest_scratch: Mutex::new(Vec::new()),
             ingest_accepted: AtomicU64::new(0),
             ingest_rejected: AtomicU64::new(0),
+            encoded_ingests: AtomicU64::new(0),
             deltas_sent: AtomicU64::new(0),
             deltas_skipped: AtomicU64::new(0),
             uplink_bytes_sent: AtomicU64::new(0),
@@ -238,6 +261,62 @@ impl GroundService {
             self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
         }
         accepted
+    }
+
+    /// Admits one archived *encoded* capture as a reference candidate: the
+    /// low-resolution reference is built straight from the stream's coarse
+    /// subband chunks ([`ReferenceImage::from_encoded`]) — at the default
+    /// 51× operating point that decodes only the LL band, so ingest never
+    /// materializes a full frame. Returns whether the store updated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/resample failures from a malformed or degenerate
+    /// stream; nothing is ingested in that case.
+    pub fn ingest_encoded(
+        &self,
+        location: LocationId,
+        band: Band,
+        day: f64,
+        encoded: &EncodedImage,
+    ) -> Result<bool, ReferenceFromEncodedError> {
+        // Pop an arena and decode outside the lock: concurrent ingests
+        // each get their own scratch instead of serializing on one.
+        let mut scratch = self
+            .ingest_scratch
+            .lock()
+            .expect("ingest scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = ReferenceImage::from_encoded(
+            location,
+            band,
+            day,
+            encoded,
+            self.config.reference_downsample,
+            &mut scratch,
+        );
+        self.ingest_scratch
+            .lock()
+            .expect("ingest scratch pool poisoned")
+            .push(scratch);
+        let reference = result?;
+        self.encoded_ingests.fetch_add(1, Ordering::Relaxed);
+        Ok(self.ingest_downlink(reference))
+    }
+
+    /// Decode-arena growth events of the encoded-capture ingest path,
+    /// summed over the arena pool (see
+    /// [`earthplus_codec::DecodeScratch::grow_events`]): stable across two
+    /// identical ingest workloads ⇔ steady-state ingest allocates no
+    /// decode scratch.
+    pub fn ingest_decode_grow_events(&self) -> u64 {
+        self.ingest_scratch
+            .lock()
+            .expect("ingest scratch pool poisoned")
+            .iter()
+            .map(|s| s.grow_events())
+            .sum()
     }
 
     /// Admits a whole downlink batch in parallel on the configured worker
@@ -354,6 +433,7 @@ impl GroundService {
             uplink_bytes_sent: self.uplink_bytes_sent.load(Ordering::Relaxed),
             ingest_accepted: self.ingest_accepted.load(Ordering::Relaxed),
             ingest_rejected: self.ingest_rejected.load(Ordering::Relaxed),
+            encoded_ingests: self.encoded_ingests.load(Ordering::Relaxed),
         }
     }
 }
@@ -406,6 +486,36 @@ mod tests {
         assert!(service
             .serve_reference(SatelliteId(0), LocationId(1), red())
             .is_some());
+    }
+
+    #[test]
+    fn encoded_ingest_feeds_the_same_pipeline() {
+        let service =
+            GroundService::new(GroundServiceConfig::default().with_reference_downsample(16));
+        let full = Raster::from_fn(128, 128, |x, y| ((x + 2 * y) % 97) as f32 / 97.0);
+        let enc = earthplus_codec::encode(&full, &earthplus_codec::CodecConfig::lossy()).unwrap();
+        assert!(service
+            .ingest_encoded(LocationId(0), red(), 3.0, &enc)
+            .unwrap());
+        // Stale generation rejected by the same freshest-wins rule.
+        assert!(!service
+            .ingest_encoded(LocationId(0), red(), 2.0, &enc)
+            .unwrap());
+        let stats = service.stats();
+        assert_eq!(stats.encoded_ingests, 2);
+        assert_eq!(stats.ingest_accepted, 1);
+        assert_eq!(stats.ingest_rejected, 1);
+        let stored = service.store().get(LocationId(0), red()).unwrap();
+        assert_eq!(stored.downsample, 16);
+        assert_eq!(stored.lowres.dimensions(), (8, 8));
+        // Steady state: further ingests grow no decode scratch.
+        let grow = service.ingest_decode_grow_events();
+        for day in 4..8 {
+            service
+                .ingest_encoded(LocationId(0), red(), day as f64, &enc)
+                .unwrap();
+        }
+        assert_eq!(service.ingest_decode_grow_events(), grow);
     }
 
     #[test]

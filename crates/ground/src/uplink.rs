@@ -198,6 +198,7 @@ impl UplinkPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::DEFAULT_REFERENCE_DOWNSAMPLE;
     use earthplus_raster::{PlanetBand, Raster};
 
     fn band() -> Band {
@@ -205,6 +206,9 @@ mod tests {
     }
 
     fn make_ref(day: f64, pattern: impl Fn(usize) -> f32) -> ReferenceImage {
+        // A 10×10 reference at the shared paper operating point; the
+        // uplink-ratio assertions below track the config constant instead
+        // of a hard-coded 51.
         let mut lowres = Raster::new(10, 10);
         for i in 0..100 {
             lowres.as_mut_slice()[i] = pattern(i);
@@ -214,9 +218,9 @@ mod tests {
             band: band(),
             captured_day: day,
             lowres,
-            downsample: 51,
-            full_width: 510,
-            full_height: 510,
+            downsample: DEFAULT_REFERENCE_DOWNSAMPLE,
+            full_width: DEFAULT_REFERENCE_DOWNSAMPLE * 10,
+            full_height: DEFAULT_REFERENCE_DOWNSAMPLE * 10,
         }
     }
 
@@ -321,7 +325,8 @@ mod tests {
     #[test]
     fn compression_ratio_ladder_matches_figure_17_shape() {
         // uncompressed -> downsampled (2601x) -> + delta updates (>>2601x).
-        let full_px = 510 * 510;
+        let full_side = DEFAULT_REFERENCE_DOWNSAMPLE * 10;
+        let full_px = full_side * full_side;
         let uncompressed_bytes = (full_px * 12 / 8) as u64;
         let old = make_ref(3.0, |i| (i % 7) as f32 / 7.0);
         let new = make_ref(8.0, |i| if i < 5 { 0.95 } else { (i % 7) as f32 / 7.0 });

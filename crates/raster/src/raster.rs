@@ -76,6 +76,26 @@ impl Raster {
         }
     }
 
+    /// Reshapes the raster in place to `width × height`, reusing the
+    /// existing allocation (growing it only when the new geometry is
+    /// larger than anything seen before); every sample is reset to zero.
+    ///
+    /// This is the allocation-reuse seam for decode-into-style APIs that
+    /// repeatedly fill one output raster with varying geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` overflows `usize`.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        let len = width
+            .checked_mul(height)
+            .expect("raster dimensions overflow");
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.width = width;
+        self.height = height;
+    }
+
     /// Creates a raster from a row-major sample vector.
     ///
     /// # Errors
@@ -336,6 +356,20 @@ mod tests {
         let r = Raster::from_fn(3, 2, |x, y| (y * 3 + x) as f32);
         assert_eq!(r.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(r.get(2, 1), 5.0);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_zeroes() {
+        let mut r = Raster::filled(8, 8, 0.7);
+        let cap = r.data.capacity();
+        r.reset(4, 3);
+        assert_eq!(r.dimensions(), (4, 3));
+        assert!(r.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(r.data.capacity(), cap, "shrinking must keep the buffer");
+        r.reset(8, 8);
+        assert_eq!(r.data.capacity(), cap, "regrowing within capacity");
+        r.reset(0, 5);
+        assert_eq!(r.len(), 0);
     }
 
     #[test]

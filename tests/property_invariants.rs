@@ -53,7 +53,7 @@ fn codec_roundtrip_never_panics_and_bounds_error() {
     for case in 0..CASES {
         let img = rng.raster(2, 48);
         let encoded = encode(&img, &CodecConfig::lossy()).unwrap();
-        let decoded = decode(&encoded);
+        let decoded = decode(&encoded).unwrap();
         assert_eq!(decoded.dimensions(), img.dimensions());
         // Full-rate lossy reconstruction stays within a generous error
         // bound on [0,1] data.
@@ -68,11 +68,15 @@ fn codec_truncation_monotone() {
     for case in 0..CASES {
         let img = rng.raster(2, 40);
         let encoded = encode(&img, &CodecConfig::lossy()).unwrap();
-        let full = psnr(&img, &decode(&encoded)).unwrap();
-        let half = psnr(&img, &decode(&encoded.truncated(encoded.payload_len() / 2))).unwrap();
+        let full = psnr(&img, &decode(&encoded).unwrap()).unwrap();
+        let half = psnr(
+            &img,
+            &decode(&encoded.truncated(encoded.payload_len() / 2)).unwrap(),
+        )
+        .unwrap();
         let tenth = psnr(
             &img,
-            &decode(&encoded.truncated(encoded.payload_len() / 10)),
+            &decode(&encoded.truncated(encoded.payload_len() / 10)).unwrap(),
         )
         .unwrap();
         assert!(full + 0.5 >= half, "case {case}: full {full} < half {half}");
@@ -90,7 +94,7 @@ fn lossless_exact_on_12bit_lattice() {
         let img = rng.raster(2, 32);
         let lattice = img.map(|v| (v * 4095.0).round() / 4095.0);
         let encoded = encode(&lattice, &CodecConfig::lossless()).unwrap();
-        let decoded = decode(&encoded);
+        let decoded = decode(&encoded).unwrap();
         for (a, b) in lattice.as_slice().iter().zip(decoded.as_slice()) {
             assert!((a - b).abs() < 0.5 / 4095.0);
         }
