@@ -14,6 +14,8 @@
 //! * `--quick` — fewer samples (CI smoke: proves the emitter works).
 //! * `--out <path>` — where to write the JSON (default
 //!   `BENCH_pipeline.json` in the current directory).
+//! * `--telemetry <path>` — also write the telemetry registry's snapshot
+//!   (the metrics recorded by the instrumented runs) as JSON lines.
 //! * `--check <path>` — after measuring, compare this run's
 //!   `encode_full_band.mpix_per_s` **and** `decode_full.mpix_per_s`
 //!   against the committed baseline at `<path>` and exit non-zero below
@@ -37,6 +39,13 @@
 //! non-zero if the LL-only path is less than
 //! [`DECODE_LL_MIN_SPEEDUP`]× faster, or if either scratch arena grows in
 //! steady state.
+//!
+//! Since the telemetry subsystem the baseline also proves the
+//! instrumentation's hot-path claim: the full-band encode is re-timed
+//! with a live metric registry recording every codec span, interleaved
+//! with the disabled-telemetry arena, and the binary exits non-zero if
+//! the enabled throughput falls below [`TELEMETRY_MIN_RATIO`]× of the
+//! disabled one.
 
 use earthplus::prelude::*;
 use earthplus::{CaptureContext, StageTimings};
@@ -61,6 +70,12 @@ const CHECK_MIN_RATIO: f64 = 0.4;
 /// coefficients).
 const DECODE_LL_MIN_SPEEDUP: f64 = 5.0;
 
+/// Minimum telemetry-enabled encode throughput as a fraction of the
+/// disabled-telemetry throughput, measured interleaved in-process. The
+/// instrumentation is a handful of `SpanTimer`s per tile; anything below
+/// this floor means a hot-path regression, not noise.
+const TELEMETRY_MIN_RATIO: f64 = 0.9;
+
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
     samples[samples.len() / 2]
@@ -79,15 +94,18 @@ fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_pipeline.json");
     let mut check: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out needs a path"),
             "--check" => check = Some(args.next().expect("--check needs a path")),
+            "--telemetry" => telemetry_out = Some(args.next().expect("--telemetry needs a path")),
             other => {
                 eprintln!(
-                    "unknown argument {other:?} (expected --quick / --out <path> / --check <path>)"
+                    "unknown argument {other:?} (expected --quick / --out <path> / \
+                     --check <path> / --telemetry <path>)"
                 );
                 std::process::exit(2);
             }
@@ -249,9 +267,34 @@ fn main() {
     let decode_full_mpix_s = band_mpix / dec_full_s;
     let decode_ll_mpix_s = band_mpix / dec_ll_s;
 
+    // 4. Telemetry overhead: the same full-band EPC2 encode with a live
+    //    registry recording every codec span, interleaved with the
+    //    disabled-telemetry arena so the ratio is load-immune.
+    let registry = MetricsRegistry::new();
+    let mut scratch_on = CodecScratch::new();
+    scratch_on.set_telemetry(&registry.sink());
+    let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch_on)
+        .expect("image matches grid");
+    let (mut tel_on_times, mut tel_off_times, mut tel_ratios) =
+        (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps.max(8) {
+        let t = Instant::now();
+        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch_on);
+        let on = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch);
+        let off = t.elapsed().as_secs_f64();
+        tel_on_times.push(on);
+        tel_off_times.push(off);
+        tel_ratios.push(off / on);
+    }
+    let telemetry_on_s = median(&mut tel_on_times);
+    let telemetry_off_s = median(&mut tel_off_times);
+    let telemetry_ratio = median(&mut tel_ratios);
+
     let json = format!(
         r#"{{
-  "schema": 3,
+  "schema": 4,
   "scenario": "pipeline_runtime quick scene (seed 7, agriculture, {w}x{h}, {bands} bands)",
   "mode": "{mode}",
   "samples": {reps},
@@ -290,6 +333,14 @@ fn main() {
     "output_pixels": {ll_pixels},
     "speedup_vs_full_plus_downsample": {ll_speedup:.3}
   }},
+  "telemetry_overhead": {{
+    "enabled_seconds": {telemetry_on_s:.6},
+    "disabled_seconds": {telemetry_off_s:.6},
+    "enabled_mpix_per_s": {tel_on_rate:.3},
+    "disabled_mpix_per_s": {tel_off_rate:.3},
+    "throughput_ratio": {telemetry_ratio:.3},
+    "min_ratio": {TELEMETRY_MIN_RATIO}
+  }},
   "codec_scratch": {{
     "reserved_bytes": {reserved},
     "steady_state_grow_events": {steady_grow_events}
@@ -302,6 +353,8 @@ fn main() {
 "#,
         mode = if quick { "quick" } else { "full" },
         pipeline_rate = capture_mpix / total_s,
+        tel_on_rate = band_mpix / telemetry_on_s,
+        tel_off_rate = band_mpix / telemetry_off_s,
         tiles = grid.tile_count(),
         reserved = scratch.reserved_bytes(),
         ll_pixels = ll.len(),
@@ -310,6 +363,17 @@ fn main() {
     std::fs::write(&out, &json).expect("write baseline JSON");
     print!("{json}");
     eprintln!("wrote {out}");
+    if let Some(path) = telemetry_out {
+        std::fs::write(&path, registry.snapshot().to_jsonl()).expect("write telemetry snapshot");
+        eprintln!("wrote {path}");
+    }
+    if telemetry_ratio < TELEMETRY_MIN_RATIO {
+        eprintln!(
+            "ERROR: telemetry-enabled encode runs at {telemetry_ratio:.3}x the disabled \
+             throughput (floor {TELEMETRY_MIN_RATIO}x)"
+        );
+        std::process::exit(1);
+    }
     if steady_grow_events != 0 {
         eprintln!("ERROR: codec scratch grew during steady state ({steady_grow_events} events)");
         std::process::exit(1);

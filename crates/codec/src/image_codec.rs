@@ -33,6 +33,7 @@ use crate::scratch::{CodecScratch, DecodeScratch};
 use crate::{CodecError, DecodeError};
 use bytes::{Buf, BufMut, Bytes};
 use earthplus_raster::{Raster, TileView};
+use earthplus_telemetry::SpanTimer;
 
 /// Magic number identifying an encoded image ("EP" wavelet codec).
 const MAGIC: u32 = 0x4550_5743;
@@ -638,6 +639,12 @@ fn encode_view_impl(
             pixels: w as u64 * h as u64,
         });
     }
+    // The span clones its histogram handle, so the borrow of `scratch`
+    // ends immediately; a disabled handle never reads the clock.
+    let _span = SpanTimer::start(match config.format {
+        FormatVersion::Epc1 => &scratch.enc_epc1_ns,
+        FormatVersion::Epc2 => &scratch.enc_epc2_ns,
+    });
     let levels = config.levels.min(dwt::max_levels(w, h));
     let scale = config.input_levels as f32;
     // Gather + scale in one pass (this replaces the old extract-tile copy
@@ -721,6 +728,7 @@ fn encode_view_impl(
         }
         FormatVersion::Epc2 => encode_epc2(w, h, levels, step, config, budget, scratch),
     };
+    scratch.enc_bytes.record(image.payload.len() as u64);
     scratch.track_growth();
     Ok(image)
 }
@@ -919,6 +927,17 @@ pub fn decode_into(
         });
     }
     let k = discard_levels.min(encoded.levels);
+    // Partial decodes (any discarded level, including LL-only) share one
+    // histogram regardless of format; full decodes split per format. The
+    // span clones its handle, so the borrow of `scratch` ends immediately.
+    let _span = SpanTimer::start(if k > 0 {
+        &scratch.dec_partial_ns
+    } else {
+        match encoded.format {
+            FormatVersion::Epc1 => &scratch.dec_epc1_ns,
+            FormatVersion::Epc2 => &scratch.dec_epc2_ns,
+        }
+    });
     let keep = encoded.levels - k;
     let (rw, rh) = dwt::reduced_dims(w, h, k);
     out.reset(rw, rh);

@@ -15,6 +15,13 @@
 //! increments whenever any buffer's capacity increases, which is how the
 //! tests (and `perf_baseline`) assert "the second capture allocates no new
 //! scratch".
+//!
+//! The arenas are also where codec telemetry lives: latency/size histogram
+//! handles are resolved once per arena via `set_telemetry` and consulted by
+//! every encode/decode call threaded through it, keeping the hot path free
+//! of name lookups (a disabled handle costs one pointer check).
+
+use earthplus_telemetry::{names, Histogram, TelemetrySink};
 
 /// Reusable buffers for the DWT → quantize → bitplane → range-code path.
 ///
@@ -61,6 +68,12 @@ pub struct CodecScratch {
     pub(crate) stream: Vec<u8>,
     /// EPC2: the tile's subband rectangles (enumeration reused per tile).
     pub(crate) sb_rects: Vec<crate::dwt::SubbandRect>,
+    /// Per-call EPC1 encode latency span target (disabled by default).
+    pub(crate) enc_epc1_ns: Histogram,
+    /// Per-call EPC2 encode latency span target (disabled by default).
+    pub(crate) enc_epc2_ns: Histogram,
+    /// Encoded payload size per encode call (disabled by default).
+    pub(crate) enc_bytes: Histogram,
     /// Capacity sum observed after the previous encode call.
     last_capacity: usize,
     grow_events: u64,
@@ -95,6 +108,21 @@ impl CodecScratch {
     /// two identical workloads ⇔ the second one allocated no scratch.
     pub fn grow_events(&self) -> u64 {
         self.grow_events
+    }
+
+    /// Wires this arena's encode instrumentation to `sink`: every encode
+    /// call through it then records a per-format latency span
+    /// ([`CODEC_ENCODE_EPC1_NS`](earthplus_telemetry::names::CODEC_ENCODE_EPC1_NS)
+    /// / [`CODEC_ENCODE_EPC2_NS`](earthplus_telemetry::names::CODEC_ENCODE_EPC2_NS))
+    /// and a payload-size sample
+    /// ([`CODEC_ENCODE_BYTES`](earthplus_telemetry::names::CODEC_ENCODE_BYTES)).
+    /// The handles live in the scratch arena — resolved once here, not per
+    /// call — and a disabled sink leaves them as no-ops, so uninstrumented
+    /// encoding pays one pointer check per call.
+    pub fn set_telemetry(&mut self, sink: &TelemetrySink) {
+        self.enc_epc1_ns = sink.histogram(names::CODEC_ENCODE_EPC1_NS);
+        self.enc_epc2_ns = sink.histogram(names::CODEC_ENCODE_EPC2_NS);
+        self.enc_bytes = sink.histogram(names::CODEC_ENCODE_BYTES);
     }
 
     /// Called at the end of every encode to account for buffer growth.
@@ -155,6 +183,13 @@ pub struct DecodeScratch {
     pub(crate) newly: Vec<u32>,
     /// Subband rectangles of the stream being decoded (EPC2).
     pub(crate) sb_rects: Vec<crate::dwt::SubbandRect>,
+    /// Full EPC1 decode latency span target (disabled by default).
+    pub(crate) dec_epc1_ns: Histogram,
+    /// Full EPC2 decode latency span target (disabled by default).
+    pub(crate) dec_epc2_ns: Histogram,
+    /// Partial (level-limited / LL-only) decode latency span target
+    /// (disabled by default).
+    pub(crate) dec_partial_ns: Histogram,
     /// Payload bytes the last decode call handed to the bitplane decoders
     /// — the byte-access counter the seek tests assert against (an
     /// LL-only decode of an EPC2 stream must never touch bytes past the
@@ -196,6 +231,21 @@ impl DecodeScratch {
         self.grow_events
     }
 
+    /// Wires this arena's decode instrumentation to `sink`: every decode
+    /// call through it then records a latency span — per format for full
+    /// decodes
+    /// ([`CODEC_DECODE_EPC1_NS`](earthplus_telemetry::names::CODEC_DECODE_EPC1_NS)
+    /// / [`CODEC_DECODE_EPC2_NS`](earthplus_telemetry::names::CODEC_DECODE_EPC2_NS)),
+    /// and
+    /// [`CODEC_DECODE_PARTIAL_NS`](earthplus_telemetry::names::CODEC_DECODE_PARTIAL_NS)
+    /// for level-limited / LL-only decodes. A disabled sink leaves the
+    /// handles as no-ops.
+    pub fn set_telemetry(&mut self, sink: &TelemetrySink) {
+        self.dec_epc1_ns = sink.histogram(names::CODEC_DECODE_EPC1_NS);
+        self.dec_epc2_ns = sink.histogram(names::CODEC_DECODE_EPC2_NS);
+        self.dec_partial_ns = sink.histogram(names::CODEC_DECODE_PARTIAL_NS);
+    }
+
     /// Payload bytes the most recent decode call actually read (sliced
     /// for the bitplane decoders). An EPC2 partial decode seeks only the
     /// chunks it needs, so this is bounded by the kept chunks' lengths —
@@ -233,6 +283,43 @@ mod tests {
         s.track_growth();
         assert_eq!(s.grow_events(), 2);
         assert!(s.reserved_bytes() >= 1024 * 4 + 4096);
+    }
+
+    #[test]
+    fn telemetry_spans_record_per_format_and_partial() {
+        use crate::{decode_ll_only, decode_with_scratch, encode_view, CodecConfig, FormatVersion};
+        use earthplus_raster::Raster;
+        use earthplus_telemetry::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let mut enc = CodecScratch::new();
+        let mut dec = DecodeScratch::new();
+        enc.set_telemetry(&registry.sink());
+        dec.set_telemetry(&registry.sink());
+
+        let img = Raster::from_fn(16, 16, |x, y| ((x * 7 + y * 3) % 11) as f32 / 11.0);
+        let view = img.view(0, 0, 16, 16);
+        for format in [FormatVersion::Epc1, FormatVersion::Epc2] {
+            let config = CodecConfig {
+                format,
+                ..CodecConfig::default()
+            };
+            let encoded = encode_view(&view, &config, &mut enc).unwrap();
+            decode_with_scratch(&encoded, &mut dec).unwrap();
+            decode_ll_only(&encoded, &mut dec).unwrap();
+        }
+
+        let s = registry.snapshot();
+        assert_eq!(s.histogram(names::CODEC_ENCODE_EPC1_NS).unwrap().count, 1);
+        assert_eq!(s.histogram(names::CODEC_ENCODE_EPC2_NS).unwrap().count, 1);
+        assert_eq!(s.histogram(names::CODEC_ENCODE_BYTES).unwrap().count, 2);
+        assert_eq!(s.histogram(names::CODEC_DECODE_EPC1_NS).unwrap().count, 1);
+        assert_eq!(s.histogram(names::CODEC_DECODE_EPC2_NS).unwrap().count, 1);
+        assert_eq!(
+            s.histogram(names::CODEC_DECODE_PARTIAL_NS).unwrap().count,
+            2
+        );
+        assert!(s.histogram(names::CODEC_ENCODE_BYTES).unwrap().sum > 0);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`baselines`] — Kodan, SatRoI, and Download-Everything;
 //! * [`simulator`] — the mission driver running all strategies on
 //!   identical captures;
-//! * [`metrics`] / [`storage`] — the paper's evaluation metrics.
+//! * [`metrics`] / [`storage`] — the paper's evaluation metrics;
+//! * [`telemetry`] — the mission-level observability rollup
+//!   ([`TelemetryReport`]): per-satellite and constellation-wide stage
+//!   timings, built on [`earthplus_telemetry`] (re-exported here).
 //!
 //! # Example
 //!
@@ -60,6 +63,7 @@ pub mod simulator;
 pub mod storage;
 pub mod strategy;
 pub mod system;
+pub mod telemetry;
 pub mod uplink;
 
 pub use baselines::{DownloadEverythingStrategy, KodanStrategy, SatRoiStrategy};
@@ -70,6 +74,7 @@ pub use earthplus_ground::{
     GroundService, GroundServiceConfig, GroundServiceStats, IngestReport, PersistentReferenceStore,
     ReferenceBackend, ReferenceBackendConfig, ShardedReferenceStore,
 };
+pub use earthplus_telemetry::{MetricsRegistry, Snapshot, TelemetrySink};
 pub use reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
 pub use simulator::{MissionReport, MissionSimulator, SimulationConfig};
 pub use storage::StorageModel;
@@ -78,6 +83,7 @@ pub use strategy::{
     StorageBreakdown,
 };
 pub use system::EarthPlusStrategy;
+pub use telemetry::{StageRollup, TelemetryReport};
 pub use uplink::{compute_delta, ReferenceDelta, UplinkPlanner, UplinkReport};
 
 /// Everything a simulation driver typically needs.
@@ -87,4 +93,6 @@ pub mod prelude {
     pub use crate::simulator::{MissionReport, MissionSimulator, SimulationConfig};
     pub use crate::strategy::{CaptureReport, CompressionStrategy};
     pub use crate::system::EarthPlusStrategy;
+    pub use crate::telemetry::TelemetryReport;
+    pub use earthplus_telemetry::MetricsRegistry;
 }

@@ -2,6 +2,7 @@
 //! compression strategies side by side on identical captures.
 
 use crate::strategy::{CaptureContext, CaptureReport, CompressionStrategy, StorageBreakdown};
+use crate::telemetry::TelemetryReport;
 use crate::uplink::UplinkReport;
 use earthplus_ground::ContactWindow;
 use earthplus_orbit::{Constellation, ContactSchedule, LinkModel, SatelliteId};
@@ -61,6 +62,10 @@ pub struct MissionReport {
     pub uplink: HashMap<String, Vec<UplinkReport>>,
     /// Per-strategy on-board storage footprint at mission end.
     pub storage: HashMap<String, StorageBreakdown>,
+    /// Per-strategy telemetry rollup: stage-timing distributions per
+    /// satellite and constellation-wide, plus the strategy's registry
+    /// snapshot when observability was wired up.
+    pub telemetry: HashMap<String, TelemetryReport>,
     /// Visits skipped by the dataset's cloud filter.
     pub filtered_visits: usize,
 }
@@ -73,6 +78,17 @@ impl MissionReport {
     /// Panics if the strategy was not part of the run.
     pub fn records(&self, name: &str) -> &[CaptureReport] {
         self.captures
+            .get(name)
+            .unwrap_or_else(|| panic!("strategy {name} not in report"))
+    }
+
+    /// The telemetry rollup for one strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy was not part of the run.
+    pub fn telemetry(&self, name: &str) -> &TelemetryReport {
+        self.telemetry
             .get(name)
             .unwrap_or_else(|| panic!("strategy {name} not in report"))
     }
@@ -214,6 +230,12 @@ impl MissionSimulator {
 
         for s in strategies.iter() {
             report.storage.insert(s.name().to_owned(), s.storage());
+            let rollup = TelemetryReport::from_records(
+                &report.captures[s.name()],
+                &report.uplink[s.name()],
+                s.telemetry_snapshot(),
+            );
+            report.telemetry.insert(s.name().to_owned(), rollup);
         }
         report
     }

@@ -6,6 +6,7 @@ use earthplus_ground::ContactWindow;
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId, Raster, TileGrid, TileMask};
 use earthplus_scene::Capture;
+use earthplus_telemetry::Snapshot;
 use std::collections::HashMap;
 
 /// Wall-clock time spent in each on-board stage for one capture (the
@@ -125,6 +126,13 @@ pub trait CompressionStrategy {
 
     /// Current on-board storage footprint (worst satellite).
     fn storage(&self) -> StorageBreakdown;
+
+    /// A point-in-time copy of the strategy's metric registry, when the
+    /// caller wired one up (see [`earthplus_telemetry`]). The default —
+    /// and the baselines — report `None`: they keep no registry.
+    fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        None
+    }
 }
 
 /// Ground-side reconstruction state: the latest known full image per

@@ -28,6 +28,7 @@ use earthplus_codec::{encode_roi_with_scratch, CodecConfig, CodecScratch, Decode
 use earthplus_ground::{ContactWindow, GroundService, GroundServiceConfig};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{psnr_from_mse, Band, LocationId, TileGrid, TileMask};
+use earthplus_telemetry::{names, Histogram, Snapshot, TelemetrySink};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -54,6 +55,16 @@ pub struct EarthPlusStrategy {
     pending_bytes: HashMap<SatelliteId, u64>,
     peak_pending: u64,
     last_full: HashMap<LocationId, f64>,
+    // Telemetry: the sink shared with the ground service, plus the
+    // per-stage histograms resolved from it once at construction. All of
+    // them are no-op handles unless the caller wired a registry into the
+    // ground config, so the capture path pays one pointer check per stage
+    // when observability is off.
+    sink: TelemetrySink,
+    stage_cloud_ns: Histogram,
+    stage_change_ns: Histogram,
+    stage_encode_ns: Histogram,
+    stage_ground_patch_ns: Histogram,
 }
 
 impl EarthPlusStrategy {
@@ -80,12 +91,19 @@ impl EarthPlusStrategy {
         cloud_detector: OnboardCloudDetector,
         ground: GroundServiceConfig,
     ) -> Self {
+        // The strategy times its stages into the same sink the ground
+        // service exports through, so one registry sees the whole system.
+        let sink = ground.telemetry.clone();
+        let mut codec_scratch = CodecScratch::new();
+        codec_scratch.set_telemetry(&sink);
+        let mut decode_scratch = DecodeScratch::new();
+        decode_scratch.set_telemetry(&sink);
         let service = GroundService::new(ground.with_theta(config.theta));
         EarthPlusStrategy {
             change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
             codec: CodecConfig::lossy().with_format(config.codec_format),
-            codec_scratch: CodecScratch::new(),
-            decode_scratch: DecodeScratch::new(),
+            codec_scratch,
+            decode_scratch,
             config,
             cloud_detector,
             service,
@@ -93,6 +111,11 @@ impl EarthPlusStrategy {
             pending_bytes: HashMap::new(),
             peak_pending: 0,
             last_full: HashMap::new(),
+            stage_cloud_ns: sink.histogram(names::STAGE_CLOUD_NS),
+            stage_change_ns: sink.histogram(names::STAGE_CHANGE_NS),
+            stage_encode_ns: sink.histogram(names::STAGE_ENCODE_NS),
+            stage_ground_patch_ns: sink.histogram(names::STAGE_GROUND_PATCH_NS),
+            sink,
         }
     }
 
@@ -116,6 +139,12 @@ impl EarthPlusStrategy {
     /// allocation accounting in tests and the perf baseline).
     pub fn decode_scratch(&self) -> &DecodeScratch {
         &self.decode_scratch
+    }
+
+    /// The telemetry sink the strategy (and its ground service) records
+    /// through — disabled unless the ground config carried a registry.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.sink
     }
 }
 
@@ -161,6 +190,9 @@ impl CompressionStrategy for EarthPlusStrategy {
             .detect(&capture.image)
             .expect("capture is tileable");
         timings.cloud_s = t.elapsed().as_secs_f64();
+        // Dropped captures still paid for detection, so record before the
+        // drop decision.
+        self.stage_cloud_ns.record_secs(timings.cloud_s);
         let cloudy_tiles = detection.tile_mask;
 
         // 2. Image dropping (> 50 % detected cloud).
@@ -198,6 +230,7 @@ impl CompressionStrategy for EarthPlusStrategy {
         let mut mse_bands = 0u32;
         let mut ref_age_sum = 0.0f64;
         let mut ref_age_n = 0u32;
+        let mut ground_patch_s = 0.0f64;
 
         for (band, band_raster) in capture.image.iter() {
             // 4. Change detection against the cached reference. The fitted
@@ -260,6 +293,7 @@ impl CompressionStrategy for EarthPlusStrategy {
             // 6. Ground: decode, normalize tiles into the belief's
             // canonical illumination, patch, and score the rendered
             // reconstruction on non-cloudy tiles.
+            let t = Instant::now();
             let belief = self.belief.belief_mut(ctx.location, band, w, h);
             let gain = if alignment.gain.abs() < 0.25 {
                 1.0
@@ -292,7 +326,14 @@ impl CompressionStrategy for EarthPlusStrategy {
                 mse_sum += mse;
                 mse_bands += 1;
             }
+            ground_patch_s += t.elapsed().as_secs_f64();
         }
+
+        // One record per capture (all bands), mirroring the StageTimings
+        // this report carries.
+        self.stage_change_ns.record_secs(timings.change_s);
+        self.stage_encode_ns.record_secs(timings.encode_s);
+        self.stage_ground_patch_ns.record_secs(ground_patch_s);
 
         if guaranteed {
             self.last_full.insert(ctx.location, ctx.day);
@@ -356,6 +397,10 @@ impl CompressionStrategy for EarthPlusStrategy {
             // Worst single-satellite reference cache footprint observed.
             reference_bytes: self.service.peak_cache_bytes(),
         }
+    }
+
+    fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        self.sink.registry().map(|r| r.snapshot())
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::reference::ReferenceImage;
 use earthplus_raster::{Band, LocationId};
+use earthplus_telemetry::{names, Counter, TelemetrySink};
 use std::collections::HashMap;
 
 /// Relative weights of the two eviction signals.
@@ -53,21 +54,83 @@ pub struct CacheStats {
 impl CacheStats {
     /// Hit fraction over all reads; 0 when nothing was read.
     pub fn hit_rate(&self) -> f64 {
-        let reads = self.hits + self.misses;
-        if reads == 0 {
-            0.0
-        } else {
-            self.hits as f64 / reads as f64
+        earthplus_telemetry::hit_rate(self.hits, self.misses)
+    }
+
+    /// What happened since `earlier` was taken (counters subtract,
+    /// saturating so a reset earlier snapshot cannot underflow).
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            installs: self.installs.saturating_sub(earlier.installs),
+            delta_applies: self.delta_applies.saturating_sub(earlier.delta_applies),
+        }
+    }
+}
+
+/// The live counters behind [`CacheStats`].
+///
+/// Cloning shares the underlying atomics, which is the point: a ground
+/// service resolves one set from its telemetry sink and hands a clone to
+/// every satellite's cache, so the constellation-wide totals accumulate
+/// in one place — [`GroundService::stats`](crate::GroundService::stats)
+/// reads them directly instead of walking and merging per-cache structs
+/// (and the same atomics surface in telemetry snapshots under the
+/// `ground.cache.*` names when the sink is registry-backed).
+#[derive(Debug, Clone)]
+pub struct CacheCounters {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    installs: Counter,
+    delta_applies: Counter,
+}
+
+impl CacheCounters {
+    /// Standalone counters private to one cache — the default for a cache
+    /// constructed outside a service.
+    pub fn live() -> Self {
+        CacheCounters {
+            hits: Counter::live(),
+            misses: Counter::live(),
+            evictions: Counter::live(),
+            installs: Counter::live(),
+            delta_applies: Counter::live(),
         }
     }
 
-    /// Accumulates another cache's counters into this one.
-    pub fn merge(&mut self, other: &CacheStats) {
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.evictions += other.evictions;
-        self.installs += other.installs;
-        self.delta_applies += other.delta_applies;
+    /// Counters resolved from `sink` under the canonical `ground.cache.*`
+    /// names. With a disabled sink this still counts (the caller's stats
+    /// must not go dark just because observability is off): the sink is
+    /// upgraded to a private registry first.
+    pub fn from_sink(sink: &TelemetrySink) -> Self {
+        let sink = sink.or_private();
+        CacheCounters {
+            hits: sink.counter(names::GROUND_CACHE_HITS),
+            misses: sink.counter(names::GROUND_CACHE_MISSES),
+            evictions: sink.counter(names::GROUND_CACHE_EVICTIONS),
+            installs: sink.counter(names::GROUND_CACHE_INSTALLS),
+            delta_applies: sink.counter(names::GROUND_CACHE_DELTA_APPLIES),
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.value(),
+            misses: self.misses.value(),
+            evictions: self.evictions.value(),
+            installs: self.installs.value(),
+            delta_applies: self.delta_applies.value(),
+        }
+    }
+}
+
+impl Default for CacheCounters {
+    fn default() -> Self {
+        Self::live()
     }
 }
 
@@ -87,7 +150,7 @@ pub struct EvictingReferenceCache {
     bytes: u64,
     tick: u64,
     now_day: f64,
-    stats: CacheStats,
+    counters: CacheCounters,
 }
 
 impl EvictingReferenceCache {
@@ -99,6 +162,17 @@ impl EvictingReferenceCache {
 
     /// Creates a cache with an explicit eviction policy.
     pub fn with_policy(capacity_bytes: Option<u64>, policy: EvictionPolicy) -> Self {
+        Self::with_counters(capacity_bytes, policy, CacheCounters::live())
+    }
+
+    /// Creates a cache recording into `counters` — pass clones of one set
+    /// to aggregate across caches without per-cache merge walks (see
+    /// [`CacheCounters`]).
+    pub fn with_counters(
+        capacity_bytes: Option<u64>,
+        policy: EvictionPolicy,
+        counters: CacheCounters,
+    ) -> Self {
         EvictingReferenceCache {
             entries: HashMap::new(),
             capacity_bytes,
@@ -106,7 +180,7 @@ impl EvictingReferenceCache {
             bytes: 0,
             tick: 0,
             now_day: f64::NEG_INFINITY,
-            stats: CacheStats::default(),
+            counters,
         }
     }
 
@@ -117,11 +191,11 @@ impl EvictingReferenceCache {
         match self.entries.get_mut(&(location, band)) {
             Some(entry) => {
                 entry.last_access = self.tick;
-                self.stats.hits += 1;
+                self.counters.hits.inc();
                 Some(&entry.reference)
             }
             None => {
-                self.stats.misses += 1;
+                self.counters.misses.inc();
                 None
             }
         }
@@ -154,7 +228,7 @@ impl EvictingReferenceCache {
                 last_access: self.tick,
             },
         );
-        self.stats.installs += 1;
+        self.counters.installs.inc();
         self.evict_to_capacity(key);
     }
 
@@ -184,7 +258,7 @@ impl EvictingReferenceCache {
                 }
             }
             entry.reference.captured_day = day;
-            self.stats.delta_applies += 1;
+            self.counters.delta_applies.inc();
         }
     }
 
@@ -210,7 +284,7 @@ impl EvictingReferenceCache {
             let Some(victim) = victim else { break };
             if let Some(entry) = self.entries.remove(&victim) {
                 self.bytes -= entry.reference.size_bytes();
-                self.stats.evictions += 1;
+                self.counters.evictions.inc();
             }
         }
     }
@@ -235,9 +309,11 @@ impl EvictingReferenceCache {
         self.capacity_bytes
     }
 
-    /// The instrumentation counters.
+    /// The instrumentation counters. When this cache shares a
+    /// [`CacheCounters`] set with others, the values are the shared
+    /// totals, not this cache's alone.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.counters.stats()
     }
 }
 
@@ -270,6 +346,37 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.installs), (1, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_counters_aggregate_across_caches() {
+        use earthplus_telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let counters = CacheCounters::from_sink(&registry.sink());
+        let mut a = EvictingReferenceCache::with_counters(
+            None,
+            EvictionPolicy::default(),
+            counters.clone(),
+        );
+        let mut b = EvictingReferenceCache::with_counters(
+            None,
+            EvictionPolicy::default(),
+            counters.clone(),
+        );
+        a.install(reference(0, 1.0));
+        a.get(LocationId(0), red());
+        b.get(LocationId(1), red());
+        let stats = counters.stats();
+        assert_eq!((stats.hits, stats.misses, stats.installs), (1, 1, 1));
+        // The same totals surface in the registry snapshot.
+        let s = registry.snapshot();
+        assert_eq!(s.counter(names::GROUND_CACHE_HITS), Some(1));
+        assert_eq!(s.counter(names::GROUND_CACHE_MISSES), Some(1));
+        // Delta semantics: only what happened after `stats` was taken.
+        b.install(reference(1, 2.0));
+        b.get(LocationId(1), red());
+        let d = counters.stats().delta(&stats);
+        assert_eq!((d.hits, d.misses, d.installs), (1, 0, 1));
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod uplink;
 
 pub use backend::ReferenceBackend;
 // The storage-engine types that appear in this crate's public API.
-pub use cache::{CacheStats, EvictingReferenceCache, EvictionPolicy};
+pub use cache::{CacheCounters, CacheStats, EvictingReferenceCache, EvictionPolicy};
 pub use earthplus_refstore::{RecoveryReport, RefLogConfig};
 pub use persistent::{PersistentReferenceStore, PersistentStoreStats};
 pub use reference::{

@@ -27,6 +27,7 @@ use crate::reference::ReferenceImage;
 use crate::store::{shard_index, IngestReport};
 use earthplus_raster::{Band, LocationId};
 use earthplus_refstore::{RecoveryReport, RefLog, RefLogConfig, Result};
+use earthplus_telemetry::TelemetrySink;
 use std::path::{Path, PathBuf};
 use std::sync::RwLock;
 
@@ -52,6 +53,17 @@ pub struct PersistentStoreStats {
     pub dead_bytes: u64,
     /// Compactions run since open.
     pub compactions: u64,
+    /// Read-path segment-handle cache hits, summed across shards.
+    pub handle_cache_hits: u64,
+    /// Read-path segment-handle cache misses, summed across shards.
+    pub handle_cache_misses: u64,
+}
+
+impl PersistentStoreStats {
+    /// Fraction of reads served by an already-open segment handle.
+    pub fn handle_cache_hit_rate(&self) -> f64 {
+        earthplus_telemetry::hit_rate(self.handle_cache_hits, self.handle_cache_misses)
+    }
 }
 
 /// The durable, sharded reference store.
@@ -106,6 +118,22 @@ impl PersistentReferenceStore {
         &self.root
     }
 
+    /// Wires every shard log to `sink` (see [`RefLog::attach_telemetry`]):
+    /// the shards share one append/compaction latency histogram each — a
+    /// merged distribution is still a correct distribution — and each
+    /// shard's open-time replay duration lands as one sample in
+    /// `refstore.replay_ns`. Per-shard *counters* (the segment-handle
+    /// cache) stay per-log so [`PersistentReferenceStore::stats`] can sum
+    /// them without double counting.
+    pub fn attach_telemetry(&self, sink: &TelemetrySink) {
+        for shard in &self.shards {
+            shard
+                .write()
+                .expect("refstore shard poisoned")
+                .attach_telemetry(sink);
+        }
+    }
+
     /// Number of shards (= shard directories).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -129,6 +157,8 @@ impl PersistentReferenceStore {
             out.live_bytes += stats.live_bytes;
             out.dead_bytes += stats.dead_bytes;
             out.compactions += stats.compactions;
+            out.handle_cache_hits += stats.handle_cache_hits;
+            out.handle_cache_misses += stats.handle_cache_misses;
         }
         out
     }

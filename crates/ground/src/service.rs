@@ -9,7 +9,7 @@
 //! constellation needs.
 
 use crate::backend::ReferenceBackend;
-use crate::cache::{CacheStats, EvictingReferenceCache, EvictionPolicy};
+use crate::cache::{CacheCounters, CacheStats, EvictingReferenceCache, EvictionPolicy};
 use crate::persistent::PersistentReferenceStore;
 use crate::reference::{ReferenceFromEncodedError, ReferenceImage, DEFAULT_REFERENCE_DOWNSAMPLE};
 use crate::scheduler::{ConstellationScheduler, ContactWindow};
@@ -19,9 +19,9 @@ use earthplus_codec::{DecodeScratch, EncodedImage};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId};
 use earthplus_refstore::{RecoveryReport, RefLogConfig, RefStoreError};
+use earthplus_telemetry::{names, Counter, Gauge, Histogram, SpanTimer, TelemetrySink};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Which reference-store backend a [`GroundService`] runs on.
@@ -65,6 +65,12 @@ pub struct GroundServiceConfig {
     /// Per-axis downsampling factor for references built from archived
     /// *encoded* captures ([`GroundService::ingest_encoded`]).
     pub reference_downsample: usize,
+    /// Where the service records its metrics. The default (disabled) sink
+    /// is upgraded to a *private* registry at construction — the service's
+    /// counters always count, [`GroundService::stats`] reads them either
+    /// way — but only a caller-supplied sink makes them visible in shared
+    /// telemetry snapshots.
+    pub telemetry: TelemetrySink,
 }
 
 impl Default for GroundServiceConfig {
@@ -78,6 +84,7 @@ impl Default for GroundServiceConfig {
             ingest_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             targets: Vec::new(),
             reference_downsample: DEFAULT_REFERENCE_DOWNSAMPLE,
+            telemetry: TelemetrySink::default(),
         }
     }
 }
@@ -122,6 +129,13 @@ impl GroundServiceConfig {
         self.backend = backend;
         self
     }
+
+    /// Routes the service's metrics into `sink` (ingest/uplink counters,
+    /// stage latency histograms, cache counters, storage-engine spans).
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
 }
 
 /// A point-in-time snapshot of the service's counters.
@@ -154,6 +168,32 @@ pub struct GroundServiceStats {
     pub encoded_ingests: u64,
 }
 
+impl GroundServiceStats {
+    /// What happened between `earlier` and `self`: cumulative counters
+    /// subtract (saturating), while level readings — store size, satellite
+    /// count, cache footprint, peak — keep their current value. The shape
+    /// scheduler-integration tests want: "this pass sent N deltas", not
+    /// "the service has ever sent M".
+    pub fn delta(&self, earlier: &GroundServiceStats) -> GroundServiceStats {
+        GroundServiceStats {
+            store_entries: self.store_entries,
+            store_bytes: self.store_bytes,
+            satellites: self.satellites,
+            cache: self.cache.delta(&earlier.cache),
+            cache_bytes: self.cache_bytes,
+            peak_cache_bytes: self.peak_cache_bytes,
+            deltas_sent: self.deltas_sent.saturating_sub(earlier.deltas_sent),
+            deltas_skipped: self.deltas_skipped.saturating_sub(earlier.deltas_skipped),
+            uplink_bytes_sent: self
+                .uplink_bytes_sent
+                .saturating_sub(earlier.uplink_bytes_sent),
+            ingest_accepted: self.ingest_accepted.saturating_sub(earlier.ingest_accepted),
+            ingest_rejected: self.ingest_rejected.saturating_sub(earlier.ingest_rejected),
+            encoded_ingests: self.encoded_ingests.saturating_sub(earlier.encoded_ingests),
+        }
+    }
+}
+
 /// The concurrent ground-segment reference service.
 #[derive(Debug)]
 pub struct GroundService {
@@ -169,13 +209,22 @@ pub struct GroundService {
     /// lock, and returns it — so concurrent archive backfills decode in
     /// parallel while steady-state ingest still allocates no scratch.
     ingest_scratch: Mutex<Vec<DecodeScratch>>,
-    ingest_accepted: AtomicU64,
-    ingest_rejected: AtomicU64,
-    encoded_ingests: AtomicU64,
-    deltas_sent: AtomicU64,
-    deltas_skipped: AtomicU64,
-    uplink_bytes_sent: AtomicU64,
-    peak_cache_bytes: AtomicU64,
+    /// The sink every handle below was resolved from — always registry
+    /// backed (`or_private` at construction), so [`GroundService::stats`]
+    /// reads real counts even when the caller disabled telemetry.
+    sink: TelemetrySink,
+    /// On-board cache counters, shared by every satellite's cache.
+    cache_counters: CacheCounters,
+    ingest_accepted: Counter,
+    ingest_rejected: Counter,
+    encoded_ingests: Counter,
+    deltas_sent: Counter,
+    deltas_skipped: Counter,
+    uplink_bytes_sent: Counter,
+    peak_cache_bytes: Gauge,
+    ingest_ns: Histogram,
+    ingest_encoded_ns: Histogram,
+    plan_pass_ns: Histogram,
 }
 
 impl GroundService {
@@ -198,6 +247,10 @@ impl GroundService {
     /// cannot be opened (I/O failure on its directory). The in-memory
     /// backend never fails.
     pub fn try_new(config: GroundServiceConfig) -> Result<Self, RefStoreError> {
+        // Counters must count whether or not the caller wired
+        // observability; a disabled sink is upgraded to a private registry
+        // here, once, and every handle resolves against the result.
+        let sink = config.telemetry.or_private();
         let (store, recovery): (Box<dyn ReferenceBackend>, Option<RecoveryReport>) =
             match &config.backend {
                 ReferenceBackendConfig::InMemory => {
@@ -205,6 +258,7 @@ impl GroundService {
                 }
                 ReferenceBackendConfig::Persistent { dir, log } => {
                     let (store, report) = PersistentReferenceStore::open(dir, config.shards, *log)?;
+                    store.attach_telemetry(&sink);
                     (Box::new(store), Some(report))
                 }
             };
@@ -214,15 +268,27 @@ impl GroundService {
             scheduler: ConstellationScheduler::new(config.theta),
             caches: Mutex::new(HashMap::new()),
             ingest_scratch: Mutex::new(Vec::new()),
-            ingest_accepted: AtomicU64::new(0),
-            ingest_rejected: AtomicU64::new(0),
-            encoded_ingests: AtomicU64::new(0),
-            deltas_sent: AtomicU64::new(0),
-            deltas_skipped: AtomicU64::new(0),
-            uplink_bytes_sent: AtomicU64::new(0),
-            peak_cache_bytes: AtomicU64::new(0),
+            cache_counters: CacheCounters::from_sink(&sink),
+            ingest_accepted: sink.counter(names::GROUND_INGEST_ACCEPTED),
+            ingest_rejected: sink.counter(names::GROUND_INGEST_REJECTED),
+            encoded_ingests: sink.counter(names::GROUND_INGEST_ENCODED),
+            deltas_sent: sink.counter(names::GROUND_DELTAS_SENT),
+            deltas_skipped: sink.counter(names::GROUND_DELTAS_SKIPPED),
+            uplink_bytes_sent: sink.counter(names::GROUND_UPLINK_BYTES),
+            peak_cache_bytes: sink.gauge(names::GROUND_CACHE_PEAK_BYTES),
+            ingest_ns: sink.histogram(names::GROUND_INGEST_NS),
+            ingest_encoded_ns: sink.histogram(names::GROUND_INGEST_ENCODED_NS),
+            plan_pass_ns: sink.histogram(names::GROUND_PLAN_PASS_NS),
+            sink,
             config,
         })
+    }
+
+    /// The registry-backed sink the service records into — snapshot it to
+    /// export every `ground.*` (and, on a persistent backend,
+    /// `refstore.*`) metric.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.sink
     }
 
     /// The configuration in force.
@@ -248,17 +314,22 @@ impl GroundService {
     }
 
     fn new_cache(&self) -> EvictingReferenceCache {
-        EvictingReferenceCache::with_policy(self.config.cache_capacity_bytes, self.config.eviction)
+        EvictingReferenceCache::with_counters(
+            self.config.cache_capacity_bytes,
+            self.config.eviction,
+            self.cache_counters.clone(),
+        )
     }
 
     /// Admits one downlinked cloud-free reference; returns whether the
     /// store updated (freshest-wins).
     pub fn ingest_downlink(&self, reference: ReferenceImage) -> bool {
+        let _span = SpanTimer::start(&self.ingest_ns);
         let accepted = self.store.offer(reference);
         if accepted {
-            self.ingest_accepted.fetch_add(1, Ordering::Relaxed);
+            self.ingest_accepted.inc();
         } else {
-            self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+            self.ingest_rejected.inc();
         }
         accepted
     }
@@ -280,6 +351,10 @@ impl GroundService {
         day: f64,
         encoded: &EncodedImage,
     ) -> Result<bool, ReferenceFromEncodedError> {
+        // Spans the whole path — partial decode, resample, store offer —
+        // so `ground.ingest_encoded_ns` answers "what does an archive
+        // backfill cost per capture".
+        let _span = SpanTimer::start(&self.ingest_encoded_ns);
         // Pop an arena and decode outside the lock: concurrent ingests
         // each get their own scratch instead of serializing on one.
         let mut scratch = self
@@ -301,7 +376,7 @@ impl GroundService {
             .expect("ingest scratch pool poisoned")
             .push(scratch);
         let reference = result?;
-        self.encoded_ingests.fetch_add(1, Ordering::Relaxed);
+        self.encoded_ingests.inc();
         Ok(self.ingest_downlink(reference))
     }
 
@@ -325,10 +400,8 @@ impl GroundService {
         let report = self
             .store
             .ingest_batch(references, self.config.ingest_threads);
-        self.ingest_accepted
-            .fetch_add(report.accepted, Ordering::Relaxed);
-        self.ingest_rejected
-            .fetch_add(report.rejected, Ordering::Relaxed);
+        self.ingest_accepted.add(report.accepted);
+        self.ingest_rejected.add(report.rejected);
         report
     }
 
@@ -351,6 +424,7 @@ impl GroundService {
     /// Plans a whole pass: every contact window of the constellation since
     /// the last planning round, scheduled as one staleness-weighted queue.
     pub fn plan_pass(&self, contacts: &[ContactWindow]) -> Vec<UplinkReport> {
+        let _span = SpanTimer::start(&self.plan_pass_ns);
         let all_keys;
         let targets: &[(LocationId, Band)] = if self.config.targets.is_empty() {
             all_keys = self.store.keys();
@@ -372,11 +446,11 @@ impl GroundService {
             skipped += report.deltas_skipped as u64;
             bytes += report.bytes_used;
         }
-        self.deltas_sent.fetch_add(sent, Ordering::Relaxed);
-        self.deltas_skipped.fetch_add(skipped, Ordering::Relaxed);
-        self.uplink_bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.deltas_sent.add(sent);
+        self.deltas_skipped.add(skipped);
+        self.uplink_bytes_sent.add(bytes);
         let peak = caches.values().map(|c| c.size_bytes()).max().unwrap_or(0);
-        self.peak_cache_bytes.fetch_max(peak, Ordering::Relaxed);
+        self.peak_cache_bytes.set_max(peak);
         reports
     }
 
@@ -409,31 +483,28 @@ impl GroundService {
     /// atomic read for per-capture accounting hot paths; [`Self::stats`]
     /// reports the same value with full context.
     pub fn peak_cache_bytes(&self) -> u64 {
-        self.peak_cache_bytes.load(Ordering::Relaxed)
+        self.peak_cache_bytes.value()
     }
 
-    /// A snapshot of every counter the service tracks.
+    /// A snapshot of every counter the service tracks. The cache counters
+    /// are constellation totals read straight off the shared
+    /// [`CacheCounters`] — no per-satellite merge walk.
     pub fn stats(&self) -> GroundServiceStats {
         let caches = self.caches.lock().expect("cache table poisoned");
-        let mut cache = CacheStats::default();
-        let mut cache_bytes = 0u64;
-        for c in caches.values() {
-            cache.merge(&c.stats());
-            cache_bytes += c.size_bytes();
-        }
+        let cache_bytes = caches.values().map(|c| c.size_bytes()).sum();
         GroundServiceStats {
             store_entries: self.store.len(),
             store_bytes: self.store.size_bytes(),
             satellites: caches.len(),
-            cache,
+            cache: self.cache_counters.stats(),
             cache_bytes,
-            peak_cache_bytes: self.peak_cache_bytes.load(Ordering::Relaxed),
-            deltas_sent: self.deltas_sent.load(Ordering::Relaxed),
-            deltas_skipped: self.deltas_skipped.load(Ordering::Relaxed),
-            uplink_bytes_sent: self.uplink_bytes_sent.load(Ordering::Relaxed),
-            ingest_accepted: self.ingest_accepted.load(Ordering::Relaxed),
-            ingest_rejected: self.ingest_rejected.load(Ordering::Relaxed),
-            encoded_ingests: self.encoded_ingests.load(Ordering::Relaxed),
+            peak_cache_bytes: self.peak_cache_bytes.value(),
+            deltas_sent: self.deltas_sent.value(),
+            deltas_skipped: self.deltas_skipped.value(),
+            uplink_bytes_sent: self.uplink_bytes_sent.value(),
+            ingest_accepted: self.ingest_accepted.value(),
+            ingest_rejected: self.ingest_rejected.value(),
+            encoded_ingests: self.encoded_ingests.value(),
         }
     }
 }
@@ -543,6 +614,54 @@ mod tests {
         assert_eq!(evictions, 2);
         let miss_before = service.stats().cache.misses;
         assert!(miss_before == 0);
+    }
+
+    #[test]
+    fn wired_telemetry_exports_service_metrics() {
+        use earthplus_telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let config = GroundServiceConfig::default().with_telemetry(registry.sink());
+        let service = GroundService::new(config);
+        service.ingest_downlink(reference(0, 3.0, 0.4));
+        service.ingest_downlink(reference(0, 2.0, 0.5));
+        service.plan_contact(SatelliteId(0), 4.0, 1 << 20);
+        service.serve_reference(SatelliteId(0), LocationId(0), red());
+        let s = registry.snapshot();
+        assert_eq!(s.counter(names::GROUND_INGEST_ACCEPTED), Some(1));
+        assert_eq!(s.counter(names::GROUND_INGEST_REJECTED), Some(1));
+        assert_eq!(s.counter(names::GROUND_DELTAS_SENT), Some(1));
+        assert_eq!(s.counter(names::GROUND_CACHE_HITS), Some(1));
+        assert!(s.gauge(names::GROUND_CACHE_PEAK_BYTES).unwrap() > 0);
+        assert_eq!(s.histogram(names::GROUND_INGEST_NS).unwrap().count, 2);
+        assert_eq!(s.histogram(names::GROUND_PLAN_PASS_NS).unwrap().count, 1);
+        // The service's own stats read the same atomics.
+        let stats = service.stats();
+        assert_eq!(stats.ingest_accepted, 1);
+        assert_eq!(stats.cache.hits, 1);
+        // And without a caller sink the counters still count, privately.
+        let dark = GroundService::new(GroundServiceConfig::default());
+        dark.ingest_downlink(reference(1, 1.0, 0.3));
+        assert_eq!(dark.stats().ingest_accepted, 1);
+        assert!(registry.snapshot().counter(names::GROUND_INGEST_ACCEPTED) == Some(1));
+    }
+
+    #[test]
+    fn stats_delta_isolates_one_pass() {
+        let service = GroundService::new(GroundServiceConfig::default());
+        for loc in 0..4u32 {
+            service.ingest_downlink(reference(loc, 1.0, 0.4));
+        }
+        service.plan_contact(SatelliteId(0), 2.0, 1 << 30);
+        let before = service.stats();
+        service.ingest_downlink(reference(0, 5.0, 0.6));
+        service.plan_contact(SatelliteId(0), 6.0, 1 << 30);
+        let d = service.stats().delta(&before);
+        assert_eq!(d.ingest_accepted, 1, "only the second round's ingest");
+        assert_eq!(d.deltas_sent, 1, "only the refreshed reference moved");
+        assert!(d.uplink_bytes_sent < before.uplink_bytes_sent);
+        // Level readings pass through as current values.
+        assert_eq!(d.store_entries, 4);
+        assert_eq!(d.satellites, 1);
     }
 
     #[test]

@@ -35,12 +35,13 @@ use crate::record::{decode_frame, encode_frame, Record, RecordKey, BODY_FIXED_LE
 use crate::segment::{
     list_segments, scan_segment, segment_file_name, SegmentWriter, SEGMENT_HEADER_LEN,
 };
+use earthplus_telemetry::{names, Counter, Histogram, SpanTimer, TelemetrySink};
 use std::collections::{hash_map, HashMap};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Cache of open read handles, one per segment file, so the read path does
 /// not reopen the file on every [`RefLog::get`] (the ROADMAP follow-up).
@@ -52,11 +53,25 @@ use std::sync::{Arc, Mutex};
 /// [`MAX_CACHED_HANDLES`] descriptors: logs with huge segment counts
 /// (e.g. autocompaction disabled) reset it rather than exhausting the
 /// process fd limit.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SegmentHandleCache {
     handles: Mutex<HashMap<u64, Arc<File>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Per-log live counters (not registry handles): a persistent store
+    /// runs one log per shard and *sums* their [`RefLogStats`], so these
+    /// must count this log alone — sharing one registry atomic across
+    /// shards would multiply the totals.
+    hits: Counter,
+    misses: Counter,
+}
+
+impl Default for SegmentHandleCache {
+    fn default() -> Self {
+        SegmentHandleCache {
+            handles: Mutex::new(HashMap::new()),
+            hits: Counter::live(),
+            misses: Counter::live(),
+        }
+    }
 }
 
 /// Upper bound on cached segment file descriptors per log.
@@ -73,11 +88,11 @@ impl SegmentHandleCache {
         }
         match handles.entry(segment) {
             hash_map::Entry::Occupied(o) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Ok(o.get().clone())
             }
             hash_map::Entry::Vacant(v) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 let file = Arc::new(File::open(dir.join(segment_file_name(segment)))?);
                 Ok(v.insert(file).clone())
             }
@@ -195,6 +210,14 @@ pub struct RefLogStats {
     pub handle_cache_misses: u64,
 }
 
+impl RefLogStats {
+    /// Fraction of reads served by an already-open handle (0.0 when no
+    /// read has happened).
+    pub fn handle_cache_hit_rate(&self) -> f64 {
+        earthplus_telemetry::hit_rate(self.handle_cache_hits, self.handle_cache_misses)
+    }
+}
+
 /// A durable, crash-recoverable, log-structured store of freshest-wins
 /// reference records. See the module docs for the durability contract.
 #[derive(Debug)]
@@ -211,6 +234,17 @@ pub struct RefLog {
     dead_bytes: u64,
     live_bytes: u64,
     compactions: u64,
+    /// Committed-append latency span target (disabled until
+    /// [`RefLog::attach_telemetry`]).
+    append_ns: Histogram,
+    /// Compaction-run latency span target (disabled until
+    /// [`RefLog::attach_telemetry`]).
+    compaction_ns: Histogram,
+    /// How long [`RefLog::open`] spent replaying this directory — recorded
+    /// into [`names::REFSTORE_REPLAY_NS`] when telemetry is attached
+    /// (replay happens before any sink can be wired: the config is `Copy`
+    /// and carries no handles).
+    replay_ns: u64,
 }
 
 impl RefLog {
@@ -223,6 +257,7 @@ impl RefLog {
     /// Propagates I/O failures. Corruption is healed and reported, not
     /// returned as an error.
     pub fn open(dir: &Path, config: RefLogConfig) -> Result<(Self, RecoveryReport)> {
+        let replay_started = Instant::now();
         std::fs::create_dir_all(dir)?;
         let mut report = RecoveryReport::default();
 
@@ -341,9 +376,43 @@ impl RefLog {
                 dead_bytes,
                 live_bytes,
                 compactions: 0,
+                append_ns: Histogram::default(),
+                compaction_ns: Histogram::default(),
+                replay_ns: replay_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             },
             report,
         ))
+    }
+
+    /// Opens the log and immediately wires it to `sink` — see
+    /// [`RefLog::attach_telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RefLog::open`].
+    pub fn open_with_telemetry(
+        dir: &Path,
+        config: RefLogConfig,
+        sink: &TelemetrySink,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (mut log, report) = RefLog::open(dir, config)?;
+        log.attach_telemetry(sink);
+        Ok((log, report))
+    }
+
+    /// Wires this log's instrumentation to `sink`: committed appends and
+    /// compaction runs start recording latency spans
+    /// ([`names::REFSTORE_APPEND_NS`] / [`names::REFSTORE_COMPACTION_NS`]),
+    /// and the open-time replay duration — measured before any sink could
+    /// exist — is recorded into [`names::REFSTORE_REPLAY_NS`] now, once.
+    /// Histogram handles may be shared across shard logs (a merged latency
+    /// distribution is still correct); the handle-cache *counters* stay
+    /// per-log, see [`SegmentHandleCache`].
+    pub fn attach_telemetry(&mut self, sink: &TelemetrySink) {
+        self.append_ns = sink.histogram(names::REFSTORE_APPEND_NS);
+        self.compaction_ns = sink.histogram(names::REFSTORE_COMPACTION_NS);
+        sink.histogram(names::REFSTORE_REPLAY_NS)
+            .record(self.replay_ns);
     }
 
     /// The directory this log lives in.
@@ -373,6 +442,10 @@ impl RefLog {
         if !self.index.is_fresher(&key, day) {
             return Ok(false);
         }
+        // Spans only committed appends (freshness rejections write
+        // nothing); includes segment rotation and any auto-compaction the
+        // append triggers — that tail is real append latency to a caller.
+        let _span = SpanTimer::start(&self.append_ns);
         let frame = encode_frame(key, day, payload);
         if self.active.len + frame.len() as u64 > self.config.segment_max_bytes
             && self.active.len > SEGMENT_HEADER_LEN
@@ -519,8 +592,8 @@ impl RefLog {
             live_bytes: self.live_bytes,
             dead_bytes: self.dead_bytes,
             compactions: self.compactions,
-            handle_cache_hits: self.handles.hits.load(Ordering::Relaxed),
-            handle_cache_misses: self.handles.misses.load(Ordering::Relaxed),
+            handle_cache_hits: self.handles.hits.value(),
+            handle_cache_misses: self.handles.misses.value(),
         }
     }
 
@@ -560,6 +633,7 @@ impl RefLog {
     /// new ones are reclaimed via replay-and-recompact, see the module
     /// docs); after the rename, the retired segments are swept instead.
     pub fn compact(&mut self) -> Result<()> {
+        let _span = SpanTimer::start(&self.compaction_ns);
         let live = self.index.entries_sorted();
 
         let mut new_segments: Vec<u64> = Vec::new();
@@ -950,6 +1024,40 @@ mod tests {
         for loc in 0..6u32 {
             assert_eq!(log.get(&key(loc)).unwrap().unwrap().day, 2.0);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attached_telemetry_records_replay_appends_and_compactions() {
+        use earthplus_telemetry::MetricsRegistry;
+        let dir = test_dir("telemetry");
+        let registry = MetricsRegistry::new();
+        let (mut log, _) =
+            RefLog::open_with_telemetry(&dir, no_autocompact(), &registry.sink()).unwrap();
+        for loc in 0..5u32 {
+            log.append(key(loc), 1.0, &[loc as u8; 32]).unwrap();
+        }
+        assert!(!log.append(key(0), 0.5, b"stale").unwrap());
+        log.compact().unwrap();
+        let s = registry.snapshot();
+        assert_eq!(
+            s.histogram(names::REFSTORE_REPLAY_NS).unwrap().count,
+            1,
+            "one open, one replay sample"
+        );
+        assert_eq!(
+            s.histogram(names::REFSTORE_APPEND_NS).unwrap().count,
+            5,
+            "freshness rejections write nothing and are not spanned"
+        );
+        assert_eq!(s.histogram(names::REFSTORE_COMPACTION_NS).unwrap().count, 1);
+        // Reopening through the same sink contributes a second replay
+        // sample to the shared histogram.
+        drop(log);
+        let _reopened =
+            RefLog::open_with_telemetry(&dir, no_autocompact(), &registry.sink()).unwrap();
+        let s = registry.snapshot();
+        assert_eq!(s.histogram(names::REFSTORE_REPLAY_NS).unwrap().count, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

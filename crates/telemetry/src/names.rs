@@ -1,0 +1,76 @@
+//! Canonical metric names used across the workspace.
+//!
+//! One name, one meaning: instrumentation sites resolve their handles
+//! from these constants, so the README's naming table, the exporters,
+//! and the recording code cannot drift apart. Scheme:
+//! `<subsystem>.<operation>[.<detail>]`, lowercase, dot-separated;
+//! histograms carry a unit suffix (`_ns` = nanoseconds, `_bytes` =
+//! bytes).
+
+// --- on-board capture pipeline stages (per capture-band) -------------
+
+/// Cloud-mask stage latency per capture.
+pub const STAGE_CLOUD_NS: &str = "stage.cloud_ns";
+/// Change-detection (+ illumination align) stage latency per band.
+pub const STAGE_CHANGE_NS: &str = "stage.change_ns";
+/// ROI-encode stage latency per band.
+pub const STAGE_ENCODE_NS: &str = "stage.encode_ns";
+/// Ground-side decode + belief patch latency per band.
+pub const STAGE_GROUND_PATCH_NS: &str = "stage.ground_patch_ns";
+
+// --- codec ------------------------------------------------------------
+
+/// Full EPC1 encode latency (per image/tile encode call).
+pub const CODEC_ENCODE_EPC1_NS: &str = "codec.encode.epc1_ns";
+/// Full EPC2 encode latency (per image/tile encode call).
+pub const CODEC_ENCODE_EPC2_NS: &str = "codec.encode.epc2_ns";
+/// Encoded payload size per encode call.
+pub const CODEC_ENCODE_BYTES: &str = "codec.encode_bytes";
+/// Full EPC1 decode latency.
+pub const CODEC_DECODE_EPC1_NS: &str = "codec.decode.epc1_ns";
+/// Full EPC2 decode latency.
+pub const CODEC_DECODE_EPC2_NS: &str = "codec.decode.epc2_ns";
+/// Resolution-progressive (level-limited / LL-only) decode latency.
+pub const CODEC_DECODE_PARTIAL_NS: &str = "codec.decode.partial_ns";
+
+// --- ground service ---------------------------------------------------
+
+/// Reference-ingest latency (downlinked reconstructions).
+pub const GROUND_INGEST_NS: &str = "ground.ingest_ns";
+/// Encoded-capture ingest latency (LL-only partial-decode path).
+pub const GROUND_INGEST_ENCODED_NS: &str = "ground.ingest_encoded_ns";
+/// Whole-pass uplink scheduling latency.
+pub const GROUND_PLAN_PASS_NS: &str = "ground.plan_pass_ns";
+/// References admitted into the store.
+pub const GROUND_INGEST_ACCEPTED: &str = "ground.ingest.accepted";
+/// References rejected as stale.
+pub const GROUND_INGEST_REJECTED: &str = "ground.ingest.rejected";
+/// References built from archived encoded captures.
+pub const GROUND_INGEST_ENCODED: &str = "ground.ingest.encoded";
+/// Reference updates scheduled onto the uplink.
+pub const GROUND_DELTAS_SENT: &str = "ground.uplink.deltas_sent";
+/// Updates that did not fit their pass.
+pub const GROUND_DELTAS_SKIPPED: &str = "ground.uplink.deltas_skipped";
+/// Bytes scheduled onto the uplink.
+pub const GROUND_UPLINK_BYTES: &str = "ground.uplink.bytes_sent";
+/// On-board cache hits, summed over satellites.
+pub const GROUND_CACHE_HITS: &str = "ground.cache.hits";
+/// On-board cache misses, summed over satellites.
+pub const GROUND_CACHE_MISSES: &str = "ground.cache.misses";
+/// On-board cache evictions, summed over satellites.
+pub const GROUND_CACHE_EVICTIONS: &str = "ground.cache.evictions";
+/// Full reference installs, summed over satellites.
+pub const GROUND_CACHE_INSTALLS: &str = "ground.cache.installs";
+/// Delta updates applied, summed over satellites.
+pub const GROUND_CACHE_DELTA_APPLIES: &str = "ground.cache.delta_applies";
+/// Largest single-satellite cache footprint observed (gauge).
+pub const GROUND_CACHE_PEAK_BYTES: &str = "ground.cache.peak_bytes";
+
+// --- storage engine ---------------------------------------------------
+
+/// Record-append latency per committed reference.
+pub const REFSTORE_APPEND_NS: &str = "refstore.append_ns";
+/// Open-time replay latency per shard log.
+pub const REFSTORE_REPLAY_NS: &str = "refstore.replay_ns";
+/// Snapshot + compaction latency per compaction run.
+pub const REFSTORE_COMPACTION_NS: &str = "refstore.compaction_ns";

@@ -1,0 +1,194 @@
+//! Property tests over the histogram core.
+//!
+//! The build environment has no network access, so instead of `proptest`
+//! these properties run over cases drawn from a small deterministic PRNG
+//! (splitmix64) — the workspace's standard pattern: shrink-free
+//! randomized coverage, fixed seeds, zero dependencies.
+
+use earthplus_telemetry::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// Deterministic splitmix64 PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in [lo, hi].
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// A value spanning many orders of magnitude: uniform bit width, then
+    /// uniform bits below it — exercising every bucket, not just the
+    /// middle of the u64 range.
+    fn spread_value(&mut self) -> u64 {
+        let width = self.next_u64() % 50;
+        let raw = self.next_u64();
+        if width == 0 {
+            raw % 2
+        } else {
+            raw >> (64 - width)
+        }
+    }
+}
+
+/// The bucket a value lands in (the reference definition the tests pin
+/// the implementation against): its bit width.
+fn reference_bucket(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+const CASES: usize = 24;
+
+#[test]
+fn bucket_boundaries_are_exact_powers_of_two() {
+    // Every boundary 2^i: the largest value of bucket i is 2^i - 1 and
+    // the smallest value of bucket i+1 is exactly 2^i.
+    for i in 0..63usize {
+        let boundary = 1u64 << i;
+        let below = Histogram::live();
+        below.record(boundary - 1);
+        let at = Histogram::live();
+        at.record(boundary);
+        let s_below = below.snapshot();
+        let s_at = at.snapshot();
+        let b_below = s_below.buckets.iter().position(|&n| n > 0).unwrap();
+        let b_at = s_at.buckets.iter().position(|&n| n > 0).unwrap();
+        assert_eq!(b_below, reference_bucket(boundary - 1));
+        assert_eq!(b_at, reference_bucket(boundary));
+        assert_eq!(b_at, b_below + 1, "2^{i} must open a fresh bucket");
+        assert_eq!(b_at, i + 1);
+    }
+    // And the extremes have somewhere to live.
+    assert_eq!(reference_bucket(0), 0);
+    assert_eq!(reference_bucket(u64::MAX), HISTOGRAM_BUCKETS - 1);
+}
+
+#[test]
+fn quantile_estimates_are_within_one_bucket_of_truth() {
+    let mut rng = Rng::new(0x9D0A_11CE);
+    for case in 0..CASES {
+        let n = rng.range(1, 4000);
+        let h = Histogram::live();
+        let mut values: Vec<u64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = rng.spread_value();
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        for &q in &[0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = (((n - 1) as f64) * q).ceil() as usize;
+            let truth = values[rank];
+            let estimate = s.quantile(q);
+            let diff = reference_bucket(estimate).abs_diff(reference_bucket(truth));
+            assert!(
+                diff <= 1,
+                "case {case}: q={q} estimate {estimate} (bucket {}) vs true {truth} (bucket {})",
+                reference_bucket(estimate),
+                reference_bucket(truth),
+            );
+            // And the estimate never leaves the observed range.
+            assert!(estimate >= s.min && estimate <= s.max);
+        }
+    }
+}
+
+#[test]
+fn merge_equals_recording_the_union() {
+    let mut rng = Rng::new(0xBEEF_CAFE);
+    for case in 0..CASES {
+        let (na, nb) = (rng.range(0, 500), rng.range(0, 500));
+        let a = Histogram::live();
+        let b = Histogram::live();
+        let union = Histogram::live();
+        for _ in 0..na {
+            let v = rng.spread_value();
+            a.record(v);
+            union.record(v);
+        }
+        for _ in 0..nb {
+            let v = rng.spread_value();
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(
+            merged,
+            union.snapshot(),
+            "case {case}: merge(a, b) must equal record(a ∪ b) ({na}+{nb} values)"
+        );
+        // Merging in the other order gives the same result.
+        let mut other = b.snapshot();
+        other.merge(&a.snapshot());
+        assert_eq!(other, merged, "case {case}: merge must commute");
+        // Merging an empty snapshot is the identity.
+        let mut id = merged.clone();
+        id.merge(&HistogramSnapshot::default());
+        assert_eq!(id, merged);
+    }
+}
+
+#[test]
+fn summary_stats_are_exact_under_random_load() {
+    let mut rng = Rng::new(0x5EED);
+    for _ in 0..CASES {
+        let n = rng.range(1, 1000);
+        let h = Histogram::live();
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for _ in 0..n {
+            let v = rng.spread_value() % (1 << 40); // keep the sum far from overflow
+            h.record(v);
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, n as u64);
+        assert_eq!(s.sum, sum);
+        assert_eq!(s.min, min);
+        assert_eq!(s.max, max);
+        assert_eq!(s.buckets.iter().sum::<u64>(), n as u64);
+    }
+}
+
+#[test]
+fn cumulative_delta_matches_direct_recording() {
+    let mut rng = Rng::new(0xD317A);
+    for _ in 0..CASES {
+        let h = Histogram::live();
+        for _ in 0..rng.range(0, 200) {
+            h.record(rng.spread_value());
+        }
+        let earlier = h.snapshot();
+        let fresh = Histogram::live();
+        for _ in 0..rng.range(0, 200) {
+            let v = rng.spread_value();
+            h.record(v);
+            fresh.record(v);
+        }
+        let delta = h.snapshot().delta(&earlier);
+        let expect = fresh.snapshot();
+        assert_eq!(delta.count, expect.count);
+        assert_eq!(delta.sum, expect.sum);
+        assert_eq!(delta.buckets, expect.buckets);
+        // min/max are re-estimated from buckets: same bucket as truth.
+        if expect.count > 0 {
+            assert_eq!(reference_bucket(delta.max), reference_bucket(expect.max));
+        }
+    }
+}

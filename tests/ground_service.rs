@@ -166,6 +166,7 @@ fn constricted_pass_serves_stalest_first_and_stays_within_budget() {
             .unwrap()
             .size_bytes()
     };
+    let before = service.stats();
     let reports = service.plan_pass(&[ContactWindow {
         satellite: sat,
         day: 30.1,
@@ -175,6 +176,13 @@ fn constricted_pass_serves_stalest_first_and_stays_within_budget() {
     assert_eq!(reports[0].deltas_sent, 1);
     assert_eq!(reports[0].deltas_skipped, 2);
     assert!(reports[0].bytes_used <= reports[0].bytes_budget);
+    // The service-level snapshot delta isolates exactly this pass,
+    // cumulative history (the two earlier generous contacts) subtracted.
+    let pass = service.stats().delta(&before);
+    assert_eq!(pass.deltas_sent, 1);
+    assert_eq!(pass.deltas_skipped, 2);
+    assert_eq!(pass.uplink_bytes_sent, reports[0].bytes_used);
+    assert_eq!(pass.ingest_accepted, 0, "planning ingests nothing");
 
     // The winner is one of the two 10-day-stale locations; location 2
     // (only 3 days stale) must have been outranked and is served stale.
