@@ -41,11 +41,18 @@
 //! steady state.
 //!
 //! Since the telemetry subsystem the baseline also proves the
-//! instrumentation's hot-path claim: the full-band encode is re-timed
-//! with a live metric registry recording every codec span, interleaved
-//! with the disabled-telemetry arena, and the binary exits non-zero if
-//! the enabled throughput falls below [`TELEMETRY_MIN_RATIO`]× of the
-//! disabled one.
+//! instrumentation's hot-path claim: the full-band encode **and decode**
+//! are re-timed with a live metric registry recording every codec span,
+//! interleaved with the disabled-telemetry arenas, and the binary exits
+//! non-zero if either enabled throughput falls below
+//! [`TELEMETRY_MIN_RATIO`]× of the disabled one.
+//!
+//! Since the flight recorder the same treatment covers tracing: the
+//! measured encode/decode paths run with tracing *disabled* (the default
+//! — one pointer check per call site), so the `--check` gate against the
+//! committed baseline also guards the disabled-tracing branch; and a
+//! recorder-enabled encode/decode pair is interleaved against the
+//! disabled arenas, failing below [`TRACING_MIN_RATIO`]×.
 
 use earthplus::prelude::*;
 use earthplus::{CaptureContext, StageTimings};
@@ -70,11 +77,17 @@ const CHECK_MIN_RATIO: f64 = 0.4;
 /// coefficients).
 const DECODE_LL_MIN_SPEEDUP: f64 = 5.0;
 
-/// Minimum telemetry-enabled encode throughput as a fraction of the
-/// disabled-telemetry throughput, measured interleaved in-process. The
-/// instrumentation is a handful of `SpanTimer`s per tile; anything below
-/// this floor means a hot-path regression, not noise.
+/// Minimum telemetry-enabled encode/decode throughput as a fraction of
+/// the disabled-telemetry throughput, measured interleaved in-process.
+/// The instrumentation is a handful of `SpanTimer`s per tile; anything
+/// below this floor means a hot-path regression, not noise.
 const TELEMETRY_MIN_RATIO: f64 = 0.9;
+
+/// Minimum recorder-enabled (tracing) encode/decode throughput as a
+/// fraction of the tracing-disabled throughput. The recorder pushes one
+/// Begin/End pair per encode/decode *call* behind a short mutex hold —
+/// per-tile work would show up here as a collapse below the floor.
+const TRACING_MIN_RATIO: f64 = 0.8;
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
@@ -267,15 +280,25 @@ fn main() {
     let decode_full_mpix_s = band_mpix / dec_full_s;
     let decode_ll_mpix_s = band_mpix / dec_ll_s;
 
-    // 4. Telemetry overhead: the same full-band EPC2 encode with a live
-    //    registry recording every codec span, interleaved with the
-    //    disabled-telemetry arena so the ratio is load-immune.
+    // 4. Telemetry overhead: the same full-band EPC2 encode and decode
+    //    with a live registry recording every codec span, interleaved
+    //    with the disabled-telemetry arenas so the ratios are load-immune.
+    //    The disabled arenas also carry an explicitly disabled trace sink
+    //    (identical to the default), so every "off" number below is the
+    //    tracing-disabled path the --check gate guards.
     let registry = MetricsRegistry::new();
     let mut scratch_on = CodecScratch::new();
     scratch_on.set_telemetry(&registry.sink());
+    let mut dscratch_on = DecodeScratch::new();
+    dscratch_on.set_telemetry(&registry.sink());
+    scratch.set_tracing(&earthplus::TraceSink::disabled());
+    dscratch.set_tracing(&earthplus::TraceSink::disabled());
     let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch_on)
         .expect("image matches grid");
+    let _ = decode_with_scratch(&full_enc, &mut dscratch_on).expect("full decode");
     let (mut tel_on_times, mut tel_off_times, mut tel_ratios) =
+        (Vec::new(), Vec::new(), Vec::new());
+    let (mut tel_dec_on_times, mut tel_dec_off_times, mut tel_dec_ratios) =
         (Vec::new(), Vec::new(), Vec::new());
     for _ in 0..reps.max(8) {
         let t = Instant::now();
@@ -287,14 +310,58 @@ fn main() {
         tel_on_times.push(on);
         tel_off_times.push(off);
         tel_ratios.push(off / on);
+        let t = Instant::now();
+        let _ = decode_with_scratch(&full_enc, &mut dscratch_on).expect("full decode");
+        let dec_on = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = decode_with_scratch(&full_enc, &mut dscratch).expect("full decode");
+        let dec_off = t.elapsed().as_secs_f64();
+        tel_dec_on_times.push(dec_on);
+        tel_dec_off_times.push(dec_off);
+        tel_dec_ratios.push(dec_off / dec_on);
     }
     let telemetry_on_s = median(&mut tel_on_times);
     let telemetry_off_s = median(&mut tel_off_times);
     let telemetry_ratio = median(&mut tel_ratios);
+    let telemetry_dec_on_s = median(&mut tel_dec_on_times);
+    let telemetry_dec_off_s = median(&mut tel_dec_off_times);
+    let telemetry_dec_ratio = median(&mut tel_dec_ratios);
+
+    // 5. Tracing overhead: a flight recorder capturing the codec's spans
+    //    (one Begin/End pair per encode/decode call), interleaved with
+    //    the tracing-disabled arenas.
+    let flight = FlightRecorder::new();
+    let mut scratch_tr = CodecScratch::new();
+    scratch_tr.set_tracing(&flight.sink());
+    let mut dscratch_tr = DecodeScratch::new();
+    dscratch_tr.set_tracing(&flight.sink());
+    let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch_tr)
+        .expect("image matches grid");
+    let _ = decode_with_scratch(&full_enc, &mut dscratch_tr).expect("full decode");
+    let (mut trace_enc_ratios, mut trace_dec_ratios) = (Vec::new(), Vec::new());
+    for _ in 0..reps.max(8) {
+        let t = Instant::now();
+        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch_tr);
+        let on = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch);
+        let off = t.elapsed().as_secs_f64();
+        trace_enc_ratios.push(off / on);
+        let t = Instant::now();
+        let _ = decode_with_scratch(&full_enc, &mut dscratch_tr).expect("full decode");
+        let dec_on = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = decode_with_scratch(&full_enc, &mut dscratch).expect("full decode");
+        let dec_off = t.elapsed().as_secs_f64();
+        trace_dec_ratios.push(dec_off / dec_on);
+    }
+    let tracing_enc_ratio = median(&mut trace_enc_ratios);
+    let tracing_dec_ratio = median(&mut trace_dec_ratios);
+    let tracing_events = flight.recorded_events();
 
     let json = format!(
         r#"{{
-  "schema": 4,
+  "schema": 5,
   "scenario": "pipeline_runtime quick scene (seed 7, agriculture, {w}x{h}, {bands} bands)",
   "mode": "{mode}",
   "samples": {reps},
@@ -339,7 +406,16 @@ fn main() {
     "enabled_mpix_per_s": {tel_on_rate:.3},
     "disabled_mpix_per_s": {tel_off_rate:.3},
     "throughput_ratio": {telemetry_ratio:.3},
+    "decode_enabled_seconds": {telemetry_dec_on_s:.6},
+    "decode_disabled_seconds": {telemetry_dec_off_s:.6},
+    "decode_throughput_ratio": {telemetry_dec_ratio:.3},
     "min_ratio": {TELEMETRY_MIN_RATIO}
+  }},
+  "tracing_overhead": {{
+    "encode_throughput_ratio": {tracing_enc_ratio:.3},
+    "decode_throughput_ratio": {tracing_dec_ratio:.3},
+    "recorded_events": {tracing_events},
+    "min_ratio": {TRACING_MIN_RATIO}
   }},
   "codec_scratch": {{
     "reserved_bytes": {reserved},
@@ -371,6 +447,27 @@ fn main() {
         eprintln!(
             "ERROR: telemetry-enabled encode runs at {telemetry_ratio:.3}x the disabled \
              throughput (floor {TELEMETRY_MIN_RATIO}x)"
+        );
+        std::process::exit(1);
+    }
+    if telemetry_dec_ratio < TELEMETRY_MIN_RATIO {
+        eprintln!(
+            "ERROR: telemetry-enabled decode runs at {telemetry_dec_ratio:.3}x the disabled \
+             throughput (floor {TELEMETRY_MIN_RATIO}x)"
+        );
+        std::process::exit(1);
+    }
+    if tracing_enc_ratio < TRACING_MIN_RATIO {
+        eprintln!(
+            "ERROR: recorder-enabled encode runs at {tracing_enc_ratio:.3}x the \
+             tracing-disabled throughput (floor {TRACING_MIN_RATIO}x)"
+        );
+        std::process::exit(1);
+    }
+    if tracing_dec_ratio < TRACING_MIN_RATIO {
+        eprintln!(
+            "ERROR: recorder-enabled decode runs at {tracing_dec_ratio:.3}x the \
+             tracing-disabled throughput (floor {TRACING_MIN_RATIO}x)"
         );
         std::process::exit(1);
     }

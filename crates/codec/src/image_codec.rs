@@ -645,6 +645,13 @@ fn encode_view_impl(
         FormatVersion::Epc1 => &scratch.enc_epc1_ns,
         FormatVersion::Epc2 => &scratch.enc_epc2_ns,
     });
+    let mut trace = scratch.tracing.span(
+        "codec",
+        match config.format {
+            FormatVersion::Epc1 => "encode.epc1",
+            FormatVersion::Epc2 => "encode.epc2",
+        },
+    );
     let levels = config.levels.min(dwt::max_levels(w, h));
     let scale = config.input_levels as f32;
     // Gather + scale in one pass (this replaces the old extract-tile copy
@@ -729,6 +736,7 @@ fn encode_view_impl(
         FormatVersion::Epc2 => encode_epc2(w, h, levels, step, config, budget, scratch),
     };
     scratch.enc_bytes.record(image.payload.len() as u64);
+    trace.arg("payload_bytes", image.payload.len());
     scratch.track_growth();
     Ok(image)
 }
@@ -938,6 +946,19 @@ pub fn decode_into(
             FormatVersion::Epc2 => &scratch.dec_epc2_ns,
         }
     });
+    let mut trace = scratch.tracing.span(
+        "codec",
+        if k > 0 {
+            "decode.partial"
+        } else {
+            match encoded.format {
+                FormatVersion::Epc1 => "decode.epc1",
+                FormatVersion::Epc2 => "decode.epc2",
+            }
+        },
+    );
+    trace.arg("payload_bytes", encoded.payload_len());
+    trace.arg("discard_levels", k);
     let keep = encoded.levels - k;
     let (rw, rh) = dwt::reduced_dims(w, h, k);
     out.reset(rw, rh);

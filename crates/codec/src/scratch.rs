@@ -21,7 +21,7 @@
 //! every encode/decode call threaded through it, keeping the hot path free
 //! of name lookups (a disabled handle costs one pointer check).
 
-use earthplus_telemetry::{names, Histogram, TelemetrySink};
+use earthplus_telemetry::{names, Histogram, TelemetrySink, TraceSink};
 
 /// Reusable buffers for the DWT → quantize → bitplane → range-code path.
 ///
@@ -74,6 +74,8 @@ pub struct CodecScratch {
     pub(crate) enc_epc2_ns: Histogram,
     /// Encoded payload size per encode call (disabled by default).
     pub(crate) enc_bytes: Histogram,
+    /// Per-call trace spans on the flight recorder (disabled by default).
+    pub(crate) tracing: TraceSink,
     /// Capacity sum observed after the previous encode call.
     last_capacity: usize,
     grow_events: u64,
@@ -123,6 +125,14 @@ impl CodecScratch {
         self.enc_epc1_ns = sink.histogram(names::CODEC_ENCODE_EPC1_NS);
         self.enc_epc2_ns = sink.histogram(names::CODEC_ENCODE_EPC2_NS);
         self.enc_bytes = sink.histogram(names::CODEC_ENCODE_BYTES);
+    }
+
+    /// Wires this arena's trace events to `sink`: every encode call then
+    /// records a begin/end span (lane `"codec"`) on whatever track/trace
+    /// is in scope — the capture being encoded when the strategy opened
+    /// one. A disabled sink costs one pointer check per call.
+    pub fn set_tracing(&mut self, sink: &TraceSink) {
+        self.tracing = sink.clone();
     }
 
     /// Called at the end of every encode to account for buffer growth.
@@ -190,6 +200,8 @@ pub struct DecodeScratch {
     /// Partial (level-limited / LL-only) decode latency span target
     /// (disabled by default).
     pub(crate) dec_partial_ns: Histogram,
+    /// Per-call trace spans on the flight recorder (disabled by default).
+    pub(crate) tracing: TraceSink,
     /// Payload bytes the last decode call handed to the bitplane decoders
     /// — the byte-access counter the seek tests assert against (an
     /// LL-only decode of an EPC2 stream must never touch bytes past the
@@ -244,6 +256,13 @@ impl DecodeScratch {
         self.dec_epc1_ns = sink.histogram(names::CODEC_DECODE_EPC1_NS);
         self.dec_epc2_ns = sink.histogram(names::CODEC_DECODE_EPC2_NS);
         self.dec_partial_ns = sink.histogram(names::CODEC_DECODE_PARTIAL_NS);
+    }
+
+    /// Wires this arena's trace events to `sink`: every decode call then
+    /// records a begin/end span (lane `"codec"`) on whatever track/trace
+    /// is in scope. A disabled sink costs one pointer check per call.
+    pub fn set_tracing(&mut self, sink: &TraceSink) {
+        self.tracing = sink.clone();
     }
 
     /// Payload bytes the most recent decode call actually read (sliced

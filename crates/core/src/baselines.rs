@@ -109,6 +109,7 @@ impl CompressionStrategy for KodanStrategy {
             reference_age_days: None,
             timings,
             band_bytes,
+            trace: earthplus_telemetry::TraceId::NONE,
         }
     }
 
@@ -203,6 +204,7 @@ impl CompressionStrategy for SatRoiStrategy {
                 reference_age_days: None,
                 timings,
                 band_bytes: Vec::new(),
+                trace: earthplus_telemetry::TraceId::NONE,
             };
         }
 
@@ -325,6 +327,7 @@ impl CompressionStrategy for SatRoiStrategy {
             },
             timings,
             band_bytes,
+            trace: earthplus_telemetry::TraceId::NONE,
         }
     }
 
@@ -426,6 +429,7 @@ impl CompressionStrategy for DownloadEverythingStrategy {
             reference_age_days: None,
             timings,
             band_bytes,
+            trace: earthplus_telemetry::TraceId::NONE,
         }
     }
 

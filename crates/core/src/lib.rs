@@ -74,7 +74,12 @@ pub use earthplus_ground::{
     GroundService, GroundServiceConfig, GroundServiceStats, IngestReport, PersistentReferenceStore,
     ReferenceBackend, ReferenceBackendConfig, ShardedReferenceStore,
 };
-pub use earthplus_telemetry::{MetricsRegistry, Snapshot, TelemetrySink};
+pub use earthplus_telemetry::{
+    evaluate_health, verdicts_table, FlightRecorder, HealthCheck, HealthRule, HealthStatus,
+    HealthVerdict, MetricsRegistry, SeriesMetric, SeriesRecorder, SeriesSpec, Snapshot,
+    TelemetrySeries, TelemetrySink, TraceEvent, TraceEventKind, TraceId, TraceLog, TraceSink,
+    TraceTrack,
+};
 pub use reference::{OnboardReferenceCache, ReferenceImage, ReferencePool};
 pub use simulator::{MissionReport, MissionSimulator, SimulationConfig};
 pub use storage::StorageModel;
@@ -94,5 +99,5 @@ pub mod prelude {
     pub use crate::strategy::{CaptureReport, CompressionStrategy};
     pub use crate::system::EarthPlusStrategy;
     pub use crate::telemetry::TelemetryReport;
-    pub use earthplus_telemetry::MetricsRegistry;
+    pub use earthplus_telemetry::{FlightRecorder, MetricsRegistry, TraceId, TraceLog};
 }

@@ -112,6 +112,7 @@ mod tests {
             reference_age_days: None,
             timings: StageTimings::default(),
             band_bytes: Vec::new(),
+            trace: earthplus_telemetry::TraceId::NONE,
         }
     }
 

@@ -7,6 +7,7 @@ use crate::uplink::UplinkReport;
 use earthplus_ground::ContactWindow;
 use earthplus_orbit::{Constellation, ContactSchedule, LinkModel, SatelliteId};
 use earthplus_scene::{DatasetConfig, LocationScene};
+use earthplus_telemetry::SeriesRecorder;
 use std::collections::HashMap;
 
 /// Simulation parameters.
@@ -160,7 +161,39 @@ impl MissionSimulator {
         // Per-satellite time cursor for contact processing.
         let mut last_contact_day: HashMap<SatelliteId, f64> = HashMap::new();
 
+        // Windowed telemetry: snapshot each strategy's registry at every
+        // mission-day boundary, so the rollup can report per-day series
+        // (throughput, stage p90s, cache hit rate) instead of only
+        // mission-total aggregates. Strategies without a registry never
+        // observe a window and simply report no daily series.
+        let mut recorders: HashMap<String, SeriesRecorder> = strategies
+            .iter()
+            .map(|s| (s.name().to_owned(), SeriesRecorder::new()))
+            .collect();
+        let mut window_day: Option<f64> = None;
+        let mut observe_windows = |strategies: &[&mut dyn CompressionStrategy], day: f64| {
+            for s in strategies.iter() {
+                if let Some(snapshot) = s.telemetry_snapshot() {
+                    recorders
+                        .get_mut(s.name())
+                        .expect("strategy registered")
+                        .observe(day, snapshot);
+                }
+            }
+        };
+
         for visit in visits {
+            // Close out finished day windows before this visit's work.
+            let day_floor = visit.day.floor();
+            if let Some(w) = window_day {
+                if day_floor > w {
+                    observe_windows(strategies, w);
+                }
+            }
+            if window_day.is_none_or(|w| day_floor > w) {
+                window_day = Some(day_floor);
+            }
+
             let scene = self
                 .scenes
                 .iter()
@@ -228,13 +261,25 @@ impl MissionSimulator {
             }
         }
 
+        // Close the last (possibly partial) day window.
+        if let Some(w) = window_day {
+            observe_windows(strategies, w);
+        }
+
         for s in strategies.iter() {
             report.storage.insert(s.name().to_owned(), s.storage());
-            let rollup = TelemetryReport::from_records(
+            let mut rollup = TelemetryReport::from_records(
                 &report.captures[s.name()],
                 &report.uplink[s.name()],
                 s.telemetry_snapshot(),
             );
+            let recorder = &recorders[s.name()];
+            if !recorder.is_empty() {
+                rollup = rollup.with_daily(
+                    recorder.series(&TelemetryReport::mission_series_specs()),
+                    &TelemetryReport::mission_health_rules(),
+                );
+            }
             report.telemetry.insert(s.name().to_owned(), rollup);
         }
         report

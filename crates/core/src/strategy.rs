@@ -6,7 +6,7 @@ use earthplus_ground::ContactWindow;
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId, Raster, TileGrid, TileMask};
 use earthplus_scene::Capture;
-use earthplus_telemetry::Snapshot;
+use earthplus_telemetry::{Snapshot, TraceId};
 use std::collections::HashMap;
 
 /// Wall-clock time spent in each on-board stage for one capture (the
@@ -57,6 +57,11 @@ pub struct CaptureReport {
     pub timings: StageTimings,
     /// Bytes queued per band (drives the per-band breakdown of Figure 14).
     pub band_bytes: Vec<(Band, u64)>,
+    /// Causal trace id minted for this capture when a flight recorder is
+    /// wired ([`TraceId::NONE`] otherwise, and for the baselines). Look it
+    /// up in the recorder's [`earthplus_telemetry::TraceLog`] to see every
+    /// span the capture touched across strategy, ground, and refstore.
+    pub trace: TraceId,
 }
 
 /// On-board storage footprint (Figure 15's breakdown).

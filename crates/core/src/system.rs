@@ -28,7 +28,7 @@ use earthplus_codec::{encode_roi_with_scratch, CodecConfig, CodecScratch, Decode
 use earthplus_ground::{ContactWindow, GroundService, GroundServiceConfig};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{psnr_from_mse, Band, LocationId, TileGrid, TileMask};
-use earthplus_telemetry::{names, Histogram, Snapshot, TelemetrySink};
+use earthplus_telemetry::{names, Histogram, Snapshot, TelemetrySink, TraceSink, TraceTrack};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -61,6 +61,11 @@ pub struct EarthPlusStrategy {
     // ground config, so the capture path pays one pointer check per stage
     // when observability is off.
     sink: TelemetrySink,
+    // Tracing: the capture path mints one TraceId per capture and opens an
+    // ambient scope on the satellite's track, so the codec / ground /
+    // refstore spans recorded underneath all carry the same causal id.
+    // Disabled (the default) this is one pointer check per capture.
+    tracing: TraceSink,
     stage_cloud_ns: Histogram,
     stage_change_ns: Histogram,
     stage_encode_ns: Histogram,
@@ -94,10 +99,13 @@ impl EarthPlusStrategy {
         // The strategy times its stages into the same sink the ground
         // service exports through, so one registry sees the whole system.
         let sink = ground.telemetry.clone();
+        let tracing = ground.tracing.clone();
         let mut codec_scratch = CodecScratch::new();
         codec_scratch.set_telemetry(&sink);
+        codec_scratch.set_tracing(&tracing);
         let mut decode_scratch = DecodeScratch::new();
         decode_scratch.set_telemetry(&sink);
+        decode_scratch.set_tracing(&tracing);
         let service = GroundService::new(ground.with_theta(config.theta));
         EarthPlusStrategy {
             change_detector: ChangeDetector::new(config.detection_theta(), config.tile_size),
@@ -116,6 +124,7 @@ impl EarthPlusStrategy {
             stage_encode_ns: sink.histogram(names::STAGE_ENCODE_NS),
             stage_ground_patch_ns: sink.histogram(names::STAGE_GROUND_PATCH_NS),
             sink,
+            tracing,
         }
     }
 
@@ -145,6 +154,13 @@ impl EarthPlusStrategy {
     /// through — disabled unless the ground config carried a registry.
     pub fn telemetry(&self) -> &TelemetrySink {
         &self.sink
+    }
+
+    /// The trace sink the strategy (and its ground service, codec, and
+    /// refstore) records through — disabled unless the ground config
+    /// carried a flight recorder.
+    pub fn tracing(&self) -> &TraceSink {
+        &self.tracing
     }
 }
 
@@ -183,12 +199,29 @@ impl CompressionStrategy for EarthPlusStrategy {
         let grid = TileGrid::new(w, h, self.config.tile_size).expect("capture is tileable");
         let mut timings = StageTimings::default();
 
+        // Mint this capture's causal trace id and make it ambient on the
+        // satellite's track: every span and instant recorded until `_scope`
+        // drops — including inside the codec, the ground service, and the
+        // refstore — carries the same id, so one capture can be replayed
+        // end to end from the flight recorder.
+        let trace = self.tracing.mint();
+        let _scope = self
+            .tracing
+            .scope(trace, TraceTrack::Satellite(ctx.satellite.0));
+        let mut capture_span = self.tracing.span("strategy", "capture");
+        capture_span.arg("day", ctx.day);
+        capture_span.arg("location", ctx.location.0);
+        capture_span.arg("cloud_fraction", capture.cloud_fraction);
+
         // 1. Cheap on-board cloud detection.
         let t = Instant::now();
+        let mut cloud_span = self.tracing.span("strategy", "cloud_detect");
         let detection = self
             .cloud_detector
             .detect(&capture.image)
             .expect("capture is tileable");
+        cloud_span.arg("detected_coverage", detection.coverage);
+        drop(cloud_span);
         timings.cloud_s = t.elapsed().as_secs_f64();
         // Dropped captures still paid for detection, so record before the
         // drop decision.
@@ -197,6 +230,12 @@ impl CompressionStrategy for EarthPlusStrategy {
 
         // 2. Image dropping (> 50 % detected cloud).
         if detection.coverage > self.config.cloud_drop_threshold {
+            self.tracing.instant(
+                "strategy",
+                "capture.dropped",
+                &[("detected_coverage", detection.coverage.into())],
+            );
+            capture_span.arg("dropped", true);
             return CaptureReport {
                 day: ctx.day,
                 satellite: ctx.satellite,
@@ -210,6 +249,7 @@ impl CompressionStrategy for EarthPlusStrategy {
                 reference_age_days: None,
                 timings,
                 band_bytes: Vec::new(),
+                trace,
             };
         }
 
@@ -223,6 +263,8 @@ impl CompressionStrategy for EarthPlusStrategy {
             >= self.config.guaranteed_period_days;
 
         let budget = self.config.tile_budget_bytes();
+        capture_span.arg("guaranteed", guaranteed);
+        capture_span.arg("tile_budget_bytes", budget as u64);
         let mut total_bytes = 0u64;
         let mut band_bytes: Vec<(Band, u64)> = Vec::new();
         let mut tile_fraction_sum = 0.0f64;
@@ -238,6 +280,7 @@ impl CompressionStrategy for EarthPlusStrategy {
             // rides along: the ground inverts it to keep its belief mosaic
             // in one canonical illumination ([72]).
             let t = Instant::now();
+            let mut change_span = self.tracing.span("strategy", "change_detect");
             let mut fresh_canonical = guaranteed;
             let mut alignment = earthplus_raster::AlignmentModel::identity();
             let changed = if guaranteed {
@@ -251,7 +294,9 @@ impl CompressionStrategy for EarthPlusStrategy {
                     .serve_reference(ctx.satellite, ctx.location, band)
                 {
                     Some(reference) => {
-                        ref_age_sum += reference.age_days(ctx.day);
+                        let age = reference.age_days(ctx.day);
+                        change_span.arg("reference_age_days", age);
+                        ref_age_sum += age;
                         ref_age_n += 1;
                         let detection = self
                             .change_detector
@@ -265,6 +310,7 @@ impl CompressionStrategy for EarthPlusStrategy {
                         // and this capture defines the canonical
                         // illumination.
                         fresh_canonical = true;
+                        change_span.arg("cold_cache", true);
                         let mut all = TileMask::new(&grid);
                         all.fill();
                         all.subtract(&cloudy_tiles);
@@ -272,6 +318,8 @@ impl CompressionStrategy for EarthPlusStrategy {
                     }
                 }
             };
+            change_span.arg("changed_tiles", changed.count_set());
+            drop(change_span);
             timings.change_s += t.elapsed().as_secs_f64();
 
             // 5. ROI-encode the changed tiles at γ bits/pixel.
@@ -294,6 +342,13 @@ impl CompressionStrategy for EarthPlusStrategy {
             // canonical illumination, patch, and score the rendered
             // reconstruction on non-cloudy tiles.
             let t = Instant::now();
+            // The decode + patch is ground-side work: move the ambient
+            // track to the station for this step so the codec's decode
+            // spans land on the ground timeline (the trace id rides along
+            // unchanged).
+            let ground_scope = self.tracing.scope(trace, TraceTrack::Station(0));
+            let mut patch_span = self.tracing.span("strategy", "ground.patch");
+            patch_span.arg("roi_bytes", roi.size_bytes() as u64);
             let belief = self.belief.belief_mut(ctx.location, band, w, h);
             let gain = if alignment.gain.abs() < 0.25 {
                 1.0
@@ -326,6 +381,8 @@ impl CompressionStrategy for EarthPlusStrategy {
                 mse_sum += mse;
                 mse_bands += 1;
             }
+            drop(patch_span);
+            drop(ground_scope);
             ground_patch_s += t.elapsed().as_secs_f64();
         }
 
@@ -366,6 +423,7 @@ impl CompressionStrategy for EarthPlusStrategy {
         self.peak_pending = self.peak_pending.max(*pending);
 
         let bands = capture.image.band_count() as f64;
+        capture_span.arg("downloaded_bytes", total_bytes);
         CaptureReport {
             day: ctx.day,
             satellite: ctx.satellite,
@@ -387,6 +445,7 @@ impl CompressionStrategy for EarthPlusStrategy {
             },
             timings,
             band_bytes,
+            trace,
         }
     }
 

@@ -13,7 +13,11 @@
 use crate::strategy::CaptureReport;
 use crate::uplink::UplinkReport;
 use earthplus_orbit::SatelliteId;
-use earthplus_telemetry::{hit_rate, humanize, names, Histogram, HistogramSnapshot, Snapshot};
+use earthplus_telemetry::{
+    evaluate_health, hit_rate, humanize, names, verdicts_table, HealthCheck, HealthRule,
+    HealthVerdict, Histogram, HistogramSnapshot, SeriesMetric, SeriesSpec, Snapshot,
+    TelemetrySeries,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -90,6 +94,13 @@ pub struct TelemetryReport {
     /// The strategy's full registry snapshot (stage, codec, ground, and
     /// refstore metrics), when observability was wired up.
     pub snapshot: Option<Snapshot>,
+    /// Per-mission-day windowed series (throughput, stage p90s, cache
+    /// hit rate, refstore dead-bytes ratio, …), when the simulator could
+    /// snapshot a live registry at day boundaries; `None` otherwise.
+    pub daily: Option<TelemetrySeries>,
+    /// Health-rule verdicts over [`TelemetryReport::daily`]; empty when
+    /// no daily series exists.
+    pub health: Vec<HealthVerdict>,
 }
 
 impl TelemetryReport {
@@ -121,7 +132,91 @@ impl TelemetryReport {
             uplink_bytes: uplink_hist.snapshot(),
             cache_hit_rate,
             snapshot,
+            daily: None,
+            health: Vec::new(),
         }
+    }
+
+    /// Attaches a daily series and evaluates `rules` over it.
+    pub fn with_daily(mut self, daily: TelemetrySeries, rules: &[HealthRule]) -> Self {
+        self.health = evaluate_health(rules, &daily);
+        self.daily = Some(daily);
+        self
+    }
+
+    /// The standard per-day series the simulator extracts from a live
+    /// registry: capture throughput, stage p90s, codec output volume,
+    /// uplink spend, cache hit rate, refstore dead-bytes ratio, and
+    /// flight-recorder overflow.
+    pub fn mission_series_specs() -> Vec<SeriesSpec> {
+        vec![
+            SeriesSpec::new("captures", SeriesMetric::HistCount(names::STAGE_CLOUD_NS)),
+            SeriesSpec::new(
+                "cloud_p90_ns",
+                SeriesMetric::HistQuantile(names::STAGE_CLOUD_NS, 0.9),
+            ),
+            SeriesSpec::new(
+                "change_p90_ns",
+                SeriesMetric::HistQuantile(names::STAGE_CHANGE_NS, 0.9),
+            ),
+            SeriesSpec::new(
+                "encode_p90_ns",
+                SeriesMetric::HistQuantile(names::STAGE_ENCODE_NS, 0.9),
+            ),
+            SeriesSpec::new(
+                "encoded_bytes",
+                SeriesMetric::HistSum(names::CODEC_ENCODE_BYTES),
+            ),
+            SeriesSpec::new(
+                "uplink_bytes",
+                SeriesMetric::Counter(names::GROUND_UPLINK_BYTES),
+            ),
+            SeriesSpec::new(
+                "cache_hit_rate",
+                SeriesMetric::HitRate {
+                    hits: names::GROUND_CACHE_HITS,
+                    misses: names::GROUND_CACHE_MISSES,
+                },
+            ),
+            SeriesSpec::new(
+                "refstore_dead_ratio",
+                SeriesMetric::GaugeShare {
+                    part: names::REFSTORE_DEAD_BYTES,
+                    rest: names::REFSTORE_LIVE_BYTES,
+                },
+            ),
+            SeriesSpec::new("trace_dropped", SeriesMetric::Counter(names::TRACE_DROPPED)),
+        ]
+    }
+
+    /// The default health rules over [`TelemetryReport::mission_series_specs`]:
+    /// encode-latency regression, warmed-up cache collapse, flight-recorder
+    /// overflow, and runaway refstore garbage.
+    pub fn mission_health_rules() -> Vec<HealthRule> {
+        vec![
+            HealthRule::new(
+                "encode-p90-regression",
+                "encode_p90_ns",
+                HealthCheck::RegressionMax {
+                    factor: 4.0,
+                    baseline_windows: 5,
+                },
+            ),
+            HealthRule::new(
+                "cache-hit-rate-collapse",
+                "cache_hit_rate",
+                HealthCheck::MinAfterWarmup {
+                    limit: 0.5,
+                    warmup_windows: 5,
+                },
+            ),
+            HealthRule::new("recorder-overflow", "trace_dropped", HealthCheck::Max(0.0)),
+            HealthRule::new(
+                "refstore-dead-bytes",
+                "refstore_dead_ratio",
+                HealthCheck::Max(0.8),
+            ),
+        ]
     }
 
     /// Renders the rollup as aligned text: constellation-wide stage
@@ -186,6 +281,18 @@ impl TelemetryReport {
                 rate * 100.0
             );
         }
+        if let Some(daily) = &self.daily {
+            if !daily.is_empty() {
+                let _ = writeln!(out);
+                let _ = writeln!(out, "per-day series:");
+                out.push_str(&daily.to_table());
+            }
+        }
+        if !self.health.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "health:");
+            out.push_str(&verdicts_table(&self.health));
+        }
         out
     }
 }
@@ -215,6 +322,7 @@ mod tests {
                 encode_s: 3e-6,
             },
             band_bytes: Vec::new(),
+            trace: earthplus_telemetry::TraceId::NONE,
         }
     }
 

@@ -134,6 +134,19 @@ impl PersistentReferenceStore {
         }
     }
 
+    /// Wires every shard log's trace events to `sink` (see
+    /// [`RefLog::attach_tracing`]): appends and compactions record
+    /// begin/end spans on the ground station's timeline, carrying the
+    /// trace id of the capture in scope when they run.
+    pub fn attach_tracing(&self, sink: &earthplus_telemetry::TraceSink) {
+        for shard in &self.shards {
+            shard
+                .write()
+                .expect("refstore shard poisoned")
+                .attach_tracing(sink);
+        }
+    }
+
     /// Number of shards (= shard directories).
     pub fn shard_count(&self) -> usize {
         self.shards.len()

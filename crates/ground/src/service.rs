@@ -19,7 +19,9 @@ use earthplus_codec::{DecodeScratch, EncodedImage};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId};
 use earthplus_refstore::{RecoveryReport, RefLogConfig, RefStoreError};
-use earthplus_telemetry::{names, Counter, Gauge, Histogram, SpanTimer, TelemetrySink};
+use earthplus_telemetry::{
+    names, Counter, Gauge, Histogram, SpanTimer, TelemetrySink, TraceSink, TraceTrack,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -71,6 +73,11 @@ pub struct GroundServiceConfig {
     /// way — but only a caller-supplied sink makes them visible in shared
     /// telemetry snapshots.
     pub telemetry: TelemetrySink,
+    /// Where the service records trace events (ingest/planning spans,
+    /// cache-lookup instants, storage appends). Disabled by default:
+    /// tracing costs one pointer check per site until a
+    /// [`earthplus_telemetry::FlightRecorder`] sink is wired in.
+    pub tracing: TraceSink,
 }
 
 impl Default for GroundServiceConfig {
@@ -85,6 +92,7 @@ impl Default for GroundServiceConfig {
             targets: Vec::new(),
             reference_downsample: DEFAULT_REFERENCE_DOWNSAMPLE,
             telemetry: TelemetrySink::default(),
+            tracing: TraceSink::default(),
         }
     }
 }
@@ -134,6 +142,13 @@ impl GroundServiceConfig {
     /// stage latency histograms, cache counters, storage-engine spans).
     pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
         self.telemetry = sink;
+        self
+    }
+
+    /// Routes the service's trace events into `sink` — the flight
+    /// recorder's ground-station timeline.
+    pub fn with_tracing(mut self, sink: TraceSink) -> Self {
+        self.tracing = sink;
         self
     }
 }
@@ -213,6 +228,8 @@ pub struct GroundService {
     /// backed (`or_private` at construction), so [`GroundService::stats`]
     /// reads real counts even when the caller disabled telemetry.
     sink: TelemetrySink,
+    /// Trace sink (disabled unless the caller wired a flight recorder).
+    tracing: TraceSink,
     /// On-board cache counters, shared by every satellite's cache.
     cache_counters: CacheCounters,
     ingest_accepted: Counter,
@@ -259,6 +276,7 @@ impl GroundService {
                 ReferenceBackendConfig::Persistent { dir, log } => {
                     let (store, report) = PersistentReferenceStore::open(dir, config.shards, *log)?;
                     store.attach_telemetry(&sink);
+                    store.attach_tracing(&config.tracing);
                     (Box::new(store), Some(report))
                 }
             };
@@ -280,6 +298,7 @@ impl GroundService {
             ingest_encoded_ns: sink.histogram(names::GROUND_INGEST_ENCODED_NS),
             plan_pass_ns: sink.histogram(names::GROUND_PLAN_PASS_NS),
             sink,
+            tracing: config.tracing.clone(),
             config,
         })
     }
@@ -289,6 +308,13 @@ impl GroundService {
     /// `refstore.*`) metric.
     pub fn telemetry(&self) -> &TelemetrySink {
         &self.sink
+    }
+
+    /// The trace sink the service records into (disabled unless the
+    /// caller wired a flight recorder via
+    /// [`GroundServiceConfig::with_tracing`]).
+    pub fn tracing(&self) -> &TraceSink {
+        &self.tracing
     }
 
     /// The configuration in force.
@@ -325,7 +351,13 @@ impl GroundService {
     /// store updated (freshest-wins).
     pub fn ingest_downlink(&self, reference: ReferenceImage) -> bool {
         let _span = SpanTimer::start(&self.ingest_ns);
+        let mut trace = self
+            .tracing
+            .span_on(TraceTrack::Station(0), "ground", "ingest");
+        let day = reference.captured_day;
         let accepted = self.store.offer(reference);
+        trace.arg("accepted", accepted);
+        trace.arg("captured_day", day);
         if accepted {
             self.ingest_accepted.inc();
         } else {
@@ -355,6 +387,10 @@ impl GroundService {
         // so `ground.ingest_encoded_ns` answers "what does an archive
         // backfill cost per capture".
         let _span = SpanTimer::start(&self.ingest_encoded_ns);
+        let mut trace = self
+            .tracing
+            .span_on(TraceTrack::Station(0), "ground", "ingest_encoded");
+        trace.arg("bytes", encoded.payload_len());
         // Pop an arena and decode outside the lock: concurrent ingests
         // each get their own scratch instead of serializing on one.
         let mut scratch = self
@@ -425,6 +461,13 @@ impl GroundService {
     /// the last planning round, scheduled as one staleness-weighted queue.
     pub fn plan_pass(&self, contacts: &[ContactWindow]) -> Vec<UplinkReport> {
         let _span = SpanTimer::start(&self.plan_pass_ns);
+        let mut trace = self
+            .tracing
+            .span_on(TraceTrack::Station(0), "ground", "plan_pass");
+        trace.arg("contacts", contacts.len());
+        if let Some(first) = contacts.first() {
+            trace.arg("budget_bytes", first.budget_bytes);
+        }
         let all_keys;
         let targets: &[(LocationId, Band)] = if self.config.targets.is_empty() {
             all_keys = self.store.keys();
@@ -449,6 +492,9 @@ impl GroundService {
         self.deltas_sent.add(sent);
         self.deltas_skipped.add(skipped);
         self.uplink_bytes_sent.add(bytes);
+        trace.arg("deltas_sent", sent);
+        trace.arg("deltas_skipped", skipped);
+        trace.arg("bytes_used", bytes);
         let peak = caches.values().map(|c| c.size_bytes()).max().unwrap_or(0);
         self.peak_cache_bytes.set_max(peak);
         reports
@@ -465,7 +511,19 @@ impl GroundService {
     ) -> Option<ReferenceImage> {
         let mut caches = self.caches.lock().expect("cache table poisoned");
         let cache = caches.entry(satellite).or_insert_with(|| self.new_cache());
-        cache.get(location, band).cloned()
+        let served = cache.get(location, band).cloned();
+        if self.tracing.enabled() {
+            self.tracing.instant_on(
+                TraceTrack::Satellite(satellite.0),
+                "ground",
+                "cache.lookup",
+                &[
+                    ("hit", served.is_some().into()),
+                    ("location", location.0.into()),
+                ],
+            );
+        }
+        served
     }
 
     /// Runs a closure against one satellite's cache (inspection without

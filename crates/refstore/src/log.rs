@@ -35,7 +35,9 @@ use crate::record::{decode_frame, encode_frame, Record, RecordKey, BODY_FIXED_LE
 use crate::segment::{
     list_segments, scan_segment, segment_file_name, SegmentWriter, SEGMENT_HEADER_LEN,
 };
-use earthplus_telemetry::{names, Counter, Histogram, SpanTimer, TelemetrySink};
+use earthplus_telemetry::{
+    names, Counter, Gauge, Histogram, SpanTimer, TelemetrySink, TraceSink, TraceTrack,
+};
 use std::collections::{hash_map, HashMap};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
@@ -240,6 +242,17 @@ pub struct RefLog {
     /// Compaction-run latency span target (disabled until
     /// [`RefLog::attach_telemetry`]).
     compaction_ns: Histogram,
+    /// Store-wide byte gauges (disabled until [`RefLog::attach_telemetry`]).
+    /// Shared across shard logs: each log publishes only the *change* in
+    /// its own share ([`Gauge::offset`]), so the gauges read as the sum.
+    dead_bytes_gauge: Gauge,
+    live_bytes_gauge: Gauge,
+    /// The byte figures last published to the gauges, so the next publish
+    /// can offset by the difference.
+    reported_dead_bytes: u64,
+    reported_live_bytes: u64,
+    /// Trace-event sink (disabled until [`RefLog::attach_tracing`]).
+    tracing: TraceSink,
     /// How long [`RefLog::open`] spent replaying this directory — recorded
     /// into [`names::REFSTORE_REPLAY_NS`] when telemetry is attached
     /// (replay happens before any sink can be wired: the config is `Copy`
@@ -378,6 +391,11 @@ impl RefLog {
                 compactions: 0,
                 append_ns: Histogram::default(),
                 compaction_ns: Histogram::default(),
+                dead_bytes_gauge: Gauge::default(),
+                live_bytes_gauge: Gauge::default(),
+                reported_dead_bytes: 0,
+                reported_live_bytes: 0,
+                tracing: TraceSink::default(),
                 replay_ns: replay_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             },
             report,
@@ -413,6 +431,29 @@ impl RefLog {
         self.compaction_ns = sink.histogram(names::REFSTORE_COMPACTION_NS);
         sink.histogram(names::REFSTORE_REPLAY_NS)
             .record(self.replay_ns);
+        self.dead_bytes_gauge = sink.gauge(names::REFSTORE_DEAD_BYTES);
+        self.live_bytes_gauge = sink.gauge(names::REFSTORE_LIVE_BYTES);
+        self.publish_byte_gauges();
+    }
+
+    /// Wires this log's trace events to `sink`: committed appends and
+    /// compaction runs record begin/end spans on the ground station's
+    /// timeline (lane `"refstore"`), carrying the trace id of whatever
+    /// capture is in scope when they run.
+    pub fn attach_tracing(&mut self, sink: &TraceSink) {
+        self.tracing = sink.clone();
+    }
+
+    /// Publishes the store-wide byte gauges: offsets each shared gauge by
+    /// the change in this log's share since the last publish, so gauges
+    /// shared across shard logs always read as the shard sum.
+    fn publish_byte_gauges(&mut self) {
+        self.dead_bytes_gauge
+            .offset(self.dead_bytes as i64 - self.reported_dead_bytes as i64);
+        self.live_bytes_gauge
+            .offset(self.live_bytes as i64 - self.reported_live_bytes as i64);
+        self.reported_dead_bytes = self.dead_bytes;
+        self.reported_live_bytes = self.live_bytes;
     }
 
     /// The directory this log lives in.
@@ -446,6 +487,11 @@ impl RefLog {
         // nothing); includes segment rotation and any auto-compaction the
         // append triggers — that tail is real append latency to a caller.
         let _span = SpanTimer::start(&self.append_ns);
+        let mut trace = self
+            .tracing
+            .span_on(TraceTrack::Station(0), "refstore", "append");
+        trace.arg("payload_bytes", payload.len());
+        trace.arg("day", day);
         let frame = encode_frame(key, day, payload);
         if self.active.len + frame.len() as u64 > self.config.segment_max_bytes
             && self.active.len > SEGMENT_HEADER_LEN
@@ -471,6 +517,7 @@ impl RefLog {
         if self.config.auto_compact && self.should_compact() {
             self.compact()?;
         }
+        self.publish_byte_gauges();
         Ok(true)
     }
 
@@ -634,6 +681,11 @@ impl RefLog {
     /// docs); after the rename, the retired segments are swept instead.
     pub fn compact(&mut self) -> Result<()> {
         let _span = SpanTimer::start(&self.compaction_ns);
+        let mut trace = self
+            .tracing
+            .span_on(TraceTrack::Station(0), "refstore", "compact");
+        trace.arg("reclaimable_bytes", self.dead_bytes);
+        trace.arg("live_records", self.index.len());
         let live = self.index.entries_sorted();
 
         let mut new_segments: Vec<u64> = Vec::new();
@@ -724,6 +776,7 @@ impl RefLog {
         // longer lists (idempotent; redone on next open if we crash or
         // fail here), dropping their cached read handles first.
         self.handles.clear();
+        self.publish_byte_gauges();
         for id in retired {
             std::fs::remove_file(self.dir.join(segment_file_name(id)))?;
         }

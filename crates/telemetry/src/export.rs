@@ -97,17 +97,21 @@ impl Snapshot {
                     let _ = writeln!(
                         out,
                         r#"{{"name":"{}","kind":"counter","value":{v}}}"#,
-                        m.name
+                        json_escape(m.name)
                     );
                 }
                 MetricValue::Gauge(v) => {
-                    let _ = writeln!(out, r#"{{"name":"{}","kind":"gauge","value":{v}}}"#, m.name);
+                    let _ = writeln!(
+                        out,
+                        r#"{{"name":"{}","kind":"gauge","value":{v}}}"#,
+                        json_escape(m.name)
+                    );
                 }
                 MetricValue::Histogram(h) => {
                     let _ = writeln!(
                         out,
                         r#"{{"name":"{}","kind":"histogram","count":{},"sum":{},"min":{},"max":{},"p50":{},"p90":{},"p99":{}}}"#,
-                        m.name,
+                        json_escape(m.name),
                         h.count,
                         h.sum,
                         h.min,
@@ -209,7 +213,32 @@ pub fn humanize(name: &str, value: u64) -> String {
     }
 }
 
-fn humanize_ns(ns: u64) -> String {
+/// Escapes a string for embedding inside a JSON string literal: quotes
+/// and backslashes are backslash-escaped, control characters become
+/// `\n`/`\r`/`\t` or `\u00XX`. Used by both [`Snapshot::to_jsonl`] and
+/// the trace exporter, so hostile metric/event names cannot produce
+/// invalid JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds with an adaptive unit: `ns` below 1 µs, then
+/// `us`, `ms`, and `s` (two decimals) at and above one second.
+pub fn humanize_ns(ns: u64) -> String {
     let v = ns as f64;
     if ns < 1_000 {
         format!("{ns}ns")
@@ -222,7 +251,9 @@ fn humanize_ns(ns: u64) -> String {
     }
 }
 
-fn humanize_bytes(bytes: u64) -> String {
+/// Formats a byte count with an adaptive unit: `B` below 1 KiB, then
+/// `KiB`, `MiB`, and `GiB` (two decimals) at and above one gibibyte.
+pub fn humanize_bytes(bytes: u64) -> String {
     let v = bytes as f64;
     if bytes < 1024 {
         format!("{bytes}B")
@@ -304,5 +335,56 @@ mod tests {
         assert_eq!(humanize("x_bytes", 500), "500B");
         assert_eq!(humanize("x_bytes", 3 << 20), "3.0MiB");
         assert_eq!(humanize("plain", 7), "7");
+    }
+
+    #[test]
+    fn humanize_large_values_switch_units_at_the_boundary() {
+        // One nanosecond under a second still renders in ms; from one
+        // second on, seconds with two decimals — never a huge ms figure.
+        assert_eq!(humanize("x_ns", 999_999_999), "1000.00ms");
+        assert_eq!(humanize("x_ns", 1_000_000_000), "1.00s");
+        assert_eq!(humanize("x_ns", 90_000_000_000), "90.00s");
+        assert_eq!(humanize("x_ns", 3_600_000_000_000), "3600.00s");
+        // Same for bytes at the GiB boundary.
+        assert_eq!(humanize("x_bytes", (1 << 30) - 1), "1024.0MiB");
+        assert_eq!(humanize("x_bytes", 1 << 30), "1.00GiB");
+        assert_eq!(humanize("x_bytes", 5 * (1 << 30) + (1 << 29)), "5.50GiB");
+        assert_eq!(humanize("x_bytes", 1 << 40), "1024.00GiB");
+        // The uplink counter's ".bytes_sent" suffix humanizes too.
+        assert_eq!(humanize("ground.uplink.bytes_sent", 1 << 30), "1.00GiB");
+    }
+
+    #[test]
+    fn json_escape_neutralizes_hostile_strings() {
+        assert_eq!(json_escape("plain.name_ns"), "plain.name_ns");
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("a\nb\tc"), r"a\nb\tc");
+        assert_eq!(json_escape("\u{1}"), r"\u0001");
+    }
+
+    #[test]
+    fn jsonl_escapes_hostile_metric_names() {
+        // Names are &'static str; a hostile one can still arrive via
+        // Box::leak in downstream code, so the exporter must not trust
+        // them.
+        let hostile: &'static str = Box::leak(r#"evil"name\with_ns"#.to_string().into_boxed_str());
+        let r = MetricsRegistry::new();
+        r.counter(hostile).add(1);
+        r.histogram(Box::leak(r#"h"ist_ns"#.to_string().into_boxed_str()))
+            .record(5);
+        let jsonl = r.snapshot().to_jsonl();
+        for line in jsonl.lines() {
+            // Every line must be a self-contained JSON object with
+            // balanced, escaped quotes: strip escaped sequences and
+            // count the remaining quotes — they must be even.
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(
+                unescaped.matches('"').count() % 2,
+                0,
+                "unbalanced quotes in {line}"
+            );
+        }
+        assert!(jsonl.contains(r#"evil\"name\\with_ns"#), "jsonl:\n{jsonl}");
     }
 }

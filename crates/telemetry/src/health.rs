@@ -1,0 +1,317 @@
+//! Declarative health rules over windowed telemetry series.
+//!
+//! A [`HealthRule`] names one series from a [`TelemetrySeries`] and a
+//! threshold shape ([`HealthCheck`]); [`evaluate`] turns a rule set
+//! into [`HealthVerdict`]s — the "did anything degrade, and when"
+//! section of a mission's telemetry report. Rules are data, not code,
+//! so missions can ship their own without touching the engine.
+
+use crate::series::TelemetrySeries;
+use std::fmt::Write as _;
+
+/// The threshold shape a rule applies to its series.
+#[derive(Clone, Debug)]
+pub enum HealthCheck {
+    /// Breached when any point exceeds `limit`.
+    Max(f64),
+    /// Breached when any point after the first `warmup_windows` windows
+    /// falls below `limit` (early windows are noise: caches are cold,
+    /// references stale by construction).
+    MinAfterWarmup {
+        /// The floor the series must stay above once warmed up.
+        limit: f64,
+        /// Windows to ignore before enforcing the floor.
+        warmup_windows: usize,
+    },
+    /// Breached when any later point exceeds `factor` × the mean of the
+    /// first `baseline_windows` points — a regression detector for
+    /// latency quantiles.
+    RegressionMax {
+        /// Allowed multiple of the baseline mean.
+        factor: f64,
+        /// Windows whose mean forms the baseline.
+        baseline_windows: usize,
+    },
+}
+
+/// One named health rule over one series.
+#[derive(Clone, Debug)]
+pub struct HealthRule {
+    /// The rule name, e.g. `"encode-p90-regression"`.
+    pub name: &'static str,
+    /// The series ([`TelemetrySeries`] key) the rule watches.
+    pub series: &'static str,
+    /// The threshold shape.
+    pub check: HealthCheck,
+}
+
+impl HealthRule {
+    /// A rule `name` applying `check` to `series`.
+    pub fn new(name: &'static str, series: &'static str, check: HealthCheck) -> Self {
+        HealthRule {
+            name,
+            series,
+            check,
+        }
+    }
+}
+
+/// The outcome of one rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Every point satisfied the rule.
+    Healthy,
+    /// At least one point violated the rule.
+    Breached,
+    /// The watched series had no (applicable) points.
+    NoData,
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Breached => "BREACHED",
+            HealthStatus::NoData => "no-data",
+        })
+    }
+}
+
+/// One rule's verdict over one mission.
+#[derive(Clone, Debug)]
+pub struct HealthVerdict {
+    /// The rule name.
+    pub rule: &'static str,
+    /// The series it watched.
+    pub series: &'static str,
+    /// Healthy / breached / no data.
+    pub status: HealthStatus,
+    /// The worst observed value (the breaching one when breached).
+    pub observed: Option<f64>,
+    /// The effective threshold the observation was compared against.
+    pub threshold: Option<f64>,
+    /// Human-readable detail, including the window label of a breach.
+    pub detail: String,
+}
+
+/// Evaluates every rule against `series`, in rule order.
+pub fn evaluate(rules: &[HealthRule], series: &TelemetrySeries) -> Vec<HealthVerdict> {
+    rules
+        .iter()
+        .map(|rule| {
+            let points = series.get(rule.series).unwrap_or(&[]);
+            match &rule.check {
+                HealthCheck::Max(limit) => verdict_over(rule, *limit, points, |v, lim| v > lim),
+                HealthCheck::MinAfterWarmup {
+                    limit,
+                    warmup_windows,
+                } => {
+                    let applicable = points.get(*warmup_windows..).unwrap_or(&[]);
+                    verdict_over(rule, *limit, applicable, |v, lim| v < lim)
+                }
+                HealthCheck::RegressionMax {
+                    factor,
+                    baseline_windows,
+                } => {
+                    let n = (*baseline_windows).min(points.len());
+                    if n == 0 || points.len() <= n {
+                        return no_data(rule);
+                    }
+                    let baseline = points[..n].iter().map(|(_, v)| v).sum::<f64>() / n as f64;
+                    let limit = baseline * factor;
+                    verdict_over(rule, limit, &points[n..], |v, lim| v > lim)
+                }
+            }
+        })
+        .collect()
+}
+
+fn no_data(rule: &HealthRule) -> HealthVerdict {
+    HealthVerdict {
+        rule: rule.name,
+        series: rule.series,
+        status: HealthStatus::NoData,
+        observed: None,
+        threshold: None,
+        detail: format!("series {:?} has no applicable points", rule.series),
+    }
+}
+
+fn verdict_over(
+    rule: &HealthRule,
+    limit: f64,
+    points: &[(f64, f64)],
+    violates: impl Fn(f64, f64) -> bool,
+) -> HealthVerdict {
+    if points.is_empty() {
+        return no_data(rule);
+    }
+    // The worst point is the first breach, else the closest call.
+    let mut worst: Option<(f64, f64)> = None;
+    for &(label, value) in points {
+        if violates(value, limit) {
+            return HealthVerdict {
+                rule: rule.name,
+                series: rule.series,
+                status: HealthStatus::Breached,
+                observed: Some(value),
+                threshold: Some(limit),
+                detail: format!(
+                    "{} = {value:.3} crossed threshold {limit:.3} at window {label}",
+                    rule.series
+                ),
+            };
+        }
+        let distance = (value - limit).abs();
+        if worst.is_none_or(|(_, d)| distance < d) {
+            worst = Some((value, distance));
+        }
+    }
+    HealthVerdict {
+        rule: rule.name,
+        series: rule.series,
+        status: HealthStatus::Healthy,
+        observed: worst.map(|(v, _)| v),
+        threshold: Some(limit),
+        detail: format!("{} points within threshold {limit:.3}", points.len()),
+    }
+}
+
+/// Renders verdicts as an aligned table.
+pub fn verdicts_table(verdicts: &[HealthVerdict]) -> String {
+    let mut out = String::new();
+    let name_width = verdicts
+        .iter()
+        .map(|v| v.rule.len())
+        .max()
+        .unwrap_or(4)
+        .max("rule".len());
+    let _ = writeln!(out, "{:<name_width$} {:>9}  detail", "rule", "status");
+    for v in verdicts {
+        let _ = writeln!(out, "{:<name_width$} {:>9}  {}", v.rule, v.status, v.detail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TelemetrySeries;
+
+    fn series_of(name: &'static str, points: &[(f64, f64)]) -> TelemetrySeries {
+        let mut s = TelemetrySeries::default();
+        s.series.insert(name, points.to_vec());
+        s
+    }
+
+    #[test]
+    fn max_rule_flags_the_first_breach() {
+        let s = series_of("trace_dropped", &[(1.0, 0.0), (2.0, 5.0), (3.0, 9.0)]);
+        let verdicts = evaluate(
+            &[HealthRule::new(
+                "recorder-overflow",
+                "trace_dropped",
+                HealthCheck::Max(0.0),
+            )],
+            &s,
+        );
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].status, HealthStatus::Breached);
+        assert_eq!(verdicts[0].observed, Some(5.0));
+        assert!(
+            verdicts[0].detail.contains("window 2"),
+            "{}",
+            verdicts[0].detail
+        );
+        let table = verdicts_table(&verdicts);
+        assert!(table.contains("BREACHED"), "table:\n{table}");
+    }
+
+    #[test]
+    fn min_after_warmup_ignores_cold_windows() {
+        // Window 1 is terrible but inside the warmup; later windows are
+        // fine.
+        let s = series_of("hit_rate", &[(1.0, 0.0), (2.0, 0.9), (3.0, 0.8)]);
+        let ok = evaluate(
+            &[HealthRule::new(
+                "hit-rate-collapse",
+                "hit_rate",
+                HealthCheck::MinAfterWarmup {
+                    limit: 0.5,
+                    warmup_windows: 1,
+                },
+            )],
+            &s,
+        );
+        assert_eq!(ok[0].status, HealthStatus::Healthy);
+        // Without the warmup the same series breaches.
+        let breached = evaluate(
+            &[HealthRule::new(
+                "hit-rate-collapse",
+                "hit_rate",
+                HealthCheck::MinAfterWarmup {
+                    limit: 0.5,
+                    warmup_windows: 0,
+                },
+            )],
+            &s,
+        );
+        assert_eq!(breached[0].status, HealthStatus::Breached);
+    }
+
+    #[test]
+    fn regression_rule_compares_to_baseline_mean() {
+        let s = series_of(
+            "encode_p90_ns",
+            &[(1.0, 100.0), (2.0, 120.0), (3.0, 110.0), (4.0, 500.0)],
+        );
+        let verdicts = evaluate(
+            &[HealthRule::new(
+                "encode-p90-regression",
+                "encode_p90_ns",
+                HealthCheck::RegressionMax {
+                    factor: 3.0,
+                    baseline_windows: 3,
+                },
+            )],
+            &s,
+        );
+        assert_eq!(verdicts[0].status, HealthStatus::Breached);
+        // Baseline mean = 110, threshold = 330, observed = 500.
+        assert_eq!(verdicts[0].observed, Some(500.0));
+        assert!((verdicts[0].threshold.unwrap() - 330.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_or_short_series_yield_no_data() {
+        let empty = TelemetrySeries::default();
+        let rules = [
+            HealthRule::new("a", "missing", HealthCheck::Max(1.0)),
+            HealthRule::new(
+                "b",
+                "missing",
+                HealthCheck::RegressionMax {
+                    factor: 2.0,
+                    baseline_windows: 3,
+                },
+            ),
+        ];
+        for v in evaluate(&rules, &empty) {
+            assert_eq!(v.status, HealthStatus::NoData);
+        }
+        // A series no longer than its baseline cannot regress.
+        let short = series_of("x", &[(1.0, 1.0), (2.0, 2.0)]);
+        let v = evaluate(
+            &[HealthRule::new(
+                "c",
+                "x",
+                HealthCheck::RegressionMax {
+                    factor: 2.0,
+                    baseline_windows: 2,
+                },
+            )],
+            &short,
+        );
+        assert_eq!(v[0].status, HealthStatus::NoData);
+    }
+}

@@ -21,6 +21,17 @@
 //! * [`export`] — [`Snapshot`]: a point-in-time copy of every metric,
 //!   with [`Snapshot::delta`] for per-pass rates, a JSON-lines serializer
 //!   (`to_jsonl`), and an aligned human-readable table (`to_table`).
+//! * [`trace`] / [`recorder`] — causal capture tracing: a [`TraceId`]
+//!   minted per capture, typed begin/end/instant [`trace::TraceEvent`]s
+//!   collected by the [`FlightRecorder`] into bounded per-track rings,
+//!   and a Chrome trace-event / Perfetto exporter
+//!   ([`trace::TraceLog::to_chrome_trace`]). [`TraceSink`] mirrors
+//!   [`TelemetrySink`]: disabled costs one pointer check.
+//! * [`series`] / [`health`] — windowed time-series over snapshot
+//!   deltas ([`SeriesRecorder`] → [`TelemetrySeries`]) and a
+//!   declarative [`HealthRule`] engine over them, so a mission report
+//!   can say *when* things degraded and whether that crossed a
+//!   threshold.
 //!
 //! # Naming scheme
 //!
@@ -53,15 +64,26 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod health;
 pub mod metrics;
 pub mod names;
+pub mod recorder;
 pub mod registry;
+pub mod series;
 pub mod span;
+pub mod trace;
 
-pub use export::{humanize, MetricSnapshot, MetricValue, Snapshot};
+pub use export::{humanize, json_escape, MetricSnapshot, MetricValue, Snapshot};
+pub use health::{
+    evaluate as evaluate_health, verdicts_table, HealthCheck, HealthRule, HealthStatus,
+    HealthVerdict,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use recorder::{FlightRecorder, TraceScope, TraceSink, TraceSpan, DEFAULT_RING_CAPACITY};
 pub use registry::{MetricsRegistry, TelemetrySink};
+pub use series::{SeriesMetric, SeriesRecorder, SeriesSpec, TelemetrySeries};
 pub use span::SpanTimer;
+pub use trace::{TraceArg, TraceEvent, TraceEventKind, TraceId, TraceLog, TraceTrack, TraceValue};
 
 /// Hit fraction over all lookups; 0 when nothing was looked up.
 ///

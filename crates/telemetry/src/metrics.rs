@@ -131,6 +131,16 @@ impl Gauge {
         }
     }
 
+    /// Moves the gauge by a signed delta (two's-complement wrapping
+    /// add), for gauges summed across many writers — each publishes the
+    /// *change* in its share, so no writer needs the others' values.
+    #[inline]
+    pub fn offset(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta as u64, Ordering::Relaxed);
+        }
+    }
+
     /// The current value (0 on a disabled handle).
     pub fn value(&self) -> u64 {
         self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
@@ -426,6 +436,16 @@ mod tests {
         assert_eq!(g.value(), 12);
         g.set(3);
         assert_eq!(g.value(), 3);
+    }
+
+    #[test]
+    fn gauge_offset_moves_both_ways() {
+        let g = Gauge::live();
+        g.offset(100);
+        g.offset(-30);
+        g.offset(7);
+        assert_eq!(g.value(), 77);
+        Gauge::disabled().offset(5); // no-op, no panic
     }
 
     #[test]

@@ -74,3 +74,14 @@ pub const REFSTORE_APPEND_NS: &str = "refstore.append_ns";
 pub const REFSTORE_REPLAY_NS: &str = "refstore.replay_ns";
 /// Snapshot + compaction latency per compaction run.
 pub const REFSTORE_COMPACTION_NS: &str = "refstore.compaction_ns";
+/// Superseded (reclaimable) bytes across all shard logs (gauge).
+pub const REFSTORE_DEAD_BYTES: &str = "refstore.dead_bytes";
+/// Live payload bytes across all shard logs (gauge).
+pub const REFSTORE_LIVE_BYTES: &str = "refstore.live_bytes";
+
+// --- flight recorder ---------------------------------------------------
+
+/// Trace events recorded over the recorder's lifetime.
+pub const TRACE_RECORDED: &str = "trace.recorded";
+/// Trace events evicted from full rings (oldest first).
+pub const TRACE_DROPPED: &str = "trace.dropped";

@@ -1,0 +1,311 @@
+//! Windowed time-series over cumulative registry snapshots.
+//!
+//! The simulator snapshots its registry at each mission-day boundary;
+//! [`SeriesRecorder`] turns those cumulative snapshots into per-window
+//! deltas (via [`Snapshot::delta`]) and evaluates a set of
+//! [`SeriesSpec`]s over each window — producing, per metric, one
+//! `(label, value)` point per day: throughput, stage p90s, cache hit
+//! rate, refstore dead-bytes ratio. The result ([`TelemetrySeries`])
+//! answers *when* a mission degraded, which aggregate totals cannot.
+
+use crate::export::Snapshot;
+use crate::hit_rate;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How one series point is computed from a window.
+#[derive(Clone, Debug)]
+pub enum SeriesMetric {
+    /// A counter's per-window increase.
+    Counter(&'static str),
+    /// A histogram's per-window record count (throughput).
+    HistCount(&'static str),
+    /// A histogram's per-window summed value.
+    HistSum(&'static str),
+    /// A quantile of the values recorded *within* the window. Windows
+    /// with no records contribute no point (a quantile of nothing is
+    /// not zero — emitting 0 would poison regression baselines).
+    HistQuantile(&'static str, f64),
+    /// Per-window hit rate from two counters' deltas.
+    HitRate {
+        /// Counter of hits.
+        hits: &'static str,
+        /// Counter of misses.
+        misses: &'static str,
+    },
+    /// `part / (part + rest)` over two gauges' current levels (gauges
+    /// are point-in-time, so this reads the window-end snapshot, not a
+    /// delta) — e.g. dead bytes as a share of the whole store.
+    GaugeShare {
+        /// Gauge in the numerator.
+        part: &'static str,
+        /// The remainder of the denominator.
+        rest: &'static str,
+    },
+}
+
+/// One named series to extract per window.
+#[derive(Clone, Debug)]
+pub struct SeriesSpec {
+    /// The series name in the output (also its table row label).
+    pub name: &'static str,
+    /// How the point is computed.
+    pub metric: SeriesMetric,
+}
+
+impl SeriesSpec {
+    /// A spec computing `metric` under `name`.
+    pub fn new(name: &'static str, metric: SeriesMetric) -> Self {
+        SeriesSpec { name, metric }
+    }
+
+    /// Evaluates the spec over one window. `delta` is the window's
+    /// difference snapshot, `end` the cumulative snapshot at window end
+    /// (for gauge levels). `None` when the underlying metrics are
+    /// absent.
+    fn evaluate(&self, delta: &Snapshot, end: &Snapshot) -> Option<f64> {
+        match &self.metric {
+            SeriesMetric::Counter(name) => Some(delta.counter(name)? as f64),
+            SeriesMetric::HistCount(name) => Some(delta.histogram(name)?.count as f64),
+            SeriesMetric::HistSum(name) => Some(delta.histogram(name)?.sum as f64),
+            SeriesMetric::HistQuantile(name, q) => {
+                let h = delta.histogram(name)?;
+                if h.count == 0 {
+                    return None;
+                }
+                Some(h.quantile(*q) as f64)
+            }
+            SeriesMetric::HitRate { hits, misses } => {
+                let (hits, misses) = (delta.counter(hits)?, delta.counter(misses)?);
+                if hits + misses == 0 {
+                    // No lookups this window: no rate to report.
+                    return None;
+                }
+                Some(hit_rate(hits, misses))
+            }
+            SeriesMetric::GaugeShare { part, rest } => {
+                let part = end.gauge(part)? as f64;
+                let rest = end.gauge(rest)? as f64;
+                let total = part + rest;
+                Some(if total == 0.0 { 0.0 } else { part / total })
+            }
+        }
+    }
+}
+
+/// Collects labelled cumulative snapshots and turns them into windowed
+/// series.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesRecorder {
+    windows: Vec<(f64, Snapshot)>,
+}
+
+impl SeriesRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the cumulative snapshot at the end of the window labelled
+    /// `label` (e.g. the mission day). Labels are expected in
+    /// ascending order.
+    pub fn observe(&mut self, label: f64, snapshot: Snapshot) {
+        self.windows.push((label, snapshot));
+    }
+
+    /// Number of observed windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window was observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Evaluates `specs` over every window: window *i* is the delta
+    /// between observation *i* and its predecessor (the first window
+    /// deltas against empty — a mission starts from zero). Points whose
+    /// underlying metrics are missing are skipped, so a series over a
+    /// never-registered metric is simply absent.
+    pub fn series(&self, specs: &[SeriesSpec]) -> TelemetrySeries {
+        let mut out = TelemetrySeries::default();
+        let empty = Snapshot::default();
+        for (i, (label, end)) in self.windows.iter().enumerate() {
+            let earlier = if i == 0 {
+                &empty
+            } else {
+                &self.windows[i - 1].1
+            };
+            let delta = end.delta(earlier);
+            for spec in specs {
+                if let Some(value) = spec.evaluate(&delta, end) {
+                    out.series
+                        .entry(spec.name)
+                        .or_default()
+                        .push((*label, value));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-window series keyed by name: the `daily` section of a mission's
+/// telemetry report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySeries {
+    /// `(window label, value)` points per series, in label order.
+    pub series: BTreeMap<&'static str, Vec<(f64, f64)>>,
+}
+
+impl TelemetrySeries {
+    /// The points of one series, if present.
+    pub fn get(&self, name: &str) -> Option<&[(f64, f64)]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// Whether no series has any points.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the series as an aligned table: one row per series, one
+    /// column per window label.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let labels: Vec<f64> = self
+            .series
+            .values()
+            .flat_map(|points| points.iter().map(|(l, _)| *l))
+            .fold(Vec::new(), |mut acc, l| {
+                if !acc.contains(&l) {
+                    acc.push(l);
+                }
+                acc
+            });
+        let name_width = self
+            .series
+            .keys()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(6)
+            .max("series".len());
+        let _ = write!(out, "{:<name_width$}", "series");
+        for l in &labels {
+            let _ = write!(out, " {:>10}", format!("day{l:.0}"));
+        }
+        let _ = writeln!(out);
+        for (name, points) in &self.series {
+            let _ = write!(out, "{name:<name_width$}");
+            for l in &labels {
+                match points.iter().find(|(pl, _)| pl == l) {
+                    Some((_, v)) => {
+                        let rendered = if v.fract() == 0.0 && v.abs() < 1e15 {
+                            format!("{v:.0}")
+                        } else {
+                            format!("{v:.3}")
+                        };
+                        let _ = write!(out, " {rendered:>10}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn windows_delta_counters_and_histograms() {
+        let r = MetricsRegistry::new();
+        let mut rec = SeriesRecorder::new();
+        r.counter("captures").add(3);
+        r.histogram("stage.encode_ns").record(1_000);
+        rec.observe(40.0, r.snapshot());
+        r.counter("captures").add(5);
+        for v in [2_000u64, 4_000, 8_000] {
+            r.histogram("stage.encode_ns").record(v);
+        }
+        rec.observe(41.0, r.snapshot());
+        let series = rec.series(&[
+            SeriesSpec::new("captures", SeriesMetric::Counter("captures")),
+            SeriesSpec::new("encodes", SeriesMetric::HistCount("stage.encode_ns")),
+            SeriesSpec::new(
+                "encode_p90_ns",
+                SeriesMetric::HistQuantile("stage.encode_ns", 0.9),
+            ),
+            SeriesSpec::new("missing", SeriesMetric::Counter("nope")),
+        ]);
+        assert_eq!(
+            series.get("captures"),
+            Some(&[(40.0, 3.0), (41.0, 5.0)][..])
+        );
+        assert_eq!(series.get("encodes"), Some(&[(40.0, 1.0), (41.0, 3.0)][..]));
+        // The day-41 p90 covers only that window's records.
+        let p90 = series.get("encode_p90_ns").unwrap();
+        assert!(p90[1].1 >= 4_000.0, "p90 {p90:?}");
+        assert!(series.get("missing").is_none());
+        assert_eq!(rec.len(), 2);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_and_gauge_share_per_window() {
+        let r = MetricsRegistry::new();
+        let mut rec = SeriesRecorder::new();
+        r.counter("hits").add(9);
+        r.counter("misses").add(1);
+        r.gauge("dead_bytes").set(100);
+        r.gauge("live_bytes").set(900);
+        rec.observe(1.0, r.snapshot());
+        // Second window: 1 hit, 3 misses -> 0.25 for the window even
+        // though the cumulative rate is still high.
+        r.counter("hits").add(1);
+        r.counter("misses").add(3);
+        r.gauge("dead_bytes").set(500);
+        r.gauge("live_bytes").set(500);
+        rec.observe(2.0, r.snapshot());
+        let series = rec.series(&[
+            SeriesSpec::new(
+                "hit_rate",
+                SeriesMetric::HitRate {
+                    hits: "hits",
+                    misses: "misses",
+                },
+            ),
+            SeriesSpec::new(
+                "dead_ratio",
+                SeriesMetric::GaugeShare {
+                    part: "dead_bytes",
+                    rest: "live_bytes",
+                },
+            ),
+        ]);
+        assert_eq!(series.get("hit_rate"), Some(&[(1.0, 0.9), (2.0, 0.25)][..]));
+        assert_eq!(
+            series.get("dead_ratio"),
+            Some(&[(1.0, 0.1), (2.0, 0.5)][..])
+        );
+        let table = series.to_table();
+        assert!(table.contains("hit_rate"), "table:\n{table}");
+        assert!(table.contains("day1"), "table:\n{table}");
+        assert!(table.contains("0.250"), "table:\n{table}");
+    }
+
+    #[test]
+    fn empty_recorder_yields_empty_series() {
+        let rec = SeriesRecorder::new();
+        let series = rec.series(&[SeriesSpec::new("x", SeriesMetric::Counter("x"))]);
+        assert!(series.is_empty());
+        assert!(series.get("x").is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests over the flight recorder's ring buffers.
+//!
+//! Same zero-dependency pattern as `histogram_props`: cases drawn from a
+//! deterministic splitmix64 PRNG, fixed seeds, no proptest. The
+//! properties pin the recorder's retention contract: each track's ring
+//! holds at most `capacity` events, eviction is oldest-first, and the
+//! lifetime `recorded`/`dropped` counters are exact.
+
+use earthplus_telemetry::{FlightRecorder, TraceEventKind, TraceTrack};
+
+/// Deterministic splitmix64 PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in [lo, hi].
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+const CASES: usize = 24;
+
+#[test]
+fn ring_retains_exactly_the_newest_capacity_events() {
+    let mut rng = Rng::new(0xF11_6417);
+    for case in 0..CASES {
+        let capacity = rng.range(1, 64);
+        let pushes = rng.range(0, 200);
+        let recorder = FlightRecorder::with_capacity(capacity);
+        let sink = recorder.sink();
+        let track = TraceTrack::Satellite(3);
+        for i in 0..pushes {
+            // The instant's arg is its push index, so retention order is
+            // checkable from the surviving events alone.
+            sink.instant_on(track, "test", "tick", &[("i", (i as u64).into())]);
+        }
+        let log = recorder.log();
+        let expect_kept = pushes.min(capacity);
+        let expect_dropped = pushes.saturating_sub(capacity) as u64;
+        assert_eq!(log.len(), expect_kept, "case {case}");
+        assert_eq!(recorder.recorded_events(), pushes as u64, "case {case}");
+        assert_eq!(recorder.dropped_events(), expect_dropped, "case {case}");
+        assert_eq!(log.dropped_events, expect_dropped, "case {case}");
+        // Oldest-first eviction: the survivors are exactly the last
+        // `expect_kept` pushes, in push order.
+        for (offset, event) in log.events.iter().enumerate() {
+            let want = pushes - expect_kept + offset;
+            assert_eq!(event.kind, TraceEventKind::Instant);
+            let (key, value) = &event.args[0];
+            assert_eq!(*key, "i");
+            assert_eq!(
+                value.to_string(),
+                want.to_string(),
+                "case {case}: survivor {offset} should be push {want}"
+            );
+        }
+        // Sequence numbers come out strictly increasing after the merge.
+        for pair in log.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn tracks_evict_independently_and_counters_sum_across_tracks() {
+    let mut rng = Rng::new(0xD0_57A2);
+    for case in 0..CASES {
+        let capacity = rng.range(1, 32);
+        let recorder = FlightRecorder::with_capacity(capacity);
+        let sink = recorder.sink();
+        let tracks = [
+            TraceTrack::Satellite(0),
+            TraceTrack::Satellite(7),
+            TraceTrack::Station(0),
+        ];
+        let mut pushes = [0usize; 3];
+        for slot in &mut pushes {
+            *slot = rng.range(0, 90);
+        }
+        // Interleave pushes across tracks in a random order, so no track
+        // gets to fill its ring in one uninterrupted run.
+        let mut remaining = pushes;
+        let mut total = pushes.iter().sum::<usize>();
+        while total > 0 {
+            let pick = rng.range(0, 2);
+            if remaining[pick] == 0 {
+                continue;
+            }
+            remaining[pick] -= 1;
+            total -= 1;
+            sink.instant_on(tracks[pick], "test", "tick", &[]);
+        }
+        let log = recorder.log();
+        let mut expect_kept = 0usize;
+        let mut expect_dropped = 0u64;
+        for (track, &n) in tracks.iter().zip(&pushes) {
+            let kept = log.events.iter().filter(|e| e.track == *track).count();
+            assert_eq!(
+                kept,
+                n.min(capacity),
+                "case {case}: track {track:?} must keep its own newest window"
+            );
+            expect_kept += n.min(capacity);
+            expect_dropped += n.saturating_sub(capacity) as u64;
+        }
+        assert_eq!(log.len(), expect_kept, "case {case}");
+        assert_eq!(recorder.dropped_events(), expect_dropped, "case {case}");
+        assert_eq!(
+            recorder.recorded_events(),
+            pushes.iter().sum::<usize>() as u64,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn span_pairs_survive_eviction_as_balanced_or_end_heavy_suffixes() {
+    // A ring full of Begin/End pairs evicts from the front, so whatever
+    // survives is a suffix of the recorded stream: End events may lose
+    // their Begin, but a Begin never appears after its End.
+    let mut rng = Rng::new(0x5EA7_B317);
+    for case in 0..CASES {
+        let capacity = rng.range(2, 40);
+        let recorder = FlightRecorder::with_capacity(capacity);
+        let sink = recorder.sink();
+        let spans = rng.range(1, 60);
+        for _ in 0..spans {
+            let span = sink.span_on(TraceTrack::Satellite(1), "test", "work");
+            drop(span);
+        }
+        let log = recorder.log();
+        assert_eq!(log.len(), (2 * spans).min(capacity), "case {case}");
+        let mut open = 0i64;
+        for (i, event) in log.events.iter().enumerate() {
+            match event.kind {
+                TraceEventKind::Begin => open += 1,
+                TraceEventKind::End => {
+                    // An End with no surviving Begin is only legal at the
+                    // very start of the retained window.
+                    if open == 0 {
+                        assert_eq!(i, 0, "case {case}: orphan End mid-stream");
+                    } else {
+                        open -= 1;
+                    }
+                }
+                TraceEventKind::Instant => unreachable!("only spans were recorded"),
+            }
+        }
+        assert!(
+            open <= 1,
+            "case {case}: at most the ring edge is unbalanced"
+        );
+    }
+}

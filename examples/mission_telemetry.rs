@@ -1,13 +1,24 @@
 //! Where did the milliseconds go? A mission run with observability on.
 //!
-//! Wires one `MetricsRegistry` through every layer of the Earth+ strategy
-//! — on-board stage timers, codec encode/decode spans, the ground
-//! service's ingest/scheduling counters, and the reference caches — runs
-//! a small deterministic mission, and prints the per-satellite rollup
-//! followed by the raw metric table.
+//! Wires one `MetricsRegistry` *and* one `FlightRecorder` through every
+//! layer of the Earth+ strategy — on-board stage timers, codec
+//! encode/decode spans, the ground service's ingest/scheduling counters,
+//! and the persistent reference store — runs a small deterministic
+//! mission, and prints:
+//!
+//! 1. the per-satellite telemetry rollup, per-day series, and health
+//!    verdicts;
+//! 2. the raw metric table;
+//! 3. the causal "explain this capture" dump for one capture's TraceId.
+//!
+//! Pass `--trace <path>` to also export the flight recorder as Chrome
+//! trace-event JSON — open it in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing` to see satellites and the ground station as
+//! processes, with lanes (strategy / codec / ground / refstore) as
+//! threads.
 //!
 //! ```text
-//! cargo run --release --example mission_telemetry
+//! cargo run --release --example mission_telemetry -- --trace /tmp/mission.json
 //! ```
 
 use earthplus::prelude::*;
@@ -15,8 +26,13 @@ use earthplus::GroundServiceConfig;
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
 
 fn main() {
+    let trace_path = trace_arg();
+
     let mut dataset = earthplus_scene::large_constellation(11, 192);
     dataset.duration_days = 45;
+    // Every visit reaches the strategy: the trace then shows repeat
+    // captures hitting the on-board reference cache, plus on-board drops.
+    dataset.capture_cloud_filter = None;
     let config = SimulationConfig::for_dataset(&dataset, 11);
     let sim = MissionSimulator::from_dataset(&dataset, config);
     let detector = train_onboard_detector(&sim.scenes()[0], &TrainingConfig::default());
@@ -28,11 +44,22 @@ fn main() {
 
     // Observability on: the registry handed to the ground config is the
     // one the strategy's stages, codec spans, and ground counters all
-    // record into.
+    // record into; the flight recorder captures the causal event stream
+    // behind those numbers. The persistent backend adds the refstore's
+    // append/compaction spans to each capture's trace.
+    let store_dir = std::env::temp_dir().join(format!(
+        "earthplus-mission-telemetry-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
     let registry = MetricsRegistry::new();
+    let recorder = FlightRecorder::new();
+    recorder.register_metrics(&registry);
     let ground = GroundServiceConfig::default()
         .with_targets(targets)
-        .with_telemetry(registry.sink());
+        .with_persistence(&store_dir)
+        .with_telemetry(registry.sink())
+        .with_tracing(recorder.sink());
     let mut earthplus =
         EarthPlusStrategy::with_ground_config(EarthPlusConfig::paper(), detector, ground);
 
@@ -43,4 +70,48 @@ fn main() {
     print!("{}", rollup.to_table());
     println!("\n== full metric registry ==\n");
     print!("{}", registry.snapshot().to_table());
+
+    // Explain one capture end to end: pick the kept capture whose trace
+    // touched the most lanes (strategy -> codec -> ground -> refstore).
+    let log = recorder.log();
+    let explained = report
+        .records("earth+")
+        .iter()
+        .filter(|c| !c.dropped)
+        .max_by_key(|c| {
+            let mut lanes: Vec<&str> = log.events_for(c.trace).iter().map(|e| e.lane).collect();
+            lanes.sort_unstable();
+            lanes.dedup();
+            lanes.len()
+        });
+    if let Some(capture) = explained {
+        println!(
+            "\n== explain capture {} (day {:.2}, loc{} on {}) ==\n",
+            capture.trace, capture.day, capture.location.0, capture.satellite,
+        );
+        print!("{}", log.explain(capture.trace));
+    }
+    println!(
+        "\nflight recorder: {} events retained, {} recorded, {} dropped",
+        log.len(),
+        log.recorded_events,
+        log.dropped_events,
+    );
+
+    if let Some(path) = trace_path {
+        std::fs::write(&path, log.to_chrome_trace()).expect("trace file is writable");
+        println!("chrome trace written to {path} (open in ui.perfetto.dev)");
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace requires a path"));
+        }
+    }
+    None
 }
