@@ -186,12 +186,40 @@ impl TelemetryReport {
                 },
             ),
             SeriesSpec::new("trace_dropped", SeriesMetric::Counter(names::TRACE_DROPPED)),
+            // Fault-tolerance series: absent (NoData) on missions that
+            // run without the replicated backend or a fault plan.
+            SeriesSpec::new(
+                "faults_injected",
+                SeriesMetric::Counter(names::FAULTS_INJECTED),
+            ),
+            SeriesSpec::new(
+                "station_failovers",
+                SeriesMetric::Counter(names::STATION_FAILOVERS),
+            ),
+            SeriesSpec::new(
+                "ship_retries",
+                SeriesMetric::Counter(names::STATION_SHIP_RETRIES),
+            ),
+            SeriesSpec::new(
+                "degraded_serves",
+                SeriesMetric::Counter(names::STATION_DEGRADED_SERVES),
+            ),
+            SeriesSpec::new(
+                "recovery_dropped",
+                SeriesMetric::Counter(names::REFSTORE_RECOVERY_DROPPED_RECORDS),
+            ),
+            SeriesSpec::new(
+                "interrupted_windows",
+                SeriesMetric::Counter(names::GROUND_PASS_INTERRUPTED),
+            ),
         ]
     }
 
     /// The default health rules over [`TelemetryReport::mission_series_specs`]:
     /// encode-latency regression, warmed-up cache collapse, flight-recorder
-    /// overflow, and runaway refstore garbage.
+    /// overflow, runaway refstore garbage, and the fault-tolerance
+    /// invariants (no degraded serves while a replica lives, no records
+    /// dropped by recovery, failovers bounded per day).
     pub fn mission_health_rules() -> Vec<HealthRule> {
         vec![
             HealthRule::new(
@@ -216,6 +244,23 @@ impl TelemetryReport {
                 "refstore_dead_ratio",
                 HealthCheck::Max(0.8),
             ),
+            // A degraded serve means a shard had no live station at all —
+            // replication failed to keep a promotable copy.
+            HealthRule::new(
+                "station-degraded-serves",
+                "degraded_serves",
+                HealthCheck::Max(0.0),
+            ),
+            // Recovery replay (open or failover promotion) must never
+            // drop a committed record.
+            HealthRule::new(
+                "recovery-data-loss",
+                "recovery_dropped",
+                HealthCheck::Max(0.0),
+            ),
+            // More than a handful of promotions in one mission day is an
+            // outage storm, not routine failover.
+            HealthRule::new("failover-storm", "station_failovers", HealthCheck::Max(4.0)),
         ]
     }
 

@@ -108,6 +108,47 @@ pub fn parallel_offer<B: ReferenceBackend + ?Sized>(
     }
 }
 
+/// A shared backend is a backend: lets the service box an
+/// `Arc<ReplicatedReferenceStore>` (or any other backend) while keeping a
+/// second handle for control-plane calls (failover, replication pumps).
+impl<T: ReferenceBackend> ReferenceBackend for std::sync::Arc<T> {
+    fn offer(&self, reference: ReferenceImage) -> bool {
+        (**self).offer(reference)
+    }
+
+    fn get(&self, location: LocationId, band: Band) -> Option<ReferenceImage> {
+        (**self).get(location, band)
+    }
+
+    fn fresh_day(&self, location: LocationId, band: Band) -> Option<f64> {
+        (**self).fresh_day(location, band)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn size_bytes(&self) -> u64 {
+        (**self).size_bytes()
+    }
+
+    fn keys(&self) -> Vec<(LocationId, Band)> {
+        (**self).keys()
+    }
+
+    fn ingest_batch(&self, references: Vec<ReferenceImage>, threads: usize) -> IngestReport {
+        (**self).ingest_batch(references, threads)
+    }
+
+    fn sync(&self) {
+        (**self).sync()
+    }
+}
+
 impl ReferenceBackend for ShardedReferenceStore {
     fn offer(&self, reference: ReferenceImage) -> bool {
         ShardedReferenceStore::offer(self, reference)

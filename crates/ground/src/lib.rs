@@ -21,6 +21,14 @@
 //!   one crash-recoverable `earthplus-refstore` log per shard directory
 //!   (same shard routing as the in-memory store), selected via
 //!   [`ReferenceBackendConfig`] in the service config;
+//! * [`station`] — [`ReplicatedReferenceStore`]: the persistent shards
+//!   spread over a multi-station set with synchronous CRC-verified
+//!   segment shipping, outage failover that promotes replicas by
+//!   replaying their shipped segments, and degraded-mode accounting;
+//! * [`fault`] — the deterministic [`FaultPlan`]/[`FaultInjector`]
+//!   harness: station outages, replica-segment decay, dropped/corrupted
+//!   transfers, slow-disk stalls, and mid-pass uplink drops, all from
+//!   one seeded PRNG;
 //! * [`cache`] — [`EvictingReferenceCache`]: the capacity-bounded on-board
 //!   cache model with an age/LRU hybrid eviction policy and
 //!   hit/miss/eviction counters;
@@ -58,10 +66,12 @@
 
 pub mod backend;
 pub mod cache;
+pub mod fault;
 pub mod persistent;
 pub mod reference;
 pub mod scheduler;
 pub mod service;
+pub mod station;
 pub mod store;
 pub mod uplink;
 
@@ -69,6 +79,7 @@ pub use backend::ReferenceBackend;
 // The storage-engine types that appear in this crate's public API.
 pub use cache::{CacheCounters, CacheStats, EvictingReferenceCache, EvictionPolicy};
 pub use earthplus_refstore::{RecoveryReport, RefLogConfig};
+pub use fault::{FaultInjector, FaultPlan, OutageWindow, SegmentCorruption, SharedFaultInjector};
 pub use persistent::{PersistentReferenceStore, PersistentStoreStats};
 pub use reference::{
     OnboardReferenceCache, ReferenceFromEncodedError, ReferenceImage, ReferencePool,
@@ -76,5 +87,6 @@ pub use reference::{
 };
 pub use scheduler::{ConstellationScheduler, ContactWindow};
 pub use service::{GroundService, GroundServiceConfig, GroundServiceStats, ReferenceBackendConfig};
+pub use station::{ReplicatedReferenceStore, ShipPolicy, StationSetConfig, StationSetStats};
 pub use store::{shard_index, IngestReport, ShardedReferenceStore};
 pub use uplink::{compute_delta, ReferenceDelta, UplinkPlanner, UplinkReport};

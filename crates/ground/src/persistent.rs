@@ -31,8 +31,9 @@ use earthplus_telemetry::TelemetrySink;
 use std::path::{Path, PathBuf};
 use std::sync::RwLock;
 
-/// Directory name of shard `i` under the store root.
-fn shard_dir_name(i: usize) -> String {
+/// Directory name of shard `i` under the store root (shared with the
+/// replicated station layout, which nests the same names per station).
+pub(crate) fn shard_dir_name(i: usize) -> String {
     format!("shard-{i:03}")
 }
 
@@ -53,6 +54,11 @@ pub struct PersistentStoreStats {
     pub dead_bytes: u64,
     /// Compactions run since open.
     pub compactions: u64,
+    /// Bounded compaction steps executed since open.
+    pub compaction_steps: u64,
+    /// Largest frame-byte count any single compaction step relocated —
+    /// the observed append-path stall bound.
+    pub max_step_copied_bytes: u64,
     /// Read-path segment-handle cache hits, summed across shards.
     pub handle_cache_hits: u64,
     /// Read-path segment-handle cache misses, summed across shards.
@@ -170,6 +176,8 @@ impl PersistentReferenceStore {
             out.live_bytes += stats.live_bytes;
             out.dead_bytes += stats.dead_bytes;
             out.compactions += stats.compactions;
+            out.compaction_steps += stats.compaction_steps;
+            out.max_step_copied_bytes = out.max_step_copied_bytes.max(stats.max_step_copied_bytes);
             out.handle_cache_hits += stats.handle_cache_hits;
             out.handle_cache_misses += stats.handle_cache_misses;
         }

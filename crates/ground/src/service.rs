@@ -10,9 +10,11 @@
 
 use crate::backend::ReferenceBackend;
 use crate::cache::{CacheCounters, CacheStats, EvictingReferenceCache, EvictionPolicy};
+use crate::fault::{shared_injector, FaultPlan, SharedFaultInjector};
 use crate::persistent::PersistentReferenceStore;
 use crate::reference::{ReferenceFromEncodedError, ReferenceImage, DEFAULT_REFERENCE_DOWNSAMPLE};
 use crate::scheduler::{ConstellationScheduler, ContactWindow};
+use crate::station::{ReplicatedReferenceStore, StationSetConfig};
 use crate::store::{IngestReport, ShardedReferenceStore};
 use crate::uplink::UplinkReport;
 use earthplus_codec::{DecodeScratch, EncodedImage};
@@ -24,7 +26,7 @@ use earthplus_telemetry::{
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Which reference-store backend a [`GroundService`] runs on.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -40,6 +42,16 @@ pub enum ReferenceBackendConfig {
         dir: PathBuf,
         /// Storage-engine tuning (segment size, compaction, fsync).
         log: RefLogConfig,
+    },
+    /// The multi-station replicated store — the persistent backend's
+    /// shard directories spread over a station set with synchronous
+    /// segment shipping and outage failover (see
+    /// [`crate::station::ReplicatedReferenceStore`]).
+    Replicated {
+        /// Root directory; `station-NN/shard-NNN` trees live beneath it.
+        dir: PathBuf,
+        /// Topology, storage-engine tuning, and transfer retry policy.
+        stations: StationSetConfig,
     },
 }
 
@@ -78,6 +90,12 @@ pub struct GroundServiceConfig {
     /// tracing costs one pointer check per site until a
     /// [`earthplus_telemetry::FlightRecorder`] sink is wired in.
     pub tracing: TraceSink,
+    /// Deterministic fault schedule driven through the service: station
+    /// outages and transfer faults reach the replicated backend, and
+    /// mid-pass uplink drops clamp contact-window budgets in
+    /// [`GroundService::plan_pass`]. `None` (the default) injects
+    /// nothing.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for GroundServiceConfig {
@@ -93,6 +111,7 @@ impl Default for GroundServiceConfig {
             reference_downsample: DEFAULT_REFERENCE_DOWNSAMPLE,
             telemetry: TelemetrySink::default(),
             tracing: TraceSink::default(),
+            fault: None,
         }
     }
 }
@@ -151,6 +170,20 @@ impl GroundServiceConfig {
         self.tracing = sink;
         self
     }
+
+    /// Selects the replicated multi-station backend rooted at `dir`.
+    pub fn with_stations(self, dir: impl Into<PathBuf>, stations: StationSetConfig) -> Self {
+        self.with_backend(ReferenceBackendConfig::Replicated {
+            dir: dir.into(),
+            stations,
+        })
+    }
+
+    /// Installs a deterministic fault schedule (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
 }
 
 /// A point-in-time snapshot of the service's counters.
@@ -181,6 +214,15 @@ pub struct GroundServiceStats {
     /// References built from archived encoded captures (the LL-only
     /// partial-decode ingest path).
     pub encoded_ingests: u64,
+    /// Corrupt records dropped by recovery replay when the durable
+    /// backend opened (0 on a clean open or the in-memory backend).
+    pub recovery_dropped_records: u64,
+    /// Torn-tail bytes truncated by recovery replay at open.
+    pub recovery_truncated_bytes: u64,
+    /// Contact windows whose uplink budget was clamped by a mid-pass
+    /// link drop; their undelivered references carry into the next
+    /// window.
+    pub interrupted_windows: u64,
 }
 
 impl GroundServiceStats {
@@ -205,6 +247,12 @@ impl GroundServiceStats {
             ingest_accepted: self.ingest_accepted.saturating_sub(earlier.ingest_accepted),
             ingest_rejected: self.ingest_rejected.saturating_sub(earlier.ingest_rejected),
             encoded_ingests: self.encoded_ingests.saturating_sub(earlier.encoded_ingests),
+            // Recovery is a fact about the open, not a rate: level.
+            recovery_dropped_records: self.recovery_dropped_records,
+            recovery_truncated_bytes: self.recovery_truncated_bytes,
+            interrupted_windows: self
+                .interrupted_windows
+                .saturating_sub(earlier.interrupted_windows),
         }
     }
 }
@@ -217,6 +265,12 @@ pub struct GroundService {
     /// What recovery found when a persistent backend was opened; `None`
     /// on the in-memory backend.
     recovery: Option<RecoveryReport>,
+    /// Second handle on the replicated backend for control-plane calls
+    /// (failover day advance, replication pumps); `None` on the other
+    /// backends.
+    stations: Option<Arc<ReplicatedReferenceStore>>,
+    /// The live fault injector, shared with the replicated backend.
+    fault: Option<SharedFaultInjector>,
     scheduler: ConstellationScheduler,
     caches: Mutex<HashMap<SatelliteId, EvictingReferenceCache>>,
     /// Pool of decode arenas for the encoded-capture ingest path: each
@@ -238,6 +292,8 @@ pub struct GroundService {
     deltas_sent: Counter,
     deltas_skipped: Counter,
     uplink_bytes_sent: Counter,
+    interrupted_windows: Counter,
+    faults_injected: Counter,
     peak_cache_bytes: Gauge,
     ingest_ns: Histogram,
     ingest_encoded_ns: Histogram,
@@ -268,6 +324,8 @@ impl GroundService {
         // observability; a disabled sink is upgraded to a private registry
         // here, once, and every handle resolves against the result.
         let sink = config.telemetry.or_private();
+        let fault = config.fault.clone().map(shared_injector);
+        let mut stations = None;
         let (store, recovery): (Box<dyn ReferenceBackend>, Option<RecoveryReport>) =
             match &config.backend {
                 ReferenceBackendConfig::InMemory => {
@@ -279,10 +337,44 @@ impl GroundService {
                     store.attach_tracing(&config.tracing);
                     (Box::new(store), Some(report))
                 }
+                ReferenceBackendConfig::Replicated { dir, stations: set } => {
+                    let (store, report) = ReplicatedReferenceStore::open(
+                        dir,
+                        config.shards,
+                        set.clone(),
+                        fault.clone(),
+                        &sink,
+                        &config.tracing,
+                    )?;
+                    let store = Arc::new(store);
+                    stations = Some(store.clone());
+                    (Box::new(store), Some(report))
+                }
             };
+        // A non-clean open is a fact worth shouting about (satellites'
+        // freshness clocks may have regressed); it is also kept readable
+        // in `stats()` and exported as counters so mission rollups and
+        // health rules see it.
+        if let Some(report) = &recovery {
+            if !report.clean() {
+                eprintln!(
+                    "ground: storage recovery healed damage: {} corrupt records dropped, \
+                     {} torn bytes truncated across {} segments",
+                    report.corrupt_records_dropped, report.truncated_bytes, report.segments_scanned
+                );
+            }
+            // Register (even at zero) so the series exists on every
+            // durable mission and health rules never read missing data.
+            sink.counter(names::REFSTORE_RECOVERY_DROPPED_RECORDS)
+                .add(report.corrupt_records_dropped);
+            sink.counter(names::REFSTORE_RECOVERY_DROPPED_BYTES)
+                .add(report.truncated_bytes);
+        }
         Ok(GroundService {
             store,
             recovery,
+            stations,
+            fault,
             scheduler: ConstellationScheduler::new(config.theta),
             caches: Mutex::new(HashMap::new()),
             ingest_scratch: Mutex::new(Vec::new()),
@@ -293,6 +385,8 @@ impl GroundService {
             deltas_sent: sink.counter(names::GROUND_DELTAS_SENT),
             deltas_skipped: sink.counter(names::GROUND_DELTAS_SKIPPED),
             uplink_bytes_sent: sink.counter(names::GROUND_UPLINK_BYTES),
+            interrupted_windows: sink.counter(names::GROUND_PASS_INTERRUPTED),
+            faults_injected: sink.counter(names::FAULTS_INJECTED),
             peak_cache_bytes: sink.gauge(names::GROUND_CACHE_PEAK_BYTES),
             ingest_ns: sink.histogram(names::GROUND_INGEST_NS),
             ingest_encoded_ns: sink.histogram(names::GROUND_INGEST_ENCODED_NS),
@@ -332,6 +426,13 @@ impl GroundService {
     /// truncated, corrupt records dropped.
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
         self.recovery.as_ref()
+    }
+
+    /// The replicated station set, when that backend is configured —
+    /// the control-plane handle for failover state, replication pumps,
+    /// and [`crate::station::StationSetStats`].
+    pub fn stations(&self) -> Option<&ReplicatedReferenceStore> {
+        self.stations.as_deref()
     }
 
     /// Flushes the backend's durability (no-op in memory).
@@ -468,6 +569,43 @@ impl GroundService {
         if let Some(first) = contacts.first() {
             trace.arg("budget_bytes", first.budget_bytes);
         }
+        // Fault epoch first: outage transitions (and their failovers)
+        // land before scheduling, so the pass plans against whichever
+        // primaries are actually alive on this day.
+        if let Some(stations) = &self.stations {
+            if let Some(day) = contacts.iter().map(|c| c.day).reduce(f64::max) {
+                stations.advance_to_day(day);
+            }
+        }
+        // Mid-pass uplink drops: a hit clamps the window's byte budget,
+        // and whatever did not fit stays stale in the scheduler's queue —
+        // carried into the satellite's next window by the normal
+        // staleness ordering, not forgotten.
+        let mut clamped;
+        let contacts = match &self.fault {
+            Some(fault) => {
+                clamped = contacts.to_vec();
+                let mut injector = fault.lock().expect("fault injector poisoned");
+                for window in &mut clamped {
+                    if let Some(fraction) = injector.uplink_interrupt() {
+                        window.budget_bytes = (window.budget_bytes as f64 * fraction) as u64;
+                        self.interrupted_windows.inc();
+                        self.faults_injected.inc();
+                        self.tracing.instant_on(
+                            TraceTrack::Station(0),
+                            "ground",
+                            "pass_interrupted",
+                            &[
+                                ("satellite", window.satellite.0.into()),
+                                ("budget_bytes", window.budget_bytes.into()),
+                            ],
+                        );
+                    }
+                }
+                &clamped[..]
+            }
+            None => contacts,
+        };
         let all_keys;
         let targets: &[(LocationId, Band)] = if self.config.targets.is_empty() {
             all_keys = self.store.keys();
@@ -497,6 +635,13 @@ impl GroundService {
         trace.arg("bytes_used", bytes);
         let peak = caches.values().map(|c| c.size_bytes()).max().unwrap_or(0);
         self.peak_cache_bytes.set_max(peak);
+        drop(caches);
+        // Pass boundary: catch up any transfer shortfall and pump one
+        // budgeted compaction step per shard off the append hot path.
+        if let Some(stations) = &self.stations {
+            stations.replicate();
+            stations.maintain();
+        }
         reports
     }
 
@@ -563,6 +708,9 @@ impl GroundService {
             ingest_accepted: self.ingest_accepted.value(),
             ingest_rejected: self.ingest_rejected.value(),
             encoded_ingests: self.encoded_ingests.value(),
+            recovery_dropped_records: self.recovery.map_or(0, |r| r.corrupt_records_dropped),
+            recovery_truncated_bytes: self.recovery.map_or(0, |r| r.truncated_bytes),
+            interrupted_windows: self.interrupted_windows.value(),
         }
     }
 }

@@ -1,0 +1,1061 @@
+//! Multi-station replication: the fault-tolerant reference backend.
+//!
+//! A [`ReplicatedReferenceStore`] spreads the persistent store's shard
+//! directories over a set of ground stations. Each shard has a fixed
+//! *placement ring* of `1 + replicas` stations (`shard i` starts on
+//! station `i % stations`, replicas on the next stations around the
+//! ring); the ring head that is currently up is the shard's *primary*,
+//! the one live [`RefLog`] serving reads and writes.
+//!
+//! **Shipping.** Replication is file-level and synchronous: every
+//! accepted `offer` tails the primary's segment files out to the ring
+//! (`station-01/shard-003/seg-…` is a byte-identical prefix of the
+//! primary's file), CRC-verifying each written range by read-back and
+//! retrying dropped or corrupted transfers with exponential backoff plus
+//! deterministic jitter — backoff is charged to a virtual-time ledger
+//! ([`earthplus_telemetry::names::STATION_SHIP_BACKOFF_US`]), never
+//! slept. Interrupted transfers resume from the replica's verified
+//! length. The manifest ships last (tmp + rename, like the engine's own
+//! swap), so a promotion never sees a manifest naming bytes its segment
+//! files lack — at worst the replica replays newer segments manifest-free,
+//! which the engine already handles.
+//!
+//! **Failover.** [`ReplicatedReferenceStore::advance_to_day`] applies the
+//! fault plan's outage transitions eagerly: when a primary's station goes
+//! down, each of its shards promotes the first live ring member by
+//! replaying that replica's shipped segments (`RefLog::open`), merging
+//! the replay's [`RecoveryReport`] into the store-wide ledger. Because
+//! shipping is synchronous, the promoted replica holds exactly the
+//! primary's committed records, so post-failover uplink schedules are
+//! byte-identical to a no-failure run. With the whole ring down a shard
+//! keeps serving from its in-memory log and counts degraded serves.
+//!
+//! A returning station is not trusted: its files may carry a stale
+//! pre-failover tail. The next shipping pass compares prefix CRCs,
+//! truncates or wipes whatever diverged, and re-ships — the same path
+//! that heals the fault plan's injected replica-segment decay.
+
+use crate::backend::{parallel_offer, ReferenceBackend};
+use crate::fault::{SegmentCorruption, SharedFaultInjector};
+use crate::persistent::{shard_dir_name, PersistentStoreStats};
+use crate::reference::ReferenceImage;
+use crate::store::{shard_index, IngestReport};
+use earthplus_raster::{Band, LocationId};
+use earthplus_refstore::manifest::MANIFEST_NAME;
+use earthplus_refstore::{
+    crc32, list_segments, segment_file_name, RecoveryReport, RefLog, RefLogConfig, Result,
+};
+use earthplus_telemetry::{names, Counter, TelemetrySink, TraceSink, TraceTrack};
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, RwLock};
+
+/// Retry/backoff policy for one cross-station transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShipPolicy {
+    /// Attempts per transfer before giving up until the next shipping
+    /// pass (the shipped-length ledger carries the shortfall forward).
+    pub max_attempts: u32,
+    /// First retry backoff, microseconds (doubles per retry).
+    pub backoff_base_us: u64,
+    /// Backoff ceiling, microseconds.
+    pub backoff_cap_us: u64,
+}
+
+impl Default for ShipPolicy {
+    fn default() -> Self {
+        ShipPolicy {
+            max_attempts: 8,
+            backoff_base_us: 500,
+            backoff_cap_us: 50_000,
+        }
+    }
+}
+
+/// Topology + engine configuration of a replicated ground segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationSetConfig {
+    /// Ground stations in the set.
+    pub stations: usize,
+    /// Extra copies per shard (ring size is `1 + replicas`, capped at
+    /// the station count).
+    pub replicas: usize,
+    /// Per-shard storage-engine knobs.
+    pub log: RefLogConfig,
+    /// Transfer retry policy.
+    pub ship: ShipPolicy,
+}
+
+impl Default for StationSetConfig {
+    fn default() -> Self {
+        StationSetConfig {
+            stations: 2,
+            replicas: 1,
+            log: RefLogConfig::default(),
+            ship: ShipPolicy::default(),
+        }
+    }
+}
+
+/// Directory name of station `s` under the store root.
+fn station_dir_name(s: usize) -> String {
+    format!("station-{s:02}")
+}
+
+/// One shard's live state: where its primary is, the open log, and the
+/// shipping ledger toward each replica.
+#[derive(Debug)]
+struct ShardHome {
+    /// Candidate stations in placement order; `ring[0]` is the original
+    /// primary.
+    ring: Vec<usize>,
+    /// Station currently holding the primary log.
+    station: usize,
+    /// The primary log.
+    log: RefLog,
+    /// Verified bytes shipped per `(station, segment id)`. A missing
+    /// entry means "unknown" — the next pass re-verifies the replica
+    /// file by prefix CRC before resuming.
+    shipped: HashMap<(usize, u64), u64>,
+    /// CRC of the manifest last shipped per station.
+    manifest_crc: HashMap<usize, u32>,
+}
+
+/// Counter handles the station set publishes through (shared-by-name
+/// with the rest of the workspace registry).
+#[derive(Debug)]
+struct StationCounters {
+    ship_segments: Counter,
+    ship_bytes: Counter,
+    ship_retries: Counter,
+    ship_resumed: Counter,
+    ship_corrupt: Counter,
+    ship_backoff_us: Counter,
+    outages: Counter,
+    failovers: Counter,
+    degraded: Counter,
+    disk_stalls: Counter,
+    faults: Counter,
+    recovery_dropped_records: Counter,
+    recovery_dropped_bytes: Counter,
+}
+
+impl StationCounters {
+    fn resolve(sink: &TelemetrySink) -> Self {
+        StationCounters {
+            ship_segments: sink.counter(names::STATION_SHIP_SEGMENTS),
+            ship_bytes: sink.counter(names::STATION_SHIP_BYTES),
+            ship_retries: sink.counter(names::STATION_SHIP_RETRIES),
+            ship_resumed: sink.counter(names::STATION_SHIP_RESUMED),
+            ship_corrupt: sink.counter(names::STATION_SHIP_CORRUPT),
+            ship_backoff_us: sink.counter(names::STATION_SHIP_BACKOFF_US),
+            outages: sink.counter(names::STATION_OUTAGES),
+            failovers: sink.counter(names::STATION_FAILOVERS),
+            degraded: sink.counter(names::STATION_DEGRADED_SERVES),
+            disk_stalls: sink.counter(names::STATION_DISK_STALLS),
+            faults: sink.counter(names::FAULTS_INJECTED),
+            recovery_dropped_records: sink.counter(names::REFSTORE_RECOVERY_DROPPED_RECORDS),
+            recovery_dropped_bytes: sink.counter(names::REFSTORE_RECOVERY_DROPPED_BYTES),
+        }
+    }
+}
+
+/// Aggregated accounting across the whole station set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StationSetStats {
+    /// Stations in the set.
+    pub stations: u64,
+    /// Storage-engine totals over the primary logs (same shape as the
+    /// single-station persistent backend's).
+    pub store: PersistentStoreStats,
+    /// Segment transfers that moved bytes.
+    pub ship_segments: u64,
+    /// Verified bytes copied primary → replica.
+    pub ship_bytes: u64,
+    /// Transfer attempts retried.
+    pub ship_retries: u64,
+    /// Interrupted transfers resumed from a partial replica file.
+    pub ship_resumed: u64,
+    /// Written ranges or replica prefixes whose CRC check failed
+    /// (truncated and re-shipped).
+    pub ship_corrupt_detected: u64,
+    /// Virtual-time retry backoff scheduled, microseconds.
+    pub ship_backoff_us: u64,
+    /// Station outage transitions observed.
+    pub outages: u64,
+    /// Shard promotions after an outage.
+    pub failovers: u64,
+    /// Reads served while a shard's whole ring was down.
+    pub degraded_serves: u64,
+    /// Slow-disk stalls injected.
+    pub disk_stalls: u64,
+    /// Fault events applied by the injector.
+    pub faults_injected: u64,
+    /// Open-time replays merged with every failover promotion's replay.
+    pub recovery: RecoveryReport,
+}
+
+/// The replicated, fault-tolerant reference backend. See the module docs
+/// for the replication and failover contract.
+#[derive(Debug)]
+pub struct ReplicatedReferenceStore {
+    root: PathBuf,
+    config: StationSetConfig,
+    shards: Vec<RwLock<ShardHome>>,
+    /// Current outage state per station.
+    down: Mutex<Vec<bool>>,
+    injector: Option<SharedFaultInjector>,
+    telemetry: TelemetrySink,
+    tracing: TraceSink,
+    counters: StationCounters,
+    recovery: Mutex<RecoveryReport>,
+}
+
+impl ReplicatedReferenceStore {
+    /// Opens (or creates) the station set under `root` with `shards`
+    /// shard rings, replaying every primary log. Telemetry and tracing
+    /// wire up at open so failover promotions can re-attach them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open-time I/O failures; corruption is healed and
+    /// reported, exactly like the single-station backend.
+    pub fn open(
+        root: &Path,
+        shards: usize,
+        config: StationSetConfig,
+        injector: Option<SharedFaultInjector>,
+        sink: &TelemetrySink,
+        tracing: &TraceSink,
+    ) -> Result<(Self, RecoveryReport)> {
+        let shard_count = shards.max(1);
+        let stations = config.stations.max(1);
+        let ring_len = config.replicas.min(stations.saturating_sub(1));
+        let mut homes = Vec::with_capacity(shard_count);
+        let mut merged = RecoveryReport {
+            manifest_loaded: true,
+            ..RecoveryReport::default()
+        };
+        for i in 0..shard_count {
+            let ring: Vec<usize> = (0..=ring_len).map(|k| (i + k) % stations).collect();
+            let station = ring[0];
+            let dir = root.join(station_dir_name(station)).join(shard_dir_name(i));
+            let (mut log, report) = RefLog::open(&dir, config.log)?;
+            log.attach_telemetry(sink);
+            log.attach_tracing(tracing);
+            merged.merge(&report);
+            homes.push(RwLock::new(ShardHome {
+                ring,
+                station,
+                log,
+                shipped: HashMap::new(),
+                manifest_crc: HashMap::new(),
+            }));
+        }
+        Ok((
+            ReplicatedReferenceStore {
+                root: root.to_path_buf(),
+                shards: homes,
+                down: Mutex::new(vec![false; stations]),
+                injector,
+                telemetry: sink.clone(),
+                tracing: tracing.clone(),
+                counters: StationCounters::resolve(sink),
+                recovery: Mutex::new(merged),
+                config: StationSetConfig { stations, ..config },
+            },
+            merged,
+        ))
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of stations.
+    pub fn station_count(&self) -> usize {
+        self.config.stations
+    }
+
+    /// The station currently holding `shard`'s primary log.
+    pub fn shard_station(&self, shard: usize) -> usize {
+        self.shards[shard].read().expect("shard poisoned").station
+    }
+
+    /// Whether `station` is currently down.
+    pub fn station_down(&self, station: usize) -> bool {
+        self.down
+            .lock()
+            .expect("outage state poisoned")
+            .get(station)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Every open-time replay plus every failover promotion's replay.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        *self.recovery.lock().expect("recovery ledger poisoned")
+    }
+
+    /// Applies the fault plan's state up to `day`: one-shot replica
+    /// corruptions land, and station outage transitions take effect —
+    /// eagerly promoting a replica for every shard whose primary station
+    /// just went down, so reads and writes stay day-unaware.
+    pub fn advance_to_day(&self, day: f64) {
+        let Some(injector) = &self.injector else {
+            return;
+        };
+        let (due, states): (Vec<SegmentCorruption>, Vec<bool>) = {
+            let mut injector = injector.lock().expect("fault injector poisoned");
+            let due = injector.due_corruptions(day);
+            let states = (0..self.config.stations)
+                .map(|s| injector.station_down(s, day))
+                .collect();
+            (due, states)
+        };
+        for corruption in due {
+            self.apply_corruption(&corruption);
+        }
+        for (station, down_now) in states.into_iter().enumerate() {
+            self.set_station_state(station, down_now);
+        }
+    }
+
+    /// Marks `station` down (outage), promoting replicas for every shard
+    /// it was primary for. Test/manual override; the fault plan drives
+    /// the same path via [`ReplicatedReferenceStore::advance_to_day`].
+    pub fn fail_station(&self, station: usize) {
+        self.set_station_state(station, true);
+    }
+
+    /// Marks `station` back up. Its files are re-verified (and any
+    /// diverged tail truncated) by the next shipping pass.
+    pub fn restore_station(&self, station: usize) {
+        self.set_station_state(station, false);
+    }
+
+    /// Ships every shard's outstanding bytes to its live replicas —
+    /// the catch-up pass run at contact-pass boundaries (offers also
+    /// ship synchronously on their own).
+    pub fn replicate(&self) {
+        for idx in 0..self.shards.len() {
+            let mut home = self.shards[idx].write().expect("shard poisoned");
+            self.ship_shard(idx, &mut home);
+        }
+    }
+
+    /// Pumps one budgeted compaction step per shard (whether or not
+    /// auto-compaction is enabled), re-shipping any shard whose file set
+    /// a commit just changed.
+    pub fn maintain(&self) {
+        let budget = self.config.log.compaction_step;
+        for idx in 0..self.shards.len() {
+            let mut home = self.shards[idx].write().expect("shard poisoned");
+            let stepped = home
+                .log
+                .maintain(budget)
+                .expect("refstore maintenance failed");
+            if stepped.is_some_and(|r| r.finished) {
+                self.ship_shard(idx, &mut home);
+            }
+        }
+    }
+
+    /// Aggregated accounting: engine totals over the primaries plus the
+    /// replication/fault counters.
+    pub fn stats(&self) -> StationSetStats {
+        let mut store = PersistentStoreStats {
+            shards: self.shards.len() as u64,
+            ..PersistentStoreStats::default()
+        };
+        for shard in &self.shards {
+            let stats = shard.read().expect("shard poisoned").log.stats();
+            store.segments += stats.segments;
+            store.live_records += stats.live_records;
+            store.dead_records += stats.dead_records;
+            store.live_bytes += stats.live_bytes;
+            store.dead_bytes += stats.dead_bytes;
+            store.compactions += stats.compactions;
+            store.compaction_steps += stats.compaction_steps;
+            store.max_step_copied_bytes =
+                store.max_step_copied_bytes.max(stats.max_step_copied_bytes);
+            store.handle_cache_hits += stats.handle_cache_hits;
+            store.handle_cache_misses += stats.handle_cache_misses;
+        }
+        StationSetStats {
+            stations: self.config.stations as u64,
+            store,
+            ship_segments: self.counters.ship_segments.value(),
+            ship_bytes: self.counters.ship_bytes.value(),
+            ship_retries: self.counters.ship_retries.value(),
+            ship_resumed: self.counters.ship_resumed.value(),
+            ship_corrupt_detected: self.counters.ship_corrupt.value(),
+            ship_backoff_us: self.counters.ship_backoff_us.value(),
+            outages: self.counters.outages.value(),
+            failovers: self.counters.failovers.value(),
+            degraded_serves: self.counters.degraded.value(),
+            disk_stalls: self.counters.disk_stalls.value(),
+            faults_injected: self.counters.faults.value(),
+            recovery: self.recovery_report(),
+        }
+    }
+
+    fn shard_dir(&self, station: usize, shard: usize) -> PathBuf {
+        self.root
+            .join(station_dir_name(station))
+            .join(shard_dir_name(shard))
+    }
+
+    fn set_station_state(&self, station: usize, want_down: bool) {
+        let was = {
+            let mut down = self.down.lock().expect("outage state poisoned");
+            let Some(slot) = down.get_mut(station) else {
+                return;
+            };
+            std::mem::replace(slot, want_down)
+        };
+        if was == want_down {
+            return;
+        }
+        if want_down {
+            self.counters.outages.inc();
+            self.tracing.instant_on(
+                TraceTrack::Station(station as u32),
+                "station",
+                "outage",
+                &[],
+            );
+            self.fail_over_shards(station);
+        }
+        // A returning station needs nothing eager: the next shipping
+        // pass prefix-CRC-verifies its files and heals any divergence.
+    }
+
+    /// Promotes a live ring member for every shard whose primary just
+    /// went down on `station`.
+    fn fail_over_shards(&self, station: usize) {
+        let down = self.down.lock().expect("outage state poisoned").clone();
+        for idx in 0..self.shards.len() {
+            let mut home = self.shards[idx].write().expect("shard poisoned");
+            if home.station != station {
+                continue;
+            }
+            let Some(&next) = home
+                .ring
+                .iter()
+                .find(|&&s| !down.get(s).copied().unwrap_or(false))
+            else {
+                // Whole ring down: keep serving from the in-memory log,
+                // counted per read as a degraded serve.
+                continue;
+            };
+            let dir = self.shard_dir(next, idx);
+            // The promotion replays the replica's shipped segments; the
+            // backend surface is infallible, so a dead promotion target
+            // is loud (same policy as the persistent backend).
+            let (mut log, report) =
+                RefLog::open(&dir, self.config.log).expect("replica promotion failed");
+            log.attach_telemetry(&self.telemetry);
+            log.attach_tracing(&self.tracing);
+            self.counters.failovers.inc();
+            self.counters
+                .recovery_dropped_records
+                .add(report.corrupt_records_dropped);
+            self.counters
+                .recovery_dropped_bytes
+                .add(report.truncated_bytes);
+            self.recovery
+                .lock()
+                .expect("recovery ledger poisoned")
+                .merge(&report);
+            self.tracing.instant_on(
+                TraceTrack::Station(next as u32),
+                "station",
+                "failover",
+                &[("shard", (idx as u64).into())],
+            );
+            home.station = next;
+            home.log = log;
+            // The new primary re-derives every replica's state by prefix
+            // CRC on its next shipping pass.
+            home.shipped.clear();
+            home.manifest_crc.clear();
+        }
+    }
+
+    /// Flips one byte of the newest shipped segment in a *replica* copy
+    /// (never the live primary, whose in-memory index must stay coherent
+    /// with its files) and forgets its shipping state, so the next pass
+    /// re-verifies — detecting and healing the decay.
+    fn apply_corruption(&self, corruption: &SegmentCorruption) {
+        if corruption.shard >= self.shards.len() {
+            return;
+        }
+        let mut home = self.shards[corruption.shard]
+            .write()
+            .expect("shard poisoned");
+        if home.station == corruption.station {
+            return;
+        }
+        let dir = self.shard_dir(corruption.station, corruption.shard);
+        let Ok(files) = list_segments(&dir) else {
+            return;
+        };
+        let Some((id, path)) = files.last() else {
+            return;
+        };
+        if flip_last_byte(path).is_ok() {
+            self.counters.faults.inc();
+            home.shipped.remove(&(corruption.station, *id));
+        }
+    }
+
+    /// Ships `home`'s outstanding bytes to every live ring member.
+    fn ship_shard(&self, idx: usize, home: &mut ShardHome) {
+        let down = self.down.lock().expect("outage state poisoned").clone();
+        let primary_dir = self.shard_dir(home.station, idx);
+        let Ok(files) = list_segments(&primary_dir) else {
+            return;
+        };
+        let manifest = std::fs::read(primary_dir.join(MANIFEST_NAME)).ok();
+        let replicas: Vec<usize> = home
+            .ring
+            .iter()
+            .copied()
+            .filter(|&s| s != home.station && !down.get(s).copied().unwrap_or(false))
+            .collect();
+        for replica in replicas {
+            let rdir = self.shard_dir(replica, idx);
+            if std::fs::create_dir_all(&rdir).is_err() {
+                continue;
+            }
+            for (id, path) in &files {
+                let Ok(meta) = std::fs::metadata(path) else {
+                    continue;
+                };
+                let src_len = meta.len();
+                let dst = rdir.join(segment_file_name(*id));
+                let start = match home.shipped.get(&(replica, *id)) {
+                    Some(&n) if n <= src_len => n,
+                    _ => self.adopt_replica_prefix(path, &dst, src_len),
+                };
+                if start < src_len {
+                    let shipped = self.ship_range(path, &dst, start, src_len);
+                    if shipped > start {
+                        self.counters.ship_segments.inc();
+                    }
+                    home.shipped.insert((replica, *id), shipped);
+                } else {
+                    home.shipped.insert((replica, *id), start);
+                }
+            }
+            // Manifest last, atomically: a promotion never sees a
+            // manifest naming bytes the segments above don't have.
+            match &manifest {
+                Some(bytes) => {
+                    let crc = crc32(bytes);
+                    if home.manifest_crc.get(&replica) != Some(&crc)
+                        && ship_manifest(&rdir, bytes).is_ok()
+                    {
+                        home.manifest_crc.insert(replica, crc);
+                    }
+                }
+                None => {
+                    let _ = std::fs::remove_file(rdir.join(MANIFEST_NAME));
+                    home.manifest_crc.remove(&replica);
+                }
+            }
+            // Sweep replica segments the primary compacted away (only
+            // after the manifest stopped naming them).
+            if let Ok(replica_files) = list_segments(&rdir) {
+                for (rid, rpath) in replica_files {
+                    if !files.iter().any(|(id, _)| *id == rid) {
+                        let _ = std::fs::remove_file(&rpath);
+                        home.shipped.remove(&(replica, rid));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-derives how many bytes of `dst` are a verified prefix of
+    /// `src`: prefix CRCs match → adopt (truncating any stale tail past
+    /// the source length); mismatch → wipe and re-ship from zero.
+    fn adopt_replica_prefix(&self, src: &Path, dst: &Path, src_len: u64) -> u64 {
+        let Ok(meta) = std::fs::metadata(dst) else {
+            return 0;
+        };
+        let common = meta.len().min(src_len);
+        if common == 0 {
+            let _ = truncate_to(dst, 0);
+            return 0;
+        }
+        let verified = match (read_range(src, 0, common), read_range(dst, 0, common)) {
+            (Ok(s), Ok(d)) => crc32(&s) == crc32(&d),
+            _ => false,
+        };
+        if verified {
+            if meta.len() > src_len {
+                // Stale pre-failover tail (records the promoted timeline
+                // never had) — drop it.
+                let _ = truncate_to(dst, src_len);
+            }
+            common
+        } else {
+            self.counters.ship_corrupt.inc();
+            let _ = truncate_to(dst, 0);
+            0
+        }
+    }
+
+    /// Transfers `src[from..to]` into `dst` with read-back CRC
+    /// verification, retry, exponential backoff + jitter, and fault
+    /// injection. Returns the verified replica length reached (== `to`
+    /// on success; the shipping ledger carries any shortfall to the next
+    /// pass).
+    fn ship_range(&self, src: &Path, dst: &Path, from: u64, to: u64) -> u64 {
+        let policy = self.config.ship;
+        let mut shipped = from;
+        let mut attempt: u32 = 0;
+        loop {
+            let Ok(bytes) = read_range(src, shipped, to) else {
+                return shipped;
+            };
+            // Roll this attempt's faults up front; the injector never
+            // touches the files itself.
+            let mut cut = None;
+            let mut corrupt_at = None;
+            if let Some(injector) = &self.injector {
+                let mut injector = injector.lock().expect("fault injector poisoned");
+                corrupt_at = injector.ship_corrupt(bytes.len() as u64);
+                cut = injector.ship_interrupt(bytes.len() as u64);
+                if let Some(stall_us) = injector.disk_stall() {
+                    // Modelled in virtual time: charged to the backoff
+                    // ledger, never slept.
+                    self.counters.disk_stalls.inc();
+                    self.counters.faults.inc();
+                    self.counters.ship_backoff_us.add(stall_us);
+                }
+            }
+            if cut.is_some() {
+                self.counters.faults.inc();
+            }
+            let write_len = cut.map_or(bytes.len(), |c| c as usize);
+            let mut wire = bytes[..write_len].to_vec();
+            if let Some(at) = corrupt_at {
+                if (at as usize) < wire.len() {
+                    wire[at as usize] ^= 0xFF;
+                    self.counters.faults.inc();
+                }
+            }
+            let wrote = write_at(dst, shipped, &wire).is_ok();
+            // Read back what landed and verify it against the source.
+            let verified = wrote
+                && write_len > 0
+                && read_range(dst, shipped, shipped + write_len as u64)
+                    .map(|got| crc32(&got) == crc32(&bytes[..write_len]))
+                    .unwrap_or(false);
+            if verified {
+                shipped += write_len as u64;
+                self.counters.ship_bytes.add(write_len as u64);
+            } else {
+                if wrote && write_len > 0 {
+                    self.counters.ship_corrupt.inc();
+                }
+                // Roll the replica back to its last verified length.
+                let _ = truncate_to(dst, shipped);
+            }
+            if shipped >= to {
+                return shipped;
+            }
+            attempt += 1;
+            if attempt >= policy.max_attempts.max(1) {
+                return shipped;
+            }
+            self.counters.ship_retries.inc();
+            if cut.is_some() && verified {
+                // The partial write landed; the next attempt continues
+                // from it instead of starting over.
+                self.counters.ship_resumed.inc();
+            }
+            let exp = policy
+                .backoff_base_us
+                .saturating_mul(1u64 << (attempt - 1).min(16));
+            let delay = exp.min(policy.backoff_cap_us.max(policy.backoff_base_us));
+            let jitter = self.injector.as_ref().map_or(0, |i| {
+                i.lock()
+                    .expect("fault injector poisoned")
+                    .jitter(delay / 2 + 1)
+            });
+            self.counters.ship_backoff_us.add(delay + jitter);
+        }
+    }
+
+    fn shard_of(&self, location: LocationId, band: Band) -> &RwLock<ShardHome> {
+        &self.shards[shard_index(location, band, self.shards.len())]
+    }
+
+    /// Counts a degraded serve when the shard's primary station is down
+    /// (only possible with the whole ring down — otherwise failover
+    /// already moved the primary).
+    fn note_serve(&self, home: &ShardHome) {
+        if self.station_down(home.station) {
+            self.counters.degraded.inc();
+        }
+    }
+}
+
+impl ReferenceBackend for ReplicatedReferenceStore {
+    fn offer(&self, reference: ReferenceImage) -> bool {
+        let key = (reference.location, reference.band);
+        let idx = shard_index(reference.location, reference.band, self.shards.len());
+        let payload = reference.to_record_payload();
+        let mut home = self.shards[idx].write().expect("shard poisoned");
+        let accepted = home
+            .log
+            .append(key, reference.captured_day, &payload)
+            .expect("refstore append failed");
+        if accepted {
+            // Synchronous replication: the tail ships before the offer
+            // returns, so an outage at any later instant loses nothing
+            // acknowledged (modulo transfers whose every retry failed —
+            // those carry in the ledger and re-ship next pass).
+            self.ship_shard(idx, &mut home);
+        }
+        accepted
+    }
+
+    fn get(&self, location: LocationId, band: Band) -> Option<ReferenceImage> {
+        let home = self
+            .shard_of(location, band)
+            .read()
+            .expect("shard poisoned");
+        self.note_serve(&home);
+        let record = home
+            .log
+            .get(&(location, band))
+            .expect("refstore read failed")?;
+        Some(
+            ReferenceImage::from_record_payload(location, band, record.day, &record.payload)
+                .expect("CRC-valid record decodes"),
+        )
+    }
+
+    fn fresh_day(&self, location: LocationId, band: Band) -> Option<f64> {
+        self.shard_of(location, band)
+            .read()
+            .expect("shard poisoned")
+            .log
+            .fresh_day(&(location, band))
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").log.len())
+            .sum()
+    }
+
+    fn size_bytes(&self) -> u64 {
+        // Same logical 12-bit model as the persistent backend.
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let home = shard.read().expect("shard poisoned");
+            for (_, entry) in home.log.entries() {
+                let payload = entry
+                    .payload_len()
+                    .saturating_sub(ReferenceImage::RECORD_PAYLOAD_HEADER as u64);
+                total += (payload / 4 * 12).div_ceil(8);
+            }
+        }
+        total
+    }
+
+    fn keys(&self) -> Vec<(LocationId, Band)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().expect("shard poisoned").log.keys());
+        }
+        out.sort();
+        out
+    }
+
+    fn ingest_batch(&self, references: Vec<ReferenceImage>, threads: usize) -> IngestReport {
+        parallel_offer(self, references, threads)
+    }
+
+    fn sync(&self) {
+        for shard in &self.shards {
+            shard
+                .write()
+                .expect("shard poisoned")
+                .log
+                .sync()
+                .expect("refstore sync failed");
+        }
+    }
+}
+
+fn read_range(path: &Path, from: u64, to: u64) -> std::io::Result<Vec<u8>> {
+    let mut file = std::fs::File::open(path)?;
+    file.seek(SeekFrom::Start(from))?;
+    let len = (to - from) as usize;
+    let mut buf = vec![0u8; len];
+    file.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn write_at(path: &Path, offset: u64, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(bytes)?;
+    Ok(())
+}
+
+fn truncate_to(path: &Path, len: u64) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    file.set_len(len)
+}
+
+fn flip_last_byte(path: &Path) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    file.seek(SeekFrom::Start(len - 1))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0xFF;
+    file.seek(SeekFrom::Start(len - 1))?;
+    file.write_all(&byte)
+}
+
+/// Ships a manifest atomically (tmp + rename), mirroring the engine's
+/// own swap so a crashed ship never leaves a half-written manifest.
+fn ship_manifest(dir: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join("MANIFEST.ship-tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, dir.join(MANIFEST_NAME))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{shared_injector, FaultPlan};
+    use earthplus_raster::{PlanetBand, Raster};
+    use earthplus_telemetry::TelemetrySink;
+
+    fn test_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "earthplus-ground-station-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn red() -> Band {
+        Band::Planet(PlanetBand::Red)
+    }
+
+    fn reference(location: u32, day: f64, value: f32) -> ReferenceImage {
+        let full = Raster::filled(64, 64, value);
+        ReferenceImage::from_capture(LocationId(location), red(), day, &full, 8).unwrap()
+    }
+
+    fn open_set(
+        root: &Path,
+        shards: usize,
+        config: StationSetConfig,
+        injector: Option<SharedFaultInjector>,
+    ) -> ReplicatedReferenceStore {
+        let sink = TelemetrySink::default().or_private();
+        let (store, _) = ReplicatedReferenceStore::open(
+            root,
+            shards,
+            config,
+            injector,
+            &sink,
+            &TraceSink::default(),
+        )
+        .unwrap();
+        store
+    }
+
+    #[test]
+    fn offers_ship_synchronously_to_replicas() {
+        let root = test_root("sync-ship");
+        let store = open_set(&root, 2, StationSetConfig::default(), None);
+        for loc in 0..8u32 {
+            assert!(store.offer(reference(loc, 2.0, 0.4)));
+        }
+        let stats = store.stats();
+        assert!(stats.ship_bytes > 0, "offers must ship synchronously");
+        // Every replica shard file is a byte-identical copy of its
+        // primary (fully shipped, since nothing raced).
+        for shard in 0..2usize {
+            let primary = store.shard_station(shard);
+            let pdir = store.shard_dir(primary, shard);
+            let replica = (primary + 1) % 2;
+            let rdir = store.shard_dir(replica, shard);
+            for (id, path) in list_segments(&pdir).unwrap() {
+                let src = std::fs::read(&path).unwrap();
+                let dst = std::fs::read(rdir.join(segment_file_name(id))).unwrap();
+                assert_eq!(src, dst, "shard {shard} segment {id} diverges");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failover_promotes_replica_with_identical_state() {
+        let root = test_root("failover");
+        let store = open_set(&root, 3, StationSetConfig::default(), None);
+        for loc in 0..24u32 {
+            store.offer(reference(loc, 1.0 + loc as f64, 0.3));
+        }
+        let before_keys = store.keys();
+        let before_days: Vec<Option<f64>> = (0..24u32)
+            .map(|loc| store.fresh_day(LocationId(loc), red()))
+            .collect();
+        store.fail_station(0);
+        assert!(store.stats().failovers > 0);
+        assert_eq!(store.keys(), before_keys, "no reference lost in failover");
+        let after_days: Vec<Option<f64>> = (0..24u32)
+            .map(|loc| store.fresh_day(LocationId(loc), red()))
+            .collect();
+        assert_eq!(after_days, before_days);
+        for shard in 0..3usize {
+            assert_ne!(store.shard_station(shard), 0, "no shard stays on station 0");
+        }
+        // New writes keep flowing on the promoted primaries.
+        assert!(store.offer(reference(0, 99.0, 0.5)));
+        assert_eq!(store.fresh_day(LocationId(0), red()), Some(99.0));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn returning_station_is_healed_not_trusted() {
+        let root = test_root("rejoin");
+        let store = open_set(&root, 1, StationSetConfig::default(), None);
+        store.offer(reference(0, 1.0, 0.3));
+        let original = store.shard_station(0);
+        store.fail_station(original);
+        let promoted = store.shard_station(0);
+        assert_ne!(promoted, original);
+        // The promoted timeline moves on while the old primary is dark.
+        store.offer(reference(0, 5.0, 0.4));
+        store.restore_station(original);
+        store.replicate();
+        // The old primary's copy now matches the promoted timeline.
+        let pdir = store.shard_dir(promoted, 0);
+        let rdir = store.shard_dir(original, 0);
+        for (id, path) in list_segments(&pdir).unwrap() {
+            let src = std::fs::read(&path).unwrap();
+            let dst = std::fs::read(rdir.join(segment_file_name(id))).unwrap();
+            assert_eq!(src, dst, "rejoined station still diverges on {id}");
+        }
+        // And failing back over to it serves the promoted data.
+        store.fail_station(promoted);
+        assert_eq!(store.shard_station(0), original);
+        assert_eq!(store.fresh_day(LocationId(0), red()), Some(5.0));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_transfer_faults_retry_until_delivery() {
+        let root = test_root("retry");
+        let injector = shared_injector(FaultPlan {
+            seed: 42,
+            ship_interrupt_probability: 0.4,
+            ship_corrupt_probability: 0.2,
+            disk_stall_probability: 0.1,
+            ..FaultPlan::default()
+        });
+        let store = open_set(&root, 2, StationSetConfig::default(), Some(injector));
+        for loc in 0..32u32 {
+            assert!(store.offer(reference(loc, 2.0, 0.4)));
+        }
+        store.replicate();
+        let stats = store.stats();
+        assert!(stats.ship_retries > 0, "faults above must force retries");
+        assert!(stats.ship_backoff_us > 0, "retries must charge backoff");
+        assert!(stats.faults_injected > 0);
+        // Despite the faults, a failover still loses nothing: every
+        // record made it to the replicas.
+        let keys = store.keys();
+        store.fail_station(0);
+        store.fail_station(1);
+        // Both down: stations 0 and 1 — but shards failed over in order,
+        // so whichever survived longest holds the data; restore one and
+        // verify via a fresh failback.
+        store.restore_station(0);
+        store.restore_station(1);
+        assert_eq!(store.keys(), keys);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn whole_ring_down_serves_degraded() {
+        let root = test_root("degraded");
+        let store = open_set(&root, 1, StationSetConfig::default(), None);
+        store.offer(reference(0, 1.0, 0.3));
+        store.fail_station(0);
+        store.fail_station(1);
+        assert!(store.get(LocationId(0), red()).is_some(), "still serves");
+        assert!(store.stats().degraded_serves > 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_replica_corruption_is_detected_and_healed() {
+        let root = test_root("heal");
+        let injector = shared_injector(FaultPlan {
+            seed: 9,
+            corruptions: vec![SegmentCorruption {
+                station: 1,
+                shard: 0,
+                day: 3.0,
+            }],
+            ..FaultPlan::default()
+        });
+        let config = StationSetConfig {
+            stations: 2,
+            ..StationSetConfig::default()
+        };
+        let store = open_set(&root, 1, config, Some(injector));
+        store.offer(reference(0, 1.0, 0.3));
+        let primary = store.shard_station(0);
+        assert_eq!(primary, 0, "shard 0 starts on station 0");
+        store.advance_to_day(3.5); // corruption lands on the replica
+        store.replicate(); // scrub detects + re-ships
+        let stats = store.stats();
+        assert!(stats.faults_injected > 0);
+        assert!(stats.ship_corrupt_detected > 0, "decay must be detected");
+        // The healed replica is byte-identical again, so promoting it
+        // serves the same data.
+        store.fail_station(0);
+        assert_eq!(store.fresh_day(LocationId(0), red()), Some(1.0));
+        assert!(store.recovery_report().clean(), "promotion replay clean");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

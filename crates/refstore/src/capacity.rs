@@ -1,0 +1,183 @@
+//! Closed-form capacity model for a [`RefLog`](crate::RefLog) archive.
+//!
+//! The log's disk footprint is not open-ended: freshest-wins retention
+//! keeps one generation per `(location, band)` key, superseded
+//! generations accumulate as dead bytes at the capture cadence, and
+//! auto-compaction reclaims them once the configured thresholds trip.
+//! [`CapacityModel::project`] turns those knobs plus a mission length
+//! into the numbers an operator provisions against: steady-state live
+//! bytes, the dead-byte high-water mark, the transient peak while a
+//! compaction's outputs coexist with its inputs, and how many
+//! compactions the mission will run.
+//!
+//! The model is deliberately analytic (no simulation): it is the
+//! documentation of *why* disk usage stays bounded, checked by unit
+//! tests against the accounting the engine itself reports.
+
+use crate::log::RefLogConfig;
+
+/// Workload + configuration description of one log (or one shard).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityModel {
+    /// Live `(location, band)` keys the archive converges to.
+    pub keys: u64,
+    /// Average framed record size in bytes (payload + frame header).
+    pub record_bytes: u64,
+    /// Accepted (freshness-winning) appends per mission day across the
+    /// whole log — the capture cadence after staleness rejection.
+    pub writes_per_day: f64,
+    /// Generations retained per key. The engine keeps exactly one
+    /// (freshest-wins); the knob exists so the model can price a future
+    /// history-keeping policy.
+    pub retained_generations: u64,
+    /// The compaction thresholds and segment sizing in force.
+    pub config: RefLogConfig,
+}
+
+/// What [`CapacityModel::project`] predicts for one mission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityProjection {
+    /// Steady-state live bytes (every key seeded, retention applied).
+    pub live_bytes: u64,
+    /// Dead bytes at which auto-compaction triggers — the dead-byte
+    /// high-water mark between compactions.
+    pub dead_trigger_bytes: u64,
+    /// Disk bytes the store oscillates up to between compactions
+    /// (live + dead high-water mark).
+    pub steady_disk_bytes: u64,
+    /// Transient peak while a compaction runs: inputs (live + dead) and
+    /// relocated outputs (live) coexist until the manifest swap.
+    pub peak_disk_bytes: u64,
+    /// Total bytes appended over the mission.
+    pub appended_bytes: u64,
+    /// Compactions the mission triggers (dead bytes generated divided by
+    /// the trigger threshold).
+    pub compactions: u64,
+    /// Segment files at the steady-state high-water mark.
+    pub segments: u64,
+}
+
+impl CapacityModel {
+    /// Projects the model over `mission_days`.
+    ///
+    /// Days before every key is seeded generate no dead bytes (a first
+    /// write supersedes nothing); the model charges the full cadence
+    /// anyway, which errs on the provisioning-safe side.
+    pub fn project(&self, mission_days: f64) -> CapacityProjection {
+        let live_bytes = self.keys * self.record_bytes * self.retained_generations.max(1);
+        let dead_trigger_bytes = dead_trigger(&self.config, live_bytes);
+        let appended_bytes =
+            (self.writes_per_day * mission_days.max(0.0)) as u64 * self.record_bytes;
+        // In steady state every accepted write kills one prior
+        // generation, so dead bytes accrue at the append byte rate.
+        let dead_generated = appended_bytes.saturating_sub(live_bytes);
+        let compactions = if self.config.auto_compact && dead_trigger_bytes > 0 {
+            dead_generated / dead_trigger_bytes
+        } else {
+            0
+        };
+        let steady_disk_bytes = if self.config.auto_compact {
+            live_bytes + dead_trigger_bytes
+        } else {
+            live_bytes + dead_generated
+        };
+        // During a compaction the relocated copy of the live set exists
+        // alongside the not-yet-swept inputs.
+        let peak_disk_bytes = steady_disk_bytes + live_bytes;
+        let segments = if self.config.segment_max_bytes > 0 {
+            steady_disk_bytes
+                .div_ceil(self.config.segment_max_bytes)
+                .max(1)
+        } else {
+            1
+        };
+        CapacityProjection {
+            live_bytes,
+            dead_trigger_bytes,
+            steady_disk_bytes,
+            peak_disk_bytes,
+            appended_bytes,
+            compactions,
+            segments,
+        }
+    }
+}
+
+/// Dead bytes at which [`RefLog::should_compact`](crate::RefLog) trips:
+/// both the absolute floor and the dead-fraction condition must hold.
+fn dead_trigger(config: &RefLogConfig, live_bytes: u64) -> u64 {
+    let f = config.compact_min_dead_fraction.clamp(0.0, 1.0);
+    // dead >= f * (dead + live)  <=>  dead >= f/(1-f) * live.
+    let fraction_floor = if f >= 1.0 {
+        u64::MAX
+    } else {
+        (f / (1.0 - f) * live_bytes as f64).ceil() as u64
+    };
+    config.compact_min_dead_bytes.max(fraction_floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CapacityModel {
+        CapacityModel {
+            keys: 100,
+            record_bytes: 1_000,
+            writes_per_day: 200.0,
+            retained_generations: 1,
+            config: RefLogConfig::default(),
+        }
+    }
+
+    #[test]
+    fn trigger_honours_both_thresholds() {
+        let config = RefLogConfig {
+            compact_min_dead_bytes: 1_000,
+            compact_min_dead_fraction: 0.5,
+            ..RefLogConfig::default()
+        };
+        // f = 0.5 => dead must reach live; the absolute floor is lower.
+        assert_eq!(dead_trigger(&config, 10_000), 10_000);
+        // Tiny live set: the absolute floor dominates.
+        assert_eq!(dead_trigger(&config, 100), 1_000);
+    }
+
+    #[test]
+    fn disk_is_bounded_and_mission_length_only_adds_compactions() {
+        let m = model();
+        let short = m.project(30.0);
+        let long = m.project(3_000.0);
+        assert_eq!(
+            short.steady_disk_bytes, long.steady_disk_bytes,
+            "a 100x longer mission must not grow the disk bound"
+        );
+        assert!(long.compactions > short.compactions);
+        assert!(long.appended_bytes > short.appended_bytes);
+        assert!(short.peak_disk_bytes > short.steady_disk_bytes);
+        assert!(short.segments >= 1);
+    }
+
+    #[test]
+    fn disabling_auto_compaction_grows_with_the_mission() {
+        let mut m = model();
+        m.config.auto_compact = false;
+        let short = m.project(30.0);
+        let long = m.project(300.0);
+        assert!(long.steady_disk_bytes > short.steady_disk_bytes);
+        assert_eq!(long.compactions, 0);
+    }
+
+    #[test]
+    fn cadence_scales_compaction_count() {
+        let slow = model().project(365.0);
+        let mut fast = model();
+        fast.writes_per_day *= 4.0;
+        let fast = fast.project(365.0);
+        assert!(fast.compactions >= 3 * slow.compactions.max(1));
+        assert_eq!(
+            fast.live_bytes, slow.live_bytes,
+            "cadence changes churn, not the live set"
+        );
+    }
+}

@@ -19,6 +19,11 @@
 //! * [`log`] — [`RefLog`], the engine: open/replay, append, read,
 //!   snapshot + compaction (which drops superseded reference
 //!   generations), accounting, and [`RecoveryReport`];
+//! * [`compaction`] — the incremental [`CompactionDriver`]: the same
+//!   rewrite split into [`CompactionBudget`]-bounded steps off the
+//!   append hot path;
+//! * [`capacity`] — the closed-form [`CapacityModel`] tying disk growth
+//!   to mission length, retention, and capture cadence;
 //! * [`crc32`] / [`error`] — the integrity primitive and error type.
 //!
 //! One `RefLog` is single-writer; the ground segment runs one per shard
@@ -51,6 +56,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capacity;
+pub mod compaction;
 pub mod crc32;
 pub mod error;
 pub mod index;
@@ -59,6 +66,8 @@ pub mod manifest;
 pub mod record;
 pub mod segment;
 
+pub use capacity::{CapacityModel, CapacityProjection};
+pub use compaction::{CompactionBudget, CompactionDriver, CompactionStepReport};
 pub use crc32::crc32;
 pub use error::{RefStoreError, Result};
 pub use index::{IndexEntry, MemIndex};

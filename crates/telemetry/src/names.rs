@@ -74,10 +74,50 @@ pub const REFSTORE_APPEND_NS: &str = "refstore.append_ns";
 pub const REFSTORE_REPLAY_NS: &str = "refstore.replay_ns";
 /// Snapshot + compaction latency per compaction run.
 pub const REFSTORE_COMPACTION_NS: &str = "refstore.compaction_ns";
+/// Single bounded compaction-step latency (the append-path stall bound).
+pub const REFSTORE_COMPACTION_STEP_NS: &str = "refstore.compaction.step_ns";
+/// Bounded compaction steps executed.
+pub const REFSTORE_COMPACTION_STEPS: &str = "refstore.compaction.steps";
 /// Superseded (reclaimable) bytes across all shard logs (gauge).
 pub const REFSTORE_DEAD_BYTES: &str = "refstore.dead_bytes";
 /// Live payload bytes across all shard logs (gauge).
 pub const REFSTORE_LIVE_BYTES: &str = "refstore.live_bytes";
+/// Corrupt records dropped by recovery replay (surfaced from
+/// non-clean `RecoveryReport`s at backend open).
+pub const REFSTORE_RECOVERY_DROPPED_RECORDS: &str = "refstore.recovery.dropped_records";
+/// Torn-tail bytes truncated by recovery replay.
+pub const REFSTORE_RECOVERY_DROPPED_BYTES: &str = "refstore.recovery.dropped_bytes";
+
+// --- multi-station replication -----------------------------------------
+
+/// Segment files shipped (or tail-extended) primary -> replica.
+pub const STATION_SHIP_SEGMENTS: &str = "station.ship.segments";
+/// Bytes copied by cross-station segment shipping.
+pub const STATION_SHIP_BYTES: &str = "station.ship.bytes";
+/// Ship attempts retried after a dropped or interrupted transfer.
+pub const STATION_SHIP_RETRIES: &str = "station.ship.retries";
+/// Interrupted transfers resumed from a partial replica file.
+pub const STATION_SHIP_RESUMED: &str = "station.ship.resumed";
+/// Replica segments whose CRC verification failed (re-shipped in full).
+pub const STATION_SHIP_CORRUPT: &str = "station.ship.corrupt_detected";
+/// Backoff delay scheduled across ship retries, in microseconds.
+pub const STATION_SHIP_BACKOFF_US: &str = "station.ship.backoff_us";
+/// Station outages observed.
+pub const STATION_OUTAGES: &str = "station.outages";
+/// Shards promoted from a replica after a station outage.
+pub const STATION_FAILOVERS: &str = "station.failovers";
+/// Reference reads served while a shard had no live station (degraded).
+pub const STATION_DEGRADED_SERVES: &str = "station.degraded_serves";
+/// Slow-disk stall events injected/observed.
+pub const STATION_DISK_STALLS: &str = "station.disk_stalls";
+
+// --- fault injection / interrupted passes -------------------------------
+
+/// Fault events applied to the ground segment.
+pub const FAULTS_INJECTED: &str = "fault.injected";
+/// Contact windows whose uplink budget was clamped by a mid-pass link
+/// drop (undelivered references carry into the next window).
+pub const GROUND_PASS_INTERRUPTED: &str = "ground.uplink.interrupted_windows";
 
 // --- flight recorder ---------------------------------------------------
 
