@@ -53,6 +53,14 @@
 //! committed baseline also guards the disabled-tracing branch; and a
 //! recorder-enabled encode/decode pair is interleaved against the
 //! disabled arenas, failing below [`TRACING_MIN_RATIO`]×.
+//!
+//! Since the pipelined ground segment the baseline also times the ship
+//! and ingest paths: the same downlink burst through per-record durable
+//! appends vs group-commit `ingest_batch` (both with `fsync_appends` on
+//! — the binary exits non-zero unless grouped ingest at least halves the
+//! fsync count), and through the synchronous vs pipelined two-station
+//! ship path (pipelined timed through `quiesce()`, so it pays for the
+//! same completed transfers).
 
 use earthplus::prelude::*;
 use earthplus::{CaptureContext, StageTimings};
@@ -61,8 +69,13 @@ use earthplus_codec::{
     decode_ll_only, decode_with_scratch, encode_roi_with_scratch, reference, CodecConfig,
     CodecScratch, DecodeScratch, FormatVersion,
 };
+use earthplus_ground::{
+    PersistentReferenceStore, ReferenceBackend, ReferenceImage, ReplicatedReferenceStore,
+    ShipQueueConfig, StationSetConfig,
+};
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{downsample_box, LocationId, Raster, TileGrid, TileMask};
+use earthplus_refstore::RefLogConfig;
 use earthplus_scene::terrain::LocationArchetype;
 use earthplus_scene::{LocationScene, SceneConfig};
 use std::time::Instant;
@@ -359,9 +372,96 @@ fn main() {
     let tracing_dec_ratio = median(&mut trace_dec_ratios);
     let tracing_events = flight.recorded_events();
 
+    // 6. Ground-segment ship/ingest paths: a fixed downlink burst through
+    //    per-record appends vs group-commit ingest (fsync on, so the
+    //    one-fsync-per-batch amortization is what's measured), and
+    //    through the synchronous vs pipelined two-station ship path.
+    let burst: Vec<ReferenceImage> = (0..192u32)
+        .map(|i| {
+            let full = Raster::filled(64, 64, (i % 7) as f32 / 7.0);
+            ReferenceImage::from_capture(
+                LocationId(i % 24),
+                scene.config().bands[0],
+                10.0 + (i / 24) as f64,
+                &full,
+                8,
+            )
+            .expect("downsample factor fits")
+        })
+        .collect();
+    let scratch_root = std::env::temp_dir().join(format!(
+        "earthplus-perf-baseline-ground-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch_root);
+    let fsync_log = RefLogConfig {
+        fsync_appends: true,
+        ..RefLogConfig::default()
+    };
+    let ground_reps = if quick { 2 } else { 5 };
+    let mut per_record_times = Vec::new();
+    let mut grouped_times = Vec::new();
+    let (mut per_record_fsyncs, mut grouped_fsyncs) = (0u64, 0u64);
+    let (mut ship_sync_times, mut ship_pipelined_times) = (Vec::new(), Vec::new());
+    for rep in 0..ground_reps {
+        let dir = scratch_root.join(format!("ingest-single-{rep}"));
+        let (store, _) = PersistentReferenceStore::open(&dir, 4, fsync_log).expect("store opens");
+        let refs = burst.clone();
+        let t = Instant::now();
+        for reference in refs {
+            store.offer(reference);
+        }
+        per_record_times.push(t.elapsed().as_secs_f64());
+        per_record_fsyncs = store.stats().fsyncs_issued;
+
+        let dir = scratch_root.join(format!("ingest-grouped-{rep}"));
+        let (store, _) = PersistentReferenceStore::open(&dir, 4, fsync_log).expect("store opens");
+        let refs = burst.clone();
+        let t = Instant::now();
+        store.ingest_batch(refs, 1);
+        grouped_times.push(t.elapsed().as_secs_f64());
+        grouped_fsyncs = store.stats().fsyncs_issued;
+
+        for (pipelined, times) in [
+            (false, &mut ship_sync_times),
+            (true, &mut ship_pipelined_times),
+        ] {
+            let dir = scratch_root.join(format!("ship-{pipelined}-{rep}"));
+            let (store, _) = ReplicatedReferenceStore::open(
+                &dir,
+                4,
+                StationSetConfig {
+                    stations: 2,
+                    replicas: 1,
+                    queue: ShipQueueConfig {
+                        pipelined,
+                        ..ShipQueueConfig::default()
+                    },
+                    ..StationSetConfig::default()
+                },
+                None,
+                &earthplus::TelemetrySink::disabled(),
+                &earthplus::TraceSink::disabled(),
+            )
+            .expect("station set opens");
+            let refs = burst.clone();
+            let t = Instant::now();
+            for reference in refs {
+                store.offer(reference);
+            }
+            store.quiesce();
+            times.push(t.elapsed().as_secs_f64());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch_root);
+    let ingest_per_record_s = median(&mut per_record_times);
+    let ingest_grouped_s = median(&mut grouped_times);
+    let ship_sync_s = median(&mut ship_sync_times);
+    let ship_pipelined_s = median(&mut ship_pipelined_times);
+
     let json = format!(
         r#"{{
-  "schema": 5,
+  "schema": 6,
   "scenario": "pipeline_runtime quick scene (seed 7, agriculture, {w}x{h}, {bands} bands)",
   "mode": "{mode}",
   "samples": {reps},
@@ -417,6 +517,16 @@ fn main() {
     "recorded_events": {tracing_events},
     "min_ratio": {TRACING_MIN_RATIO}
   }},
+  "ship_pipeline": {{
+    "burst_refs": 192,
+    "ingest_per_record_s": {ingest_per_record_s:.6},
+    "ingest_grouped_s": {ingest_grouped_s:.6},
+    "ingest_fsyncs_per_record": {per_record_fsyncs},
+    "ingest_fsyncs_grouped": {grouped_fsyncs},
+    "fsync_amortization": {fsync_amortization:.3},
+    "ship_sync_s": {ship_sync_s:.6},
+    "ship_pipelined_s": {ship_pipelined_s:.6}
+  }},
   "codec_scratch": {{
     "reserved_bytes": {reserved},
     "steady_state_grow_events": {steady_grow_events}
@@ -429,6 +539,7 @@ fn main() {
 "#,
         mode = if quick { "quick" } else { "full" },
         pipeline_rate = capture_mpix / total_s,
+        fsync_amortization = per_record_fsyncs as f64 / grouped_fsyncs.max(1) as f64,
         tel_on_rate = band_mpix / telemetry_on_s,
         tel_off_rate = band_mpix / telemetry_off_s,
         tiles = grid.tile_count(),
@@ -478,6 +589,13 @@ fn main() {
     if decode_steady_grow_events != 0 {
         eprintln!(
             "ERROR: decode scratch grew during steady state ({decode_steady_grow_events} events)"
+        );
+        std::process::exit(1);
+    }
+    if grouped_fsyncs * 2 > per_record_fsyncs {
+        eprintln!(
+            "ERROR: group-commit ingest issued {grouped_fsyncs} fsyncs vs {per_record_fsyncs} \
+             per-record — the one-fsync-per-batch amortization regressed"
         );
         std::process::exit(1);
     }

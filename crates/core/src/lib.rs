@@ -72,7 +72,8 @@ pub use config::{DovesSpec, EarthPlusConfig};
 pub use earthplus_ground::{
     CacheStats, ConstellationScheduler, ContactWindow, EvictingReferenceCache, EvictionPolicy,
     GroundService, GroundServiceConfig, GroundServiceStats, IngestReport, PersistentReferenceStore,
-    ReferenceBackend, ReferenceBackendConfig, ShardedReferenceStore,
+    ReferenceBackend, ReferenceBackendConfig, ShardedReferenceStore, ShipQueueConfig,
+    StationSetConfig,
 };
 pub use earthplus_telemetry::{
     evaluate_health, verdicts_table, FlightRecorder, HealthCheck, HealthRule, HealthStatus,

@@ -459,6 +459,12 @@ impl CompressionStrategy for EarthPlusStrategy {
     }
 
     fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        // Day-boundary snapshot: drain any pipelined ship queues first,
+        // so the queue-depth / in-flight gauges report the quiesced
+        // boundary state the ship-queue-backlog health rule asserts on.
+        if let Some(stations) = self.service.stations() {
+            stations.quiesce();
+        }
         self.sink.registry().map(|r| r.snapshot())
     }
 }

@@ -212,6 +212,23 @@ impl TelemetryReport {
                 "interrupted_windows",
                 SeriesMetric::Counter(names::GROUND_PASS_INTERRUPTED),
             ),
+            // Pipelined-ship series: absent on the synchronous path.
+            SeriesSpec::new(
+                "ship_queue_depth",
+                SeriesMetric::Gauge(names::STATION_QUEUE_DEPTH),
+            ),
+            SeriesSpec::new(
+                "ship_inflight",
+                SeriesMetric::Gauge(names::STATION_INFLIGHT),
+            ),
+            SeriesSpec::new(
+                "ship_backpressure",
+                SeriesMetric::Counter(names::STATION_BACKPRESSURE),
+            ),
+            SeriesSpec::new(
+                "group_commit_batch_p90",
+                SeriesMetric::HistQuantile(names::REFSTORE_BATCH_RECORDS, 0.9),
+            ),
         ]
     }
 
@@ -219,7 +236,8 @@ impl TelemetryReport {
     /// encode-latency regression, warmed-up cache collapse, flight-recorder
     /// overflow, runaway refstore garbage, and the fault-tolerance
     /// invariants (no degraded serves while a replica lives, no records
-    /// dropped by recovery, failovers bounded per day).
+    /// dropped by recovery, failovers bounded per day, ship queues
+    /// drained at every day boundary).
     pub fn mission_health_rules() -> Vec<HealthRule> {
         vec![
             HealthRule::new(
@@ -261,6 +279,14 @@ impl TelemetryReport {
             // More than a handful of promotions in one mission day is an
             // outage storm, not routine failover.
             HealthRule::new("failover-storm", "station_failovers", HealthCheck::Max(4.0)),
+            // The service quiesces every pass boundary, so a day-boundary
+            // snapshot must never catch a populated ship queue — sustained
+            // backlog means the drain workers are not keeping up.
+            HealthRule::new(
+                "ship-queue-backlog",
+                "ship_queue_depth",
+                HealthCheck::Max(0.0),
+            ),
         ]
     }
 

@@ -8,7 +8,7 @@
 //! [`crate::GroundServiceConfig`], not by the call sites.
 
 use crate::reference::ReferenceImage;
-use crate::store::{IngestReport, ShardedReferenceStore};
+use crate::store::{shard_index, IngestReport, ShardedReferenceStore};
 use earthplus_raster::{Band, LocationId};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -106,6 +106,23 @@ pub fn parallel_offer<B: ReferenceBackend + ?Sized>(
         accepted: accepted.into_inner(),
         rejected: rejected.into_inner(),
     }
+}
+
+/// Routes a batch into per-shard groups (index `i` holds shard `i`'s
+/// references, arrival order preserved) — the grouping step behind the
+/// durable backends' group-commit ingest: one batch append (and one ship)
+/// per touched shard instead of one per reference.
+pub(crate) fn shard_batches(
+    references: Vec<ReferenceImage>,
+    shards: usize,
+) -> Vec<Vec<ReferenceImage>> {
+    let shards = shards.max(1);
+    let mut groups: Vec<Vec<ReferenceImage>> = (0..shards).map(|_| Vec::new()).collect();
+    for reference in references {
+        let idx = shard_index(reference.location, reference.band, shards);
+        groups[idx].push(reference);
+    }
+    groups
 }
 
 /// A shared backend is a backend: lets the service box an
@@ -212,6 +229,34 @@ mod tests {
         );
         assert_eq!(backend.keys().len(), 1);
         backend.sync(); // no-op, must not panic
+    }
+
+    #[test]
+    fn shard_batches_routes_and_preserves_arrival_order() {
+        let batch: Vec<ReferenceImage> = (0..16u32)
+            .flat_map(|loc| [reference(loc, 1.0), reference(loc, 2.0)])
+            .collect();
+        let shards = 4;
+        let groups = shard_batches(batch, shards);
+        assert_eq!(groups.len(), shards);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 32);
+        for (idx, group) in groups.iter().enumerate() {
+            let mut last_day_per_loc: std::collections::HashMap<u32, f64> =
+                std::collections::HashMap::new();
+            for reference in group {
+                assert_eq!(
+                    shard_index(reference.location, reference.band, shards),
+                    idx,
+                    "reference routed to the wrong group"
+                );
+                // Arrival order within a key survives the grouping, so a
+                // batch append sees generations in offer order.
+                if let Some(prev) = last_day_per_loc.get(&reference.location.0) {
+                    assert!(*prev < reference.captured_day);
+                }
+                last_day_per_loc.insert(reference.location.0, reference.captured_day);
+            }
+        }
     }
 
     #[test]

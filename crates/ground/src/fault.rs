@@ -122,6 +122,19 @@ impl SplitMix64 {
     }
 }
 
+/// The fault bundle one transfer attempt draws, in the fixed order
+/// corruption → interrupt → stall (see
+/// [`FaultInjector::transfer_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferFaults {
+    /// Byte offset (within the transfer) flipped in flight, if any.
+    pub corrupt_at: Option<u64>,
+    /// Bytes delivered before the transfer is cut, if it is cut.
+    pub cut_at: Option<u64>,
+    /// Modelled slow-disk stall charged to the backoff ledger, if any.
+    pub stall_us: Option<u64>,
+}
+
 /// The stateful side of a [`FaultPlan`]: the PRNG stream and which
 /// one-shot events have fired.
 #[derive(Debug)]
@@ -216,6 +229,21 @@ impl FaultInjector {
         }
         self.injected += 1;
         Some(self.plan.uplink_interrupt_fraction.clamp(0.0, 1.0))
+    }
+
+    /// Draws the full fault bundle for one transfer attempt of `len`
+    /// bytes, in the canonical order the ship path consumes randomness:
+    /// corruption, then interrupt, then disk stall. Queued and inline
+    /// ship attempts both draw through here, so moving a transfer onto a
+    /// worker queue cannot shift the PRNG stream — the property the
+    /// byte-identity tests between synchronous and pipelined missions
+    /// rely on.
+    pub fn transfer_faults(&mut self, len: u64) -> TransferFaults {
+        TransferFaults {
+            corrupt_at: self.ship_corrupt(len),
+            cut_at: self.ship_interrupt(len),
+            stall_us: self.disk_stall(),
+        }
     }
 
     /// A uniform draw for jitter in `[0, bound)` — shares the plan's
@@ -319,6 +347,19 @@ mod tests {
         });
         assert_eq!(quiet.jitter(1 << 20), fresh.jitter(1 << 20));
         assert_eq!(quiet.injected(), 0);
+    }
+
+    #[test]
+    fn transfer_faults_matches_the_sequential_draw_order() {
+        let mut bundled = FaultInjector::new(plan());
+        let mut sequential = FaultInjector::new(plan());
+        for len in 1..200u64 {
+            let faults = bundled.transfer_faults(len);
+            assert_eq!(faults.corrupt_at, sequential.ship_corrupt(len));
+            assert_eq!(faults.cut_at, sequential.ship_interrupt(len));
+            assert_eq!(faults.stall_us, sequential.disk_stall());
+        }
+        assert_eq!(bundled.injected(), sequential.injected());
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //!   (same shard routing as the in-memory store), selected via
 //!   [`ReferenceBackendConfig`] in the service config;
 //! * [`station`] — [`ReplicatedReferenceStore`]: the persistent shards
-//!   spread over a multi-station set with synchronous CRC-verified
-//!   segment shipping, outage failover that promotes replicas by
-//!   replaying their shipped segments, and degraded-mode accounting;
+//!   spread over a multi-station set with CRC-verified segment shipping
+//!   (synchronous by default, or pipelined through bounded per-station
+//!   ship queues via [`ShipQueueConfig`]), outage failover that promotes
+//!   replicas by replaying their shipped segments, and degraded-mode
+//!   accounting;
 //! * [`fault`] — the deterministic [`FaultPlan`]/[`FaultInjector`]
 //!   harness: station outages, replica-segment decay, dropped/corrupted
 //!   transfers, slow-disk stalls, and mid-pass uplink drops, all from
@@ -79,7 +81,9 @@ pub use backend::ReferenceBackend;
 // The storage-engine types that appear in this crate's public API.
 pub use cache::{CacheCounters, CacheStats, EvictingReferenceCache, EvictionPolicy};
 pub use earthplus_refstore::{RecoveryReport, RefLogConfig};
-pub use fault::{FaultInjector, FaultPlan, OutageWindow, SegmentCorruption, SharedFaultInjector};
+pub use fault::{
+    FaultInjector, FaultPlan, OutageWindow, SegmentCorruption, SharedFaultInjector, TransferFaults,
+};
 pub use persistent::{PersistentReferenceStore, PersistentStoreStats};
 pub use reference::{
     OnboardReferenceCache, ReferenceFromEncodedError, ReferenceImage, ReferencePool,
@@ -87,6 +91,8 @@ pub use reference::{
 };
 pub use scheduler::{ConstellationScheduler, ContactWindow};
 pub use service::{GroundService, GroundServiceConfig, GroundServiceStats, ReferenceBackendConfig};
-pub use station::{ReplicatedReferenceStore, ShipPolicy, StationSetConfig, StationSetStats};
+pub use station::{
+    ReplicatedReferenceStore, ShipPolicy, ShipQueueConfig, StationSetConfig, StationSetStats,
+};
 pub use store::{shard_index, IngestReport, ShardedReferenceStore};
 pub use uplink::{compute_delta, ReferenceDelta, UplinkPlanner, UplinkReport};

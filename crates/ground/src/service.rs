@@ -569,10 +569,13 @@ impl GroundService {
         if let Some(first) = contacts.first() {
             trace.arg("budget_bytes", first.budget_bytes);
         }
-        // Fault epoch first: outage transitions (and their failovers)
-        // land before scheduling, so the pass plans against whichever
+        // Fault epoch first: drain the ship queues (pipelined mode; a
+        // no-op otherwise), then let outage transitions (and their
+        // failovers) land before scheduling — so a promotion never races
+        // a queued transfer and the pass plans against whichever
         // primaries are actually alive on this day.
         if let Some(stations) = &self.stations {
+            stations.quiesce();
             if let Some(day) = contacts.iter().map(|c| c.day).reduce(f64::max) {
                 stations.advance_to_day(day);
             }
@@ -636,9 +639,11 @@ impl GroundService {
         let peak = caches.values().map(|c| c.size_bytes()).max().unwrap_or(0);
         self.peak_cache_bytes.set_max(peak);
         drop(caches);
-        // Pass boundary: catch up any transfer shortfall and pump one
-        // budgeted compaction step per shard off the append hot path.
+        // Pass boundary: drain the ship queues, catch up any transfer
+        // shortfall, and pump one budgeted compaction step per shard off
+        // the append hot path.
         if let Some(stations) = &self.stations {
+            stations.quiesce();
             stations.replicate();
             stations.maintain();
         }

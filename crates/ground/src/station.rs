@@ -7,49 +7,73 @@
 //! ring); the ring head that is currently up is the shard's *primary*,
 //! the one live [`RefLog`] serving reads and writes.
 //!
-//! **Shipping.** Replication is file-level and synchronous: every
-//! accepted `offer` tails the primary's segment files out to the ring
-//! (`station-01/shard-003/seg-…` is a byte-identical prefix of the
+//! **Shipping.** Replication is file-level and, by default, synchronous:
+//! every accepted `offer` tails the primary's segment files out to the
+//! ring (`station-01/shard-003/seg-…` is a byte-identical prefix of the
 //! primary's file), CRC-verifying each written range by read-back and
 //! retrying dropped or corrupted transfers with exponential backoff plus
 //! deterministic jitter — backoff is charged to a virtual-time ledger
 //! ([`earthplus_telemetry::names::STATION_SHIP_BACKOFF_US`]), never
 //! slept. Interrupted transfers resume from the replica's verified
-//! length. The manifest ships last (tmp + rename, like the engine's own
-//! swap), so a promotion never sees a manifest naming bytes its segment
-//! files lack — at worst the replica replays newer segments manifest-free,
-//! which the engine already handles.
+//! length. The manifest ships last (the same atomic tmp + rename commit
+//! as the engine's own swap, via
+//! [`earthplus_refstore::write_file_atomic`]), so a promotion never sees
+//! a manifest naming bytes its segment files lack — at worst the replica
+//! replays newer segments manifest-free, which the engine already
+//! handles.
+//!
+//! **Pipelined shipping.** With [`ShipQueueConfig::pipelined`] enabled,
+//! accepted offers instead push their shard onto the primary station's
+//! bounded *ship queue* (entries coalesce per shard; a full queue
+//! backpressures the enqueuer, counted under
+//! [`earthplus_telemetry::names::STATION_BACKPRESSURE`]). One worker per
+//! station drains the queue, taking up to a bounded in-flight window of
+//! shards at a time through the same verified, ledger-driven transfer
+//! path. Because shipping is idempotent and resumes from each replica's
+//! verified length, *any* drain order converges to the same replica
+//! bytes; [`ReplicatedReferenceStore::quiesce`] blocks until every queue
+//! is empty with nothing in flight, and the ground service quiesces at
+//! pass boundaries before fault transitions apply — so uplink schedules
+//! and failover outcomes stay byte-identical to a synchronous run.
+//! Setting [`ShipQueueConfig::workers`] false leaves draining to
+//! explicit [`ReplicatedReferenceStore::pump_station`] calls, the
+//! single-threaded mode the drain-order interleaving tests permute.
 //!
 //! **Failover.** [`ReplicatedReferenceStore::advance_to_day`] applies the
 //! fault plan's outage transitions eagerly: when a primary's station goes
 //! down, each of its shards promotes the first live ring member by
 //! replaying that replica's shipped segments (`RefLog::open`), merging
 //! the replay's [`RecoveryReport`] into the store-wide ledger. Because
-//! shipping is synchronous, the promoted replica holds exactly the
-//! primary's committed records, so post-failover uplink schedules are
-//! byte-identical to a no-failure run. With the whole ring down a shard
-//! keeps serving from its in-memory log and counts degraded serves.
+//! shipping completes (synchronously per offer, or by quiesce at the
+//! pass boundary) before outages apply, the promoted replica holds
+//! exactly the primary's committed records, so post-failover uplink
+//! schedules are byte-identical to a no-failure run. With the whole ring
+//! down a shard keeps serving from its in-memory log and counts degraded
+//! serves.
 //!
 //! A returning station is not trusted: its files may carry a stale
 //! pre-failover tail. The next shipping pass compares prefix CRCs,
 //! truncates or wipes whatever diverged, and re-ships — the same path
 //! that heals the fault plan's injected replica-segment decay.
 
-use crate::backend::{parallel_offer, ReferenceBackend};
+use crate::backend::{shard_batches, ReferenceBackend};
 use crate::fault::{SegmentCorruption, SharedFaultInjector};
-use crate::persistent::{shard_dir_name, PersistentStoreStats};
+use crate::persistent::{append_reference_batch, shard_dir_name, PersistentStoreStats};
 use crate::reference::ReferenceImage;
 use crate::store::{shard_index, IngestReport};
 use earthplus_raster::{Band, LocationId};
 use earthplus_refstore::manifest::MANIFEST_NAME;
 use earthplus_refstore::{
-    crc32, list_segments, segment_file_name, RecoveryReport, RefLog, RefLogConfig, Result,
+    crc32, list_segments, segment_file_name, write_file_atomic, RecoveryReport, RefLog,
+    RefLogConfig, Result,
 };
-use earthplus_telemetry::{names, Counter, TelemetrySink, TraceSink, TraceTrack};
-use std::collections::HashMap;
-use std::io::{Read, Seek, SeekFrom, Write};
+use earthplus_telemetry::{names, Counter, Gauge, TelemetrySink, TraceSink, TraceTrack};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 
 /// Retry/backoff policy for one cross-station transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +97,38 @@ impl Default for ShipPolicy {
     }
 }
 
+/// Configuration of the pipelined ship path (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShipQueueConfig {
+    /// Enables the pipelined path: accepted offers enqueue their shard on
+    /// the primary station's ship queue instead of shipping inline. Off
+    /// by default — the synchronous path stays the reference behaviour.
+    pub pipelined: bool,
+    /// Most distinct shards a station queue holds before enqueues
+    /// backpressure (waiting for the worker, or draining a window on the
+    /// enqueuer's thread when `workers` is off). Entries coalesce per
+    /// shard, so the queue never holds a shard twice.
+    pub queue_depth: usize,
+    /// Most shards one drain takes in flight at once — the bounded
+    /// in-flight transfer window per station.
+    pub inflight_window: usize,
+    /// Spawn one background drain worker per station. `false` leaves
+    /// draining to explicit [`ReplicatedReferenceStore::pump_station`]
+    /// calls — the deterministic mode the interleaving tests permute.
+    pub workers: bool,
+}
+
+impl Default for ShipQueueConfig {
+    fn default() -> Self {
+        ShipQueueConfig {
+            pipelined: false,
+            queue_depth: 64,
+            inflight_window: 4,
+            workers: true,
+        }
+    }
+}
+
 /// Topology + engine configuration of a replicated ground segment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StationSetConfig {
@@ -85,6 +141,8 @@ pub struct StationSetConfig {
     pub log: RefLogConfig,
     /// Transfer retry policy.
     pub ship: ShipPolicy,
+    /// Pipelined ship-queue knobs (synchronous shipping when disabled).
+    pub queue: ShipQueueConfig,
 }
 
 impl Default for StationSetConfig {
@@ -94,6 +152,7 @@ impl Default for StationSetConfig {
             replicas: 1,
             log: RefLogConfig::default(),
             ship: ShipPolicy::default(),
+            queue: ShipQueueConfig::default(),
         }
     }
 }
@@ -122,6 +181,40 @@ struct ShardHome {
     manifest_crc: HashMap<usize, u32>,
 }
 
+/// The mutable half of one station's ship queue, under its mutex.
+#[derive(Debug, Default)]
+struct QueueState {
+    /// Shard indices awaiting a drain, oldest first, one entry per shard.
+    queued: VecDeque<usize>,
+    /// Shards a drain currently has in flight.
+    inflight: usize,
+    /// Set once on drop; wakes waiters so workers can flush and exit.
+    shutdown: bool,
+}
+
+/// One station's ship queue: state plus the two wake channels.
+#[derive(Debug, Default)]
+struct StationQueue {
+    state: Mutex<QueueState>,
+    /// Work arrived (or shutdown) — wakes the station's drain worker.
+    work: Condvar,
+    /// A window finished — wakes backpressured enqueuers and `quiesce`.
+    room: Condvar,
+}
+
+/// The pipelined ship path's shared state (present only when
+/// [`ShipQueueConfig::pipelined`] is set).
+#[derive(Debug)]
+struct ShipPipeline {
+    config: ShipQueueConfig,
+    /// One queue per station.
+    queues: Vec<StationQueue>,
+    /// Gauge over the summed queue depth across stations.
+    queue_depth: Gauge,
+    /// Gauge over the summed in-flight window occupancy across stations.
+    inflight: Gauge,
+}
+
 /// Counter handles the station set publishes through (shared-by-name
 /// with the rest of the workspace registry).
 #[derive(Debug)]
@@ -132,6 +225,7 @@ struct StationCounters {
     ship_resumed: Counter,
     ship_corrupt: Counter,
     ship_backoff_us: Counter,
+    backpressure: Counter,
     outages: Counter,
     failovers: Counter,
     degraded: Counter,
@@ -150,6 +244,7 @@ impl StationCounters {
             ship_resumed: sink.counter(names::STATION_SHIP_RESUMED),
             ship_corrupt: sink.counter(names::STATION_SHIP_CORRUPT),
             ship_backoff_us: sink.counter(names::STATION_SHIP_BACKOFF_US),
+            backpressure: sink.counter(names::STATION_BACKPRESSURE),
             outages: sink.counter(names::STATION_OUTAGES),
             failovers: sink.counter(names::STATION_FAILOVERS),
             degraded: sink.counter(names::STATION_DEGRADED_SERVES),
@@ -182,6 +277,9 @@ pub struct StationSetStats {
     pub ship_corrupt_detected: u64,
     /// Virtual-time retry backoff scheduled, microseconds.
     pub ship_backoff_us: u64,
+    /// Enqueue attempts backpressured by a full ship queue (pipelined
+    /// mode only; always 0 on the synchronous path).
+    pub ship_backpressure: u64,
     /// Station outage transitions observed.
     pub outages: u64,
     /// Shard promotions after an outage.
@@ -197,9 +295,20 @@ pub struct StationSetStats {
 }
 
 /// The replicated, fault-tolerant reference backend. See the module docs
-/// for the replication and failover contract.
+/// for the replication, pipelining, and failover contract.
+///
+/// The handle owns the per-station drain workers (pipelined mode with
+/// [`ShipQueueConfig::workers`] on); dropping it flushes every queued
+/// transfer and joins the workers.
 #[derive(Debug)]
 pub struct ReplicatedReferenceStore {
+    inner: Arc<StoreInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Everything the store and its drain workers share.
+#[derive(Debug)]
+struct StoreInner {
     root: PathBuf,
     config: StationSetConfig,
     shards: Vec<RwLock<ShardHome>>,
@@ -210,12 +319,16 @@ pub struct ReplicatedReferenceStore {
     tracing: TraceSink,
     counters: StationCounters,
     recovery: Mutex<RecoveryReport>,
+    /// Present exactly when the pipelined ship path is configured.
+    pipeline: Option<ShipPipeline>,
 }
 
 impl ReplicatedReferenceStore {
     /// Opens (or creates) the station set under `root` with `shards`
     /// shard rings, replaying every primary log. Telemetry and tracing
-    /// wire up at open so failover promotions can re-attach them.
+    /// wire up at open so failover promotions can re-attach them; in
+    /// pipelined mode with workers enabled this also spawns one drain
+    /// worker per station.
     ///
     /// # Errors
     ///
@@ -253,44 +366,154 @@ impl ReplicatedReferenceStore {
                 manifest_crc: HashMap::new(),
             }));
         }
-        Ok((
-            ReplicatedReferenceStore {
-                root: root.to_path_buf(),
-                shards: homes,
-                down: Mutex::new(vec![false; stations]),
-                injector,
-                telemetry: sink.clone(),
-                tracing: tracing.clone(),
-                counters: StationCounters::resolve(sink),
-                recovery: Mutex::new(merged),
-                config: StationSetConfig { stations, ..config },
-            },
-            merged,
-        ))
+        let pipeline = config.queue.pipelined.then(|| ShipPipeline {
+            config: config.queue,
+            queues: (0..stations).map(|_| StationQueue::default()).collect(),
+            queue_depth: sink.gauge(names::STATION_QUEUE_DEPTH),
+            inflight: sink.gauge(names::STATION_INFLIGHT),
+        });
+        let inner = Arc::new(StoreInner {
+            root: root.to_path_buf(),
+            shards: homes,
+            down: Mutex::new(vec![false; stations]),
+            injector,
+            telemetry: sink.clone(),
+            tracing: tracing.clone(),
+            counters: StationCounters::resolve(sink),
+            recovery: Mutex::new(merged),
+            pipeline,
+            config: StationSetConfig { stations, ..config },
+        });
+        let mut workers = Vec::new();
+        if inner.pipeline.as_ref().is_some_and(|p| p.config.workers) {
+            for station in 0..stations {
+                let worker = Arc::clone(&inner);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("ship-{station:02}"))
+                        .spawn(move || worker.worker_loop(station))
+                        .expect("ship worker spawn failed"),
+                );
+            }
+        }
+        Ok((ReplicatedReferenceStore { inner, workers }, merged))
     }
 
     /// The root directory.
     pub fn root(&self) -> &Path {
-        &self.root
+        &self.inner.root
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
     /// Number of stations.
     pub fn station_count(&self) -> usize {
-        self.config.stations
+        self.inner.config.stations
     }
 
     /// The station currently holding `shard`'s primary log.
     pub fn shard_station(&self, shard: usize) -> usize {
-        self.shards[shard].read().expect("shard poisoned").station
+        self.inner.shards[shard]
+            .read()
+            .expect("shard poisoned")
+            .station
     }
 
     /// Whether `station` is currently down.
     pub fn station_down(&self, station: usize) -> bool {
+        self.inner.station_down(station)
+    }
+
+    /// Every open-time replay plus every failover promotion's replay.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.inner.recovery_report()
+    }
+
+    /// Applies the fault plan's state up to `day`: one-shot replica
+    /// corruptions land, and station outage transitions take effect —
+    /// eagerly promoting a replica for every shard whose primary station
+    /// just went down, so reads and writes stay day-unaware. Pipelined
+    /// callers quiesce first, so an outage never races a queued transfer.
+    pub fn advance_to_day(&self, day: f64) {
+        self.inner.advance_to_day(day)
+    }
+
+    /// Marks `station` down (outage), promoting replicas for every shard
+    /// it was primary for. Test/manual override; the fault plan drives
+    /// the same path via [`ReplicatedReferenceStore::advance_to_day`].
+    pub fn fail_station(&self, station: usize) {
+        self.inner.set_station_state(station, true);
+    }
+
+    /// Marks `station` back up. Its files are re-verified (and any
+    /// diverged tail truncated) by the next shipping pass.
+    pub fn restore_station(&self, station: usize) {
+        self.inner.set_station_state(station, false);
+    }
+
+    /// Ships every shard's outstanding bytes to its live replicas —
+    /// the catch-up pass run at contact-pass boundaries (offers also
+    /// ship on their own, synchronously or via the queues).
+    pub fn replicate(&self) {
+        self.inner.replicate()
+    }
+
+    /// Pumps one budgeted compaction step per shard (whether or not
+    /// auto-compaction is enabled), re-shipping any shard whose file set
+    /// a commit just changed.
+    pub fn maintain(&self) {
+        self.inner.maintain()
+    }
+
+    /// Blocks until every station's ship queue is empty with nothing in
+    /// flight — the drain barrier the ground service runs at pass
+    /// boundaries before fault transitions apply. Without workers the
+    /// calling thread drains the queues itself; a no-op on the
+    /// synchronous path.
+    pub fn quiesce(&self) {
+        self.inner.quiesce()
+    }
+
+    /// Drains up to one in-flight window from `station`'s ship queue on
+    /// the calling thread, returning how many shards it shipped. The
+    /// manual drain step the interleaving tests permute; 0 for an empty
+    /// queue, an unknown station, or the synchronous path.
+    pub fn pump_station(&self, station: usize) -> usize {
+        self.inner.pump_station(station)
+    }
+
+    /// Shards currently waiting in `station`'s ship queue (excludes any
+    /// in-flight window).
+    pub fn queued_shards(&self, station: usize) -> usize {
+        self.inner.queued_shards(station)
+    }
+
+    /// Aggregated accounting: engine totals over the primaries plus the
+    /// replication/fault counters.
+    pub fn stats(&self) -> StationSetStats {
+        self.inner.stats()
+    }
+
+    #[cfg(test)]
+    fn shard_dir(&self, station: usize, shard: usize) -> PathBuf {
+        self.inner.shard_dir(station, shard)
+    }
+}
+
+impl Drop for ReplicatedReferenceStore {
+    fn drop(&mut self) {
+        self.inner.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl StoreInner {
+    fn station_down(&self, station: usize) -> bool {
         self.down
             .lock()
             .expect("outage state poisoned")
@@ -299,16 +522,11 @@ impl ReplicatedReferenceStore {
             .unwrap_or(false)
     }
 
-    /// Every open-time replay plus every failover promotion's replay.
-    pub fn recovery_report(&self) -> RecoveryReport {
+    fn recovery_report(&self) -> RecoveryReport {
         *self.recovery.lock().expect("recovery ledger poisoned")
     }
 
-    /// Applies the fault plan's state up to `day`: one-shot replica
-    /// corruptions land, and station outage transitions take effect —
-    /// eagerly promoting a replica for every shard whose primary station
-    /// just went down, so reads and writes stay day-unaware.
-    pub fn advance_to_day(&self, day: f64) {
+    fn advance_to_day(&self, day: f64) {
         let Some(injector) = &self.injector else {
             return;
         };
@@ -328,33 +546,14 @@ impl ReplicatedReferenceStore {
         }
     }
 
-    /// Marks `station` down (outage), promoting replicas for every shard
-    /// it was primary for. Test/manual override; the fault plan drives
-    /// the same path via [`ReplicatedReferenceStore::advance_to_day`].
-    pub fn fail_station(&self, station: usize) {
-        self.set_station_state(station, true);
-    }
-
-    /// Marks `station` back up. Its files are re-verified (and any
-    /// diverged tail truncated) by the next shipping pass.
-    pub fn restore_station(&self, station: usize) {
-        self.set_station_state(station, false);
-    }
-
-    /// Ships every shard's outstanding bytes to its live replicas —
-    /// the catch-up pass run at contact-pass boundaries (offers also
-    /// ship synchronously on their own).
-    pub fn replicate(&self) {
+    fn replicate(&self) {
         for idx in 0..self.shards.len() {
             let mut home = self.shards[idx].write().expect("shard poisoned");
             self.ship_shard(idx, &mut home);
         }
     }
 
-    /// Pumps one budgeted compaction step per shard (whether or not
-    /// auto-compaction is enabled), re-shipping any shard whose file set
-    /// a commit just changed.
-    pub fn maintain(&self) {
+    fn maintain(&self) {
         let budget = self.config.log.compaction_step;
         for idx in 0..self.shards.len() {
             let mut home = self.shards[idx].write().expect("shard poisoned");
@@ -368,9 +567,7 @@ impl ReplicatedReferenceStore {
         }
     }
 
-    /// Aggregated accounting: engine totals over the primaries plus the
-    /// replication/fault counters.
-    pub fn stats(&self) -> StationSetStats {
+    fn stats(&self) -> StationSetStats {
         let mut store = PersistentStoreStats {
             shards: self.shards.len() as u64,
             ..PersistentStoreStats::default()
@@ -388,6 +585,7 @@ impl ReplicatedReferenceStore {
                 store.max_step_copied_bytes.max(stats.max_step_copied_bytes);
             store.handle_cache_hits += stats.handle_cache_hits;
             store.handle_cache_misses += stats.handle_cache_misses;
+            store.fsyncs_issued += stats.fsyncs_issued;
         }
         StationSetStats {
             stations: self.config.stations as u64,
@@ -398,6 +596,7 @@ impl ReplicatedReferenceStore {
             ship_resumed: self.counters.ship_resumed.value(),
             ship_corrupt_detected: self.counters.ship_corrupt.value(),
             ship_backoff_us: self.counters.ship_backoff_us.value(),
+            ship_backpressure: self.counters.backpressure.value(),
             outages: self.counters.outages.value(),
             failovers: self.counters.failovers.value(),
             degraded_serves: self.counters.degraded.value(),
@@ -406,6 +605,257 @@ impl ReplicatedReferenceStore {
             recovery: self.recovery_report(),
         }
     }
+
+    // --- pipelined ship path --------------------------------------------
+
+    /// One station's drain loop: waits for queued shards, takes up to an
+    /// in-flight window, ships it, repeats. Exits once shutdown is set
+    /// *and* the queue is drained, so drop flushes outstanding work.
+    fn worker_loop(&self, station: usize) {
+        let Some(pipeline) = &self.pipeline else {
+            return;
+        };
+        let q = &pipeline.queues[station];
+        loop {
+            let batch = {
+                let mut state = q.state.lock().expect("ship queue poisoned");
+                while state.queued.is_empty() && !state.shutdown {
+                    state = q.work.wait(state).expect("ship queue poisoned");
+                }
+                if state.queued.is_empty() {
+                    return;
+                }
+                self.take_window(pipeline, &mut state)
+            };
+            self.ship_batch(&batch);
+            self.finish_window(pipeline, q, batch.len());
+        }
+    }
+
+    /// Queues `shard` for `station`'s drain worker, coalescing with any
+    /// entry already queued for it and backpressuring on a full queue.
+    /// Callers must not hold the shard's lock — the drain needs it.
+    fn enqueue_ship(&self, station: usize, shard: usize) {
+        let Some(pipeline) = &self.pipeline else {
+            return;
+        };
+        let Some(q) = pipeline.queues.get(station) else {
+            return;
+        };
+        let depth = pipeline.config.queue_depth.max(1);
+        let mut state = q.state.lock().expect("ship queue poisoned");
+        loop {
+            if state.shutdown || state.queued.contains(&shard) {
+                // Coalesced: the queued entry's drain ships the whole
+                // outstanding tail, including what was just appended.
+                return;
+            }
+            if state.queued.len() < depth {
+                break;
+            }
+            self.counters.backpressure.inc();
+            if pipeline.config.workers {
+                state = q.room.wait(state).expect("ship queue poisoned");
+            } else {
+                // No workers: drain a window on the enqueuer's thread.
+                drop(state);
+                self.pump_station(station);
+                state = q.state.lock().expect("ship queue poisoned");
+            }
+        }
+        state.queued.push_back(shard);
+        pipeline.queue_depth.offset(1);
+        q.work.notify_one();
+    }
+
+    /// Moves up to one in-flight window from the queue into flight.
+    fn take_window(&self, pipeline: &ShipPipeline, state: &mut QueueState) -> Vec<usize> {
+        let window = pipeline
+            .config
+            .inflight_window
+            .max(1)
+            .min(state.queued.len());
+        let batch: Vec<usize> = state.queued.drain(..window).collect();
+        state.inflight += batch.len();
+        pipeline.queue_depth.offset(-(batch.len() as i64));
+        pipeline.inflight.offset(batch.len() as i64);
+        batch
+    }
+
+    fn ship_batch(&self, batch: &[usize]) {
+        for &idx in batch {
+            let mut home = self.shards[idx].write().expect("shard poisoned");
+            self.ship_shard(idx, &mut home);
+        }
+    }
+
+    fn finish_window(&self, pipeline: &ShipPipeline, q: &StationQueue, shipped: usize) {
+        let mut state = q.state.lock().expect("ship queue poisoned");
+        state.inflight -= shipped;
+        pipeline.inflight.offset(-(shipped as i64));
+        q.room.notify_all();
+    }
+
+    fn pump_station(&self, station: usize) -> usize {
+        let Some(pipeline) = &self.pipeline else {
+            return 0;
+        };
+        let Some(q) = pipeline.queues.get(station) else {
+            return 0;
+        };
+        let batch = {
+            let mut state = q.state.lock().expect("ship queue poisoned");
+            if state.queued.is_empty() {
+                return 0;
+            }
+            self.take_window(pipeline, &mut state)
+        };
+        self.ship_batch(&batch);
+        self.finish_window(pipeline, q, batch.len());
+        batch.len()
+    }
+
+    fn quiesce(&self) {
+        let Some(pipeline) = &self.pipeline else {
+            return;
+        };
+        for (station, q) in pipeline.queues.iter().enumerate() {
+            if pipeline.config.workers {
+                let mut state = q.state.lock().expect("ship queue poisoned");
+                while !(state.shutdown || state.queued.is_empty() && state.inflight == 0) {
+                    state = q.room.wait(state).expect("ship queue poisoned");
+                }
+            } else {
+                while self.pump_station(station) > 0 {}
+            }
+        }
+    }
+
+    fn queued_shards(&self, station: usize) -> usize {
+        self.pipeline
+            .as_ref()
+            .and_then(|p| p.queues.get(station))
+            .map_or(0, |q| {
+                q.state.lock().expect("ship queue poisoned").queued.len()
+            })
+    }
+
+    fn begin_shutdown(&self) {
+        let Some(pipeline) = &self.pipeline else {
+            return;
+        };
+        for q in &pipeline.queues {
+            if let Ok(mut state) = q.state.lock() {
+                state.shutdown = true;
+            }
+            q.work.notify_all();
+            q.room.notify_all();
+        }
+    }
+
+    // --- backend operations ---------------------------------------------
+
+    fn offer_reference(&self, reference: ReferenceImage) -> bool {
+        let key = (reference.location, reference.band);
+        let idx = shard_index(reference.location, reference.band, self.shards.len());
+        let payload = reference.to_record_payload();
+        let (accepted, station) = {
+            let mut home = self.shards[idx].write().expect("shard poisoned");
+            let accepted = home
+                .log
+                .append(key, reference.captured_day, &payload)
+                .expect("refstore append failed");
+            if accepted && self.pipeline.is_none() {
+                // Synchronous replication: the tail ships before the
+                // offer returns, so an outage at any later instant loses
+                // nothing acknowledged (modulo transfers whose every
+                // retry failed — those carry in the ledger and re-ship
+                // next pass).
+                self.ship_shard(idx, &mut home);
+            }
+            (accepted, home.station)
+        };
+        if accepted && self.pipeline.is_some() {
+            // Pipelined: hand the shard to the station's drain worker
+            // after releasing the shard lock (the drain takes it).
+            self.enqueue_ship(station, idx);
+        }
+        accepted
+    }
+
+    /// Grouped ingest: one group-commit batch append per touched shard
+    /// ([`append_reference_batch`]), then one ship (inline or enqueued)
+    /// per shard instead of one per reference. Accept/reject counts are
+    /// identical to sequential offers at any thread count, because the
+    /// batch path resolves within-batch supersedes exactly as sequential
+    /// appends would.
+    fn ingest_grouped(&self, references: Vec<ReferenceImage>, threads: usize) -> IngestReport {
+        let groups: Vec<(usize, Vec<ReferenceImage>)> =
+            shard_batches(references, self.shards.len())
+                .into_iter()
+                .enumerate()
+                .filter(|(_, group)| !group.is_empty())
+                .collect();
+        let accepted = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let workers = threads.max(1).min(groups.len().max(1));
+        let per_worker = groups.len().div_ceil(workers).max(1);
+        std::thread::scope(|scope| {
+            for chunk in groups.chunks(per_worker) {
+                let (accepted, rejected) = (&accepted, &rejected);
+                scope.spawn(move || {
+                    for (idx, group) in chunk {
+                        let (acc, rej, station) = {
+                            let mut home = self.shards[*idx].write().expect("shard poisoned");
+                            let (acc, rej) = append_reference_batch(&mut home.log, group);
+                            if acc > 0 && self.pipeline.is_none() {
+                                self.ship_shard(*idx, &mut home);
+                            }
+                            (acc, rej, home.station)
+                        };
+                        if acc > 0 && self.pipeline.is_some() {
+                            self.enqueue_ship(station, *idx);
+                        }
+                        accepted.fetch_add(acc, Ordering::Relaxed);
+                        rejected.fetch_add(rej, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        IngestReport {
+            accepted: accepted.into_inner(),
+            rejected: rejected.into_inner(),
+        }
+    }
+
+    fn get_reference(&self, location: LocationId, band: Band) -> Option<ReferenceImage> {
+        let home = self
+            .shard_of(location, band)
+            .read()
+            .expect("shard poisoned");
+        self.note_serve(&home);
+        let record = home
+            .log
+            .get(&(location, band))
+            .expect("refstore read failed")?;
+        Some(
+            ReferenceImage::from_record_payload(location, band, record.day, &record.payload)
+                .expect("CRC-valid record decodes"),
+        )
+    }
+
+    fn sync_all(&self) {
+        for shard in &self.shards {
+            shard
+                .write()
+                .expect("shard poisoned")
+                .log
+                .sync()
+                .expect("refstore sync failed");
+        }
+    }
+
+    // --- shipping, failover, faults --------------------------------------
 
     fn shard_dir(&self, station: usize, shard: usize) -> PathBuf {
         self.root
@@ -556,13 +1006,20 @@ impl ReplicatedReferenceStore {
                     home.shipped.insert((replica, *id), start);
                 }
             }
-            // Manifest last, atomically: a promotion never sees a
-            // manifest naming bytes the segments above don't have.
+            // Manifest last, atomically (the engine's shared tmp+rename
+            // commit): a promotion never sees a manifest naming bytes
+            // the segments above don't have.
             match &manifest {
                 Some(bytes) => {
                     let crc = crc32(bytes);
                     if home.manifest_crc.get(&replica) != Some(&crc)
-                        && ship_manifest(&rdir, bytes).is_ok()
+                        && write_file_atomic(
+                            &rdir,
+                            MANIFEST_NAME,
+                            bytes,
+                            self.config.log.fsync_appends,
+                        )
+                        .is_ok()
                     {
                         home.manifest_crc.insert(replica, crc);
                     }
@@ -619,7 +1076,9 @@ impl ReplicatedReferenceStore {
     /// verification, retry, exponential backoff + jitter, and fault
     /// injection. Returns the verified replica length reached (== `to`
     /// on success; the shipping ledger carries any shortfall to the next
-    /// pass).
+    /// pass). Queued and inline transfers both land here, so fault
+    /// injection covers both paths through one draw
+    /// ([`crate::fault::FaultInjector::transfer_faults`]).
     fn ship_range(&self, src: &Path, dst: &Path, from: u64, to: u64) -> u64 {
         let policy = self.config.ship;
         let mut shipped = from;
@@ -628,15 +1087,18 @@ impl ReplicatedReferenceStore {
             let Ok(bytes) = read_range(src, shipped, to) else {
                 return shipped;
             };
-            // Roll this attempt's faults up front; the injector never
-            // touches the files itself.
+            // Roll this attempt's fault bundle up front; the injector
+            // never touches the files itself.
             let mut cut = None;
             let mut corrupt_at = None;
             if let Some(injector) = &self.injector {
-                let mut injector = injector.lock().expect("fault injector poisoned");
-                corrupt_at = injector.ship_corrupt(bytes.len() as u64);
-                cut = injector.ship_interrupt(bytes.len() as u64);
-                if let Some(stall_us) = injector.disk_stall() {
+                let faults = injector
+                    .lock()
+                    .expect("fault injector poisoned")
+                    .transfer_faults(bytes.len() as u64);
+                corrupt_at = faults.corrupt_at;
+                cut = faults.cut_at;
+                if let Some(stall_us) = faults.stall_us {
                     // Modelled in virtual time: charged to the backoff
                     // ledger, never slept.
                     self.counters.disk_stalls.inc();
@@ -714,42 +1176,16 @@ impl ReplicatedReferenceStore {
 
 impl ReferenceBackend for ReplicatedReferenceStore {
     fn offer(&self, reference: ReferenceImage) -> bool {
-        let key = (reference.location, reference.band);
-        let idx = shard_index(reference.location, reference.band, self.shards.len());
-        let payload = reference.to_record_payload();
-        let mut home = self.shards[idx].write().expect("shard poisoned");
-        let accepted = home
-            .log
-            .append(key, reference.captured_day, &payload)
-            .expect("refstore append failed");
-        if accepted {
-            // Synchronous replication: the tail ships before the offer
-            // returns, so an outage at any later instant loses nothing
-            // acknowledged (modulo transfers whose every retry failed —
-            // those carry in the ledger and re-ship next pass).
-            self.ship_shard(idx, &mut home);
-        }
-        accepted
+        self.inner.offer_reference(reference)
     }
 
     fn get(&self, location: LocationId, band: Band) -> Option<ReferenceImage> {
-        let home = self
-            .shard_of(location, band)
-            .read()
-            .expect("shard poisoned");
-        self.note_serve(&home);
-        let record = home
-            .log
-            .get(&(location, band))
-            .expect("refstore read failed")?;
-        Some(
-            ReferenceImage::from_record_payload(location, band, record.day, &record.payload)
-                .expect("CRC-valid record decodes"),
-        )
+        self.inner.get_reference(location, band)
     }
 
     fn fresh_day(&self, location: LocationId, band: Band) -> Option<f64> {
-        self.shard_of(location, band)
+        self.inner
+            .shard_of(location, band)
             .read()
             .expect("shard poisoned")
             .log
@@ -757,7 +1193,8 @@ impl ReferenceBackend for ReplicatedReferenceStore {
     }
 
     fn len(&self) -> usize {
-        self.shards
+        self.inner
+            .shards
             .iter()
             .map(|s| s.read().expect("shard poisoned").log.len())
             .sum()
@@ -766,7 +1203,7 @@ impl ReferenceBackend for ReplicatedReferenceStore {
     fn size_bytes(&self) -> u64 {
         // Same logical 12-bit model as the persistent backend.
         let mut total = 0u64;
-        for shard in &self.shards {
+        for shard in &self.inner.shards {
             let home = shard.read().expect("shard poisoned");
             for (_, entry) in home.log.entries() {
                 let payload = entry
@@ -780,7 +1217,7 @@ impl ReferenceBackend for ReplicatedReferenceStore {
 
     fn keys(&self) -> Vec<(LocationId, Band)> {
         let mut out = Vec::new();
-        for shard in &self.shards {
+        for shard in &self.inner.shards {
             out.extend(shard.read().expect("shard poisoned").log.keys());
         }
         out.sort();
@@ -788,18 +1225,11 @@ impl ReferenceBackend for ReplicatedReferenceStore {
     }
 
     fn ingest_batch(&self, references: Vec<ReferenceImage>, threads: usize) -> IngestReport {
-        parallel_offer(self, references, threads)
+        self.inner.ingest_grouped(references, threads)
     }
 
     fn sync(&self) {
-        for shard in &self.shards {
-            shard
-                .write()
-                .expect("shard poisoned")
-                .log
-                .sync()
-                .expect("refstore sync failed");
-        }
+        self.inner.sync_all()
     }
 }
 
@@ -849,14 +1279,6 @@ fn flip_last_byte(path: &Path) -> std::io::Result<()> {
     file.write_all(&byte)
 }
 
-/// Ships a manifest atomically (tmp + rename), mirroring the engine's
-/// own swap so a crashed ship never leaves a half-written manifest.
-fn ship_manifest(dir: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = dir.join("MANIFEST.ship-tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, dir.join(MANIFEST_NAME))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -901,6 +1323,29 @@ mod tests {
         store
     }
 
+    /// Asserts every replica shard file under `store` is a byte-identical
+    /// copy of its primary.
+    fn assert_replicas_identical(store: &ReplicatedReferenceStore, shards: usize) {
+        for shard in 0..shards {
+            let primary = store.shard_station(shard);
+            let pdir = store.shard_dir(primary, shard);
+            for station in 0..store.station_count() {
+                if station == primary {
+                    continue;
+                }
+                let rdir = store.shard_dir(station, shard);
+                if !rdir.exists() {
+                    continue;
+                }
+                for (id, path) in list_segments(&pdir).unwrap() {
+                    let src = std::fs::read(&path).unwrap();
+                    let dst = std::fs::read(rdir.join(segment_file_name(id))).unwrap();
+                    assert_eq!(src, dst, "shard {shard} segment {id} diverges");
+                }
+            }
+        }
+    }
+
     #[test]
     fn offers_ship_synchronously_to_replicas() {
         let root = test_root("sync-ship");
@@ -910,20 +1355,154 @@ mod tests {
         }
         let stats = store.stats();
         assert!(stats.ship_bytes > 0, "offers must ship synchronously");
+        assert_eq!(stats.ship_backpressure, 0, "sync path never queues");
         // Every replica shard file is a byte-identical copy of its
         // primary (fully shipped, since nothing raced).
-        for shard in 0..2usize {
-            let primary = store.shard_station(shard);
-            let pdir = store.shard_dir(primary, shard);
-            let replica = (primary + 1) % 2;
-            let rdir = store.shard_dir(replica, shard);
-            for (id, path) in list_segments(&pdir).unwrap() {
-                let src = std::fs::read(&path).unwrap();
-                let dst = std::fs::read(rdir.join(segment_file_name(id))).unwrap();
-                assert_eq!(src, dst, "shard {shard} segment {id} diverges");
+        assert_replicas_identical(&store, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn pipelined_offers_converge_after_quiesce() {
+        let root = test_root("pipelined");
+        let config = StationSetConfig {
+            queue: ShipQueueConfig {
+                pipelined: true,
+                ..ShipQueueConfig::default()
+            },
+            ..StationSetConfig::default()
+        };
+        let store = open_set(&root, 4, config, None);
+        for loc in 0..32u32 {
+            assert!(store.offer(reference(loc, 2.0, 0.4)));
+        }
+        store.quiesce();
+        for station in 0..store.station_count() {
+            assert_eq!(store.queued_shards(station), 0, "quiesce drains queues");
+        }
+        assert!(store.stats().ship_bytes > 0, "workers must have shipped");
+        assert_replicas_identical(&store, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manual_drain_order_converges_to_identical_replicas() {
+        let manual = |window: usize| StationSetConfig {
+            queue: ShipQueueConfig {
+                pipelined: true,
+                workers: false,
+                queue_depth: 64,
+                inflight_window: window,
+            },
+            ..StationSetConfig::default()
+        };
+        let offer_all = |store: &ReplicatedReferenceStore| {
+            for loc in 0..48u32 {
+                store.offer(reference(loc, 2.0 + (loc % 5) as f64, 0.4));
+            }
+        };
+        let root_a = test_root("drain-a");
+        let a = open_set(&root_a, 8, manual(1), None);
+        offer_all(&a);
+        // Drain A station-major: all of station 0, then all of station 1.
+        while a.pump_station(0) > 0 {}
+        while a.pump_station(1) > 0 {}
+        a.quiesce();
+        let root_b = test_root("drain-b");
+        let b = open_set(&root_b, 8, manual(3), None);
+        offer_all(&b);
+        // Drain B interleaved with a different window size.
+        loop {
+            let moved = b.pump_station(1) + b.pump_station(0);
+            if moved == 0 {
+                break;
             }
         }
+        b.quiesce();
+        // Both drain disciplines converge to byte-identical replica
+        // trees — and to the synchronous run's, transitively (each
+        // replica file is a verified copy of the same primary bytes).
+        for shard in 0..8usize {
+            for station in 0..2usize {
+                let da = a.shard_dir(station, shard);
+                let db = b.shard_dir(station, shard);
+                for (id, path) in list_segments(&da).unwrap() {
+                    let fa = std::fs::read(&path).unwrap();
+                    let fb = std::fs::read(db.join(segment_file_name(id))).unwrap();
+                    assert_eq!(fa, fb, "shard {shard} station {station} segment {id}");
+                }
+            }
+        }
+        assert_replicas_identical(&a, 8);
+        assert_replicas_identical(&b, 8);
+        let _ = std::fs::remove_dir_all(&root_a);
+        let _ = std::fs::remove_dir_all(&root_b);
+    }
+
+    #[test]
+    fn full_queue_backpressures_and_coalesces() {
+        let root = test_root("backpressure");
+        let config = StationSetConfig {
+            queue: ShipQueueConfig {
+                pipelined: true,
+                workers: false,
+                queue_depth: 1,
+                inflight_window: 1,
+            },
+            ..StationSetConfig::default()
+        };
+        // 4 shards over 2 stations: each station queue (depth 1) sees two
+        // distinct shards, so the second forces a backpressure drain.
+        let store = open_set(&root, 4, config, None);
+        for loc in 0..32u32 {
+            assert!(store.offer(reference(loc, 2.0, 0.4)));
+            for station in 0..2usize {
+                assert!(
+                    store.queued_shards(station) <= 1,
+                    "depth-1 queue must never exceed its bound"
+                );
+            }
+        }
+        assert!(
+            store.stats().ship_backpressure > 0,
+            "a full depth-1 queue must backpressure"
+        );
+        store.quiesce();
+        assert_replicas_identical(&store, 4);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn grouped_ingest_matches_sequential_offers() {
+        let offers: Vec<ReferenceImage> = (0..24u32)
+            .flat_map(|loc| {
+                [
+                    reference(loc, 3.0, 0.3),
+                    reference(loc, 9.0, 0.5),
+                    reference(loc, 5.0, 0.4),
+                ]
+            })
+            .collect();
+        let root_seq = test_root("ingest-seq");
+        let seq = open_set(&root_seq, 4, StationSetConfig::default(), None);
+        let mut seq_accepted = 0u64;
+        for reference in offers.clone() {
+            if seq.offer(reference) {
+                seq_accepted += 1;
+            }
+        }
+        let root_grp = test_root("ingest-grp");
+        let grp = open_set(&root_grp, 4, StationSetConfig::default(), None);
+        let report = grp.ingest_batch(offers, 4);
+        assert_eq!(report.offered(), 72);
+        assert_eq!(report.accepted, seq_accepted, "batch accepts = sequential");
+        assert_eq!(grp.keys(), seq.keys());
+        for loc in 0..24u32 {
+            assert_eq!(grp.fresh_day(LocationId(loc), red()), Some(9.0));
+        }
+        assert_replicas_identical(&grp, 4);
+        let _ = std::fs::remove_dir_all(&root_seq);
+        let _ = std::fs::remove_dir_all(&root_grp);
     }
 
     #[test]
@@ -1011,6 +1590,40 @@ mod tests {
         store.restore_station(0);
         store.restore_station(1);
         assert_eq!(store.keys(), keys);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_faults_reach_queued_transfers_too() {
+        let root = test_root("queued-faults");
+        let injector = shared_injector(FaultPlan {
+            seed: 42,
+            ship_interrupt_probability: 0.4,
+            ship_corrupt_probability: 0.2,
+            disk_stall_probability: 0.1,
+            ..FaultPlan::default()
+        });
+        let config = StationSetConfig {
+            queue: ShipQueueConfig {
+                pipelined: true,
+                workers: false,
+                ..ShipQueueConfig::default()
+            },
+            ..StationSetConfig::default()
+        };
+        let store = open_set(&root, 2, config, Some(injector));
+        for loc in 0..32u32 {
+            assert!(store.offer(reference(loc, 2.0, 0.4)));
+        }
+        store.quiesce();
+        let stats = store.stats();
+        assert!(
+            stats.faults_injected > 0,
+            "queued transfers must draw faults"
+        );
+        assert!(stats.ship_retries > 0, "queued transfers must retry");
+        // The retry/heal machinery converges regardless of the path.
+        assert_replicas_identical(&store, 2);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -130,11 +130,16 @@ fn encoded_ingest_runs_concurrently() {
     // freshest generation, and repeating the workload grows no scratch.
     let service = GroundService::new(GroundServiceConfig::default().with_reference_downsample(32));
     let enc = encode(&scene_capture(0), &CodecConfig::lossy()).unwrap();
+    // The barrier forces the warm-up round to its full 4-way decode
+    // concurrency: on a loaded host the threads could otherwise run
+    // serially, leaving the pool smaller than the second round needs.
+    let barrier = std::sync::Barrier::new(4);
     std::thread::scope(|scope| {
         for t in 0..4u32 {
-            let (service, enc) = (&service, &enc);
+            let (service, enc, barrier) = (&service, &enc, &barrier);
             scope.spawn(move || {
                 for i in 0..4u32 {
+                    barrier.wait();
                     service
                         .ingest_encoded(LocationId(t), red(), 1.0 + f64::from(i), enc)
                         .unwrap();

@@ -72,7 +72,7 @@ pub use crc32::crc32;
 pub use error::{RefStoreError, Result};
 pub use index::{IndexEntry, MemIndex};
 pub use log::{RecoveryReport, RefLog, RefLogConfig, RefLogStats};
-pub use manifest::Manifest;
+pub use manifest::{write_file_atomic, Manifest};
 pub use record::{
     band_from_tag, band_tag, decode_frame, encode_frame, framed_len, Record, RecordKey,
 };

@@ -223,6 +223,14 @@ pub struct RefLogStats {
     /// Read-path segment-handle cache misses (reads that had to open the
     /// segment file).
     pub handle_cache_misses: u64,
+    /// Data and directory syncs the log has issued since open (segment
+    /// `fdatasync`s plus the directory fsyncs that gate creation,
+    /// rotation, and manifest swaps; the manifest's own tmp-file flush is
+    /// internal to [`crate::manifest`] and not counted). With
+    /// `fsync_appends` enabled this is the figure group commit amortizes:
+    /// N single appends issue ~N syncs, one [`RefLog::append_batch`] of N
+    /// records issues one per segment it fills.
+    pub fsyncs_issued: u64,
 }
 
 impl RefLogStats {
@@ -254,6 +262,8 @@ pub struct RefLog {
     /// Per-log step accounting (see [`RefLogStats`]).
     compaction_steps: u64,
     max_step_copied_bytes: u64,
+    /// Syncs issued since open (see [`RefLogStats::fsyncs_issued`]).
+    fsyncs_issued: u64,
     /// Committed-append latency span target (disabled until
     /// [`RefLog::attach_telemetry`]).
     append_ns: Histogram,
@@ -263,6 +273,10 @@ pub struct RefLog {
     /// Bounded compaction-step latency (disabled until
     /// [`RefLog::attach_telemetry`]).
     step_ns: Histogram,
+    /// Records committed per [`RefLog::append_batch`] call (disabled
+    /// until [`RefLog::attach_telemetry`]) — the group-commit batch-size
+    /// distribution.
+    batch_records: Histogram,
     /// Registry step counter (shared across shard logs is fine for the
     /// rollup; per-log counts live in `compaction_steps`).
     steps: Counter,
@@ -385,6 +399,7 @@ impl RefLog {
         // otherwise start a new one. Continuing keeps the file layout of a
         // crashed-and-reopened store byte-identical to one that never
         // crashed, which the recovery tests rely on.
+        let mut fsyncs_issued = 0u64;
         let active = match tail {
             Some((id, valid_len)) if valid_len < config.segment_max_bytes => {
                 SegmentWriter::reopen(dir, id, valid_len)?
@@ -393,6 +408,7 @@ impl RefLog {
                 let writer = SegmentWriter::create(dir, next_free)?;
                 if config.fsync_appends {
                     sync_dir(dir)?;
+                    fsyncs_issued += 1;
                 }
                 kept_segments.push(next_free);
                 writer
@@ -416,9 +432,11 @@ impl RefLog {
                 driver: None,
                 compaction_steps: 0,
                 max_step_copied_bytes: 0,
+                fsyncs_issued,
                 append_ns: Histogram::default(),
                 compaction_ns: Histogram::default(),
                 step_ns: Histogram::default(),
+                batch_records: Histogram::default(),
                 steps: Counter::default(),
                 dead_bytes_gauge: Gauge::default(),
                 live_bytes_gauge: Gauge::default(),
@@ -459,6 +477,7 @@ impl RefLog {
         self.append_ns = sink.histogram(names::REFSTORE_APPEND_NS);
         self.compaction_ns = sink.histogram(names::REFSTORE_COMPACTION_NS);
         self.step_ns = sink.histogram(names::REFSTORE_COMPACTION_STEP_NS);
+        self.batch_records = sink.histogram(names::REFSTORE_BATCH_RECORDS);
         self.steps = sink.counter(names::REFSTORE_COMPACTION_STEPS);
         sink.histogram(names::REFSTORE_REPLAY_NS)
             .record(self.replay_ns);
@@ -532,6 +551,7 @@ impl RefLog {
         let offset = self.active.append_frame(&frame)?;
         if self.config.fsync_appends {
             self.active.sync()?;
+            self.fsyncs_issued += 1;
         }
         let entry = IndexEntry {
             segment: self.active.id,
@@ -571,6 +591,145 @@ impl RefLog {
         Ok(true)
     }
 
+    /// Appends a whole batch of records under freshest-wins semantics —
+    /// the group-commit path. The index, accounting, and on-disk layout
+    /// end up byte-identical to calling [`RefLog::append`] once per
+    /// record (later batch entries supersede earlier ones of the same
+    /// key; segments rotate mid-batch at the same byte boundaries), but
+    /// the I/O is amortized: staged frames land with one write per
+    /// segment run, with `fsync_appends` enabled the run is forced to
+    /// stable storage by **one** data sync instead of one per record,
+    /// and auto-compaction pumps one bounded step per batch instead of
+    /// one per append. [`RefLogStats::fsyncs_issued`] proves the
+    /// amortization.
+    ///
+    /// The commit point moves accordingly: a crash mid-batch recovers to
+    /// a *prefix of whole records* of the batch (torn-tail truncation),
+    /// never a partial record — per-record durability callers keep using
+    /// [`RefLog::append`].
+    ///
+    /// Returns one accepted flag per record, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RefStoreError::TooLarge`] — before writing anything —
+    /// when *any* payload in the batch is uncommittable. Propagates
+    /// write failures; runs already flushed stay committed, the failed
+    /// run installs nothing.
+    pub fn append_batch(&mut self, records: &[(RecordKey, f64, &[u8])]) -> Result<Vec<bool>> {
+        for (_, _, payload) in records {
+            if BODY_FIXED_LEN + payload.len() as u64 > MAX_BODY_LEN {
+                return Err(RefStoreError::TooLarge(payload.len() as u64));
+            }
+        }
+        let mut trace = self
+            .tracing
+            .span_on(TraceTrack::Station(0), "refstore", "append_batch");
+        trace.arg("records", records.len());
+        let mut accepted = vec![false; records.len()];
+        let mut committed = 0u64;
+        // Frames staged for the current segment: landed in one write when
+        // the segment fills or the batch drains. `pending` carries the
+        // freshest staged day per key so within-batch supersedes resolve
+        // exactly as sequential appends would.
+        let mut run: Vec<(RecordKey, f64, Vec<u8>)> = Vec::new();
+        let mut run_bytes = 0u64;
+        let mut pending: HashMap<RecordKey, f64> = HashMap::new();
+        let mut active_dirty = false;
+        for (i, &(key, day, payload)) in records.iter().enumerate() {
+            let fresher = match pending.get(&key) {
+                Some(&staged_day) => day > staged_day,
+                None => self.index.is_fresher(&key, day),
+            };
+            if !fresher {
+                continue;
+            }
+            let frame = encode_frame(key, day, payload);
+            if self.active.len + run_bytes + frame.len() as u64 > self.config.segment_max_bytes
+                && self.active.len + run_bytes > SEGMENT_HEADER_LEN
+            {
+                if self.flush_batch_run(&mut run)? {
+                    active_dirty = true;
+                }
+                run_bytes = 0;
+                if self.config.fsync_appends && active_dirty {
+                    // The filling segment seals here; its share of the
+                    // batch must be durable before writes move on — the
+                    // end-of-batch sync only covers the final active file.
+                    self.active.sync()?;
+                    self.fsyncs_issued += 1;
+                }
+                self.rotate()?;
+                active_dirty = false;
+            }
+            run_bytes += frame.len() as u64;
+            pending.insert(key, day);
+            run.push((key, day, frame));
+            accepted[i] = true;
+            committed += 1;
+        }
+        if self.flush_batch_run(&mut run)? {
+            active_dirty = true;
+        }
+        if self.config.fsync_appends && active_dirty {
+            // The group commit: one data sync covers every record the
+            // batch staged into the final active segment.
+            self.active.sync()?;
+            self.fsyncs_issued += 1;
+        }
+        if committed > 0 {
+            self.batch_records.record(committed);
+            if self.config.auto_compact {
+                let budget = self.config.compaction_step;
+                if self.driver.is_some() {
+                    self.compaction_step(budget)?;
+                } else if self.should_compact() {
+                    self.begin_compaction()?;
+                    self.compaction_step(budget)?;
+                }
+            }
+            self.publish_byte_gauges();
+        }
+        trace.arg("committed", committed);
+        Ok(accepted)
+    }
+
+    /// Lands one staged segment run of [`RefLog::append_batch`]: a single
+    /// multi-frame write, then index installs in batch order (so the
+    /// dead-byte accounting of within-batch supersedes matches the
+    /// sequential path). Installs nothing when the write fails — the
+    /// partial frames are healed as a torn tail by the next recovery.
+    /// Returns whether anything was written.
+    fn flush_batch_run(&mut self, run: &mut Vec<(RecordKey, f64, Vec<u8>)>) -> Result<bool> {
+        if run.is_empty() {
+            return Ok(false);
+        }
+        let frames: Vec<&[u8]> = run.iter().map(|(_, _, f)| f.as_slice()).collect();
+        let mut offset = self.active.append_frames(&frames)?;
+        for (key, day, frame) in run.drain(..) {
+            let entry = IndexEntry {
+                segment: self.active.id,
+                offset,
+                framed_len: frame.len() as u64,
+                day,
+            };
+            offset += frame.len() as u64;
+            if let Some(old) = self.index.install(key, entry) {
+                self.dead_records += 1;
+                self.dead_bytes += old.framed_len;
+                self.live_bytes -= old.framed_len;
+                if let Some(driver) = self.driver.as_mut() {
+                    if driver.is_input(old.segment) {
+                        driver.freed_dead_bytes += old.framed_len;
+                        driver.freed_dead_records += 1;
+                    }
+                }
+            }
+            self.live_bytes += frame.len() as u64;
+        }
+        Ok(true)
+    }
+
     fn rotate(&mut self) -> Result<()> {
         let id = self.next_segment_id;
         self.next_segment_id += 1;
@@ -579,6 +738,7 @@ impl RefLog {
             // A synced append into the new segment is only power-loss
             // durable if the segment's directory entry is too.
             sync_dir(&self.dir)?;
+            self.fsyncs_issued += 1;
         }
         self.segments.push(id);
         Ok(())
@@ -693,6 +853,7 @@ impl RefLog {
             max_step_copied_bytes: self.max_step_copied_bytes,
             handle_cache_hits: self.handles.hits.value(),
             handle_cache_misses: self.handles.misses.value(),
+            fsyncs_issued: self.fsyncs_issued,
         }
     }
 
@@ -715,7 +876,9 @@ impl RefLog {
     ///
     /// Propagates `fsync` failures.
     pub fn sync(&mut self) -> Result<()> {
-        self.active.sync()
+        self.active.sync()?;
+        self.fsyncs_issued += 1;
+        Ok(())
     }
 
     /// Rewrites live records into fresh segments (key order), swaps the
@@ -886,6 +1049,7 @@ impl RefLog {
             if rotate {
                 if let Some(mut w) = driver.writer.take() {
                     w.sync()?;
+                    self.fsyncs_issued += 1;
                 }
                 let id = self.next_segment_id;
                 self.next_segment_id += 1;
@@ -920,6 +1084,7 @@ impl RefLog {
     fn commit_compaction(&mut self, driver: &mut CompactionDriver) -> Result<()> {
         if let Some(w) = driver.writer.as_mut() {
             w.sync()?;
+            self.fsyncs_issued += 1;
         }
         if self.config.fsync_appends {
             // The output segments' directory entries must be durable
@@ -927,6 +1092,7 @@ impl RefLog {
             // the two must never leave a manifest pointing at unlinked
             // files.
             sync_dir(&self.dir)?;
+            self.fsyncs_issued += 1;
         }
         // Keep everything appends created since begin (the post-begin
         // active and its rotations) plus the outputs.
@@ -981,6 +1147,7 @@ impl RefLog {
             // window, but at this durability level the caller asked for
             // the disk to match the committed state.
             sync_dir(&self.dir)?;
+            self.fsyncs_issued += 1;
         }
         Ok(())
     }
@@ -1482,6 +1649,107 @@ mod tests {
         for loc in 0..4u32 {
             assert_eq!(log.get(&key(loc)).unwrap().unwrap().day, 39.0);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_batch_matches_sequential_appends_exactly() {
+        // The same stream — with within-batch supersedes, stale entries,
+        // and segment rotation — through `append` and `append_batch` must
+        // produce identical accepted flags, index, accounting, and
+        // on-disk bytes.
+        let seq_dir = test_dir("batchseq");
+        let grp_dir = test_dir("batchgrp");
+        let config = RefLogConfig {
+            segment_max_bytes: 256,
+            auto_compact: false,
+            ..RefLogConfig::default()
+        };
+        let stream: Vec<(RecordKey, f64, Vec<u8>)> = (0..48u32)
+            .map(|i| (key(i % 7), ((i * 37) % 13) as f64, vec![i as u8; 48]))
+            .collect();
+        let (mut seq, _) = RefLog::open(&seq_dir, config).unwrap();
+        let mut seq_flags = Vec::new();
+        for (k, day, payload) in &stream {
+            seq_flags.push(seq.append(*k, *day, payload).unwrap());
+        }
+        let (mut grp, _) = RefLog::open(&grp_dir, config).unwrap();
+        let records: Vec<(RecordKey, f64, &[u8])> = stream
+            .iter()
+            .map(|(k, d, p)| (*k, *d, p.as_slice()))
+            .collect();
+        let grp_flags = grp.append_batch(&records).unwrap();
+        assert_eq!(grp_flags, seq_flags, "accept decisions must agree");
+        assert!(grp_flags.iter().any(|&a| !a), "stream must exercise stale");
+        assert_eq!(grp.index_entries(), seq.index_entries());
+        assert_eq!(grp.stats(), seq.stats());
+        let seq_segments = list_segments(&seq_dir).unwrap();
+        let grp_segments = list_segments(&grp_dir).unwrap();
+        assert_eq!(seq_segments.len(), grp_segments.len());
+        assert!(seq_segments.len() > 1, "rotation must have happened");
+        for ((_, a), (_, b)) in seq_segments.iter().zip(&grp_segments) {
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "segment files must be byte-identical"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&seq_dir);
+        let _ = std::fs::remove_dir_all(&grp_dir);
+    }
+
+    #[test]
+    fn append_batch_amortizes_fsyncs_to_one_per_segment_run() {
+        let single_dir = test_dir("fsyncsingle");
+        let batch_dir = test_dir("fsyncbatch");
+        let config = RefLogConfig {
+            fsync_appends: true,
+            auto_compact: false,
+            ..RefLogConfig::default()
+        };
+        let n = 16u64;
+        let payload = [7u8; 64];
+        let (mut single, _) = RefLog::open(&single_dir, config).unwrap();
+        for loc in 0..n {
+            single.append(key(loc as u32), 1.0, &payload).unwrap();
+        }
+        let per_append = single.stats().fsyncs_issued;
+        assert_eq!(per_append, 1 + n, "initial dir sync + one sync per append");
+        let (mut batch, _) = RefLog::open(&batch_dir, config).unwrap();
+        let records: Vec<(RecordKey, f64, &[u8])> = (0..n)
+            .map(|loc| (key(loc as u32), 1.0, payload.as_slice()))
+            .collect();
+        assert!(batch.append_batch(&records).unwrap().iter().all(|&a| a));
+        let grouped = batch.stats().fsyncs_issued;
+        assert_eq!(grouped, 2, "initial dir sync + one group commit");
+        assert!(
+            per_append / grouped >= n / 2,
+            "group commit must amortize by at least the batch factor \
+             ({per_append} vs {grouped} syncs for {n} records)"
+        );
+        // A batch of nothing but stale records issues no sync at all.
+        let before = batch.stats().fsyncs_issued;
+        assert!(batch.append_batch(&records).unwrap().iter().all(|&a| !a));
+        assert_eq!(batch.stats().fsyncs_issued, before);
+        let _ = std::fs::remove_dir_all(&single_dir);
+        let _ = std::fs::remove_dir_all(&batch_dir);
+    }
+
+    #[test]
+    fn append_batch_rejects_oversized_payload_before_writing() {
+        let dir = test_dir("batchtoolarge");
+        let (mut log, _) = RefLog::open(&dir, no_autocompact()).unwrap();
+        let oversized = vec![0u8; (MAX_BODY_LEN - BODY_FIXED_LEN + 1) as usize];
+        let records: Vec<(RecordKey, f64, &[u8])> = vec![
+            (key(0), 1.0, b"fine".as_slice()),
+            (key(1), 1.0, oversized.as_slice()),
+        ];
+        assert!(matches!(
+            log.append_batch(&records),
+            Err(RefStoreError::TooLarge(_))
+        ));
+        assert!(log.is_empty(), "nothing before the bad record lands");
+        assert_eq!(log.active.len, SEGMENT_HEADER_LEN, "nothing was written");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

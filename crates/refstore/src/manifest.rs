@@ -34,8 +34,37 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
 
 /// Manifest file name within a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
-const MANIFEST_TMP_NAME: &str = "MANIFEST.tmp";
 const MANIFEST_HEADER: &str = "earthplus-refstore-manifest v1";
+
+/// Atomically replaces `dir/name` with `bytes`: tmp file, flush,
+/// `fdatasync`, rename. The single commit point every manifest-shaped
+/// file in the workspace shares — the engine's own manifest swap and the
+/// replication layer's shipped-manifest install both go through here, so
+/// a crash at any point leaves either the old file or the new one, never
+/// a half-written mix.
+///
+/// `fsync_dir` additionally forces the directory entry swap to stable
+/// storage; without it the rename is atomic against a process crash but
+/// not power-loss durable. Callers gate it on the same knob as their
+/// append durability so both commit points share one durability level.
+///
+/// # Errors
+///
+/// Propagates I/O failures; on failure the previous file (if any) is
+/// untouched.
+pub fn write_file_atomic(dir: &Path, name: &str, bytes: &[u8], fsync_dir: bool) -> Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(name))?;
+    if fsync_dir {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
 
 /// The durable segment-set description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,17 +107,7 @@ impl Manifest {
         let body = self.render_body();
         let mut content = body.clone();
         content.push_str(&format!("crc {:08x}\n", crc32(body.as_bytes())));
-        let tmp = dir.join(MANIFEST_TMP_NAME);
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(content.as_bytes())?;
-            file.sync_data()?;
-        }
-        std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
-        if fsync_dir {
-            sync_dir(dir)?;
-        }
-        Ok(())
+        write_file_atomic(dir, MANIFEST_NAME, content.as_bytes(), fsync_dir)
     }
 
     /// Loads the manifest from `dir`.
@@ -185,6 +204,23 @@ mod tests {
         content = content.replace("segment 1", "segment 9");
         std::fs::write(&path, content).unwrap();
         assert_eq!(Manifest::load(&dir).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_file_atomic_replaces_whole_files() {
+        let dir = test_dir("atomicwrite");
+        write_file_atomic(&dir, "STATE", b"first", false).unwrap();
+        assert_eq!(std::fs::read(dir.join("STATE")).unwrap(), b"first");
+        write_file_atomic(&dir, "STATE", b"second generation", true).unwrap();
+        assert_eq!(
+            std::fs::read(dir.join("STATE")).unwrap(),
+            b"second generation"
+        );
+        assert!(
+            !dir.join("STATE.tmp").exists(),
+            "the tmp file must be consumed by the rename"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -105,6 +105,28 @@ impl SegmentWriter {
         Ok(offset)
     }
 
+    /// Appends several pre-encoded frames back to back with one write,
+    /// returning the offset of the first — the group-commit batch path
+    /// lands a whole staged segment run in a single syscall. Commit
+    /// semantics are per frame, exactly as [`SegmentWriter::append_frame`]:
+    /// a crash mid-write recovers to the CRC-valid frame prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; any partially written tail is healed
+    /// by the next recovery scan.
+    pub fn append_frames(&mut self, frames: &[&[u8]]) -> Result<u64> {
+        let offset = self.len;
+        let total: usize = frames.iter().map(|f| f.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for frame in frames {
+            buf.extend_from_slice(frame);
+        }
+        self.file.write_all(&buf)?;
+        self.len += total as u64;
+        Ok(offset)
+    }
+
     /// Forces everything appended so far onto stable storage.
     ///
     /// # Errors

@@ -82,6 +82,10 @@ pub const REFSTORE_COMPACTION_STEPS: &str = "refstore.compaction.steps";
 pub const REFSTORE_DEAD_BYTES: &str = "refstore.dead_bytes";
 /// Live payload bytes across all shard logs (gauge).
 pub const REFSTORE_LIVE_BYTES: &str = "refstore.live_bytes";
+/// Records committed per group-commit batch (`RefLog::append_batch`) —
+/// the batch-size distribution whose mean is the fsync amortization
+/// factor.
+pub const REFSTORE_BATCH_RECORDS: &str = "refstore.append.batch_records";
 /// Corrupt records dropped by recovery replay (surfaced from
 /// non-clean `RecoveryReport`s at backend open).
 pub const REFSTORE_RECOVERY_DROPPED_RECORDS: &str = "refstore.recovery.dropped_records";
@@ -110,6 +114,15 @@ pub const STATION_FAILOVERS: &str = "station.failovers";
 pub const STATION_DEGRADED_SERVES: &str = "station.degraded_serves";
 /// Slow-disk stall events injected/observed.
 pub const STATION_DISK_STALLS: &str = "station.disk_stalls";
+/// Shards currently waiting in per-station ship queues (gauge).
+pub const STATION_QUEUE_DEPTH: &str = "station.ship.queue_depth";
+/// Transfers currently inside a station's bounded in-flight window
+/// (gauge).
+pub const STATION_INFLIGHT: &str = "station.ship.inflight";
+/// Enqueue attempts that hit a full ship queue and had to wait for (or
+/// drain on behalf of) the workers — sustained growth means shipping
+/// cannot keep up with ingest.
+pub const STATION_BACKPRESSURE: &str = "station.ship.backpressure_waits";
 
 // --- fault injection / interrupted passes -------------------------------
 

@@ -33,6 +33,10 @@ pub enum SeriesMetric {
         /// Counter of misses.
         misses: &'static str,
     },
+    /// A gauge's level at window end (gauges are point-in-time, so this
+    /// reads the cumulative snapshot, not a delta) — e.g. ship-queue
+    /// depth or in-flight transfer occupancy at each day boundary.
+    Gauge(&'static str),
     /// `part / (part + rest)` over two gauges' current levels (gauges
     /// are point-in-time, so this reads the window-end snapshot, not a
     /// delta) — e.g. dead bytes as a share of the whole store.
@@ -83,6 +87,7 @@ impl SeriesSpec {
                 }
                 Some(hit_rate(hits, misses))
             }
+            SeriesMetric::Gauge(name) => Some(end.gauge(name)? as f64),
             SeriesMetric::GaugeShare { part, rest } => {
                 let part = end.gauge(part)? as f64;
                 let rest = end.gauge(rest)? as f64;
@@ -289,11 +294,17 @@ mod tests {
                     rest: "live_bytes",
                 },
             ),
+            SeriesSpec::new("dead_level", SeriesMetric::Gauge("dead_bytes")),
         ]);
         assert_eq!(series.get("hit_rate"), Some(&[(1.0, 0.9), (2.0, 0.25)][..]));
         assert_eq!(
             series.get("dead_ratio"),
             Some(&[(1.0, 0.1), (2.0, 0.5)][..])
+        );
+        // The plain gauge series reads window-end levels, not deltas.
+        assert_eq!(
+            series.get("dead_level"),
+            Some(&[(1.0, 100.0), (2.0, 500.0)][..])
         );
         let table = series.to_table();
         assert!(table.contains("hit_rate"), "table:\n{table}");

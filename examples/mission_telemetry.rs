@@ -22,7 +22,7 @@
 //! ```
 
 use earthplus::prelude::*;
-use earthplus::GroundServiceConfig;
+use earthplus::{GroundServiceConfig, ShipQueueConfig, StationSetConfig};
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
 
 fn main() {
@@ -55,9 +55,20 @@ fn main() {
     let registry = MetricsRegistry::new();
     let recorder = FlightRecorder::new();
     recorder.register_metrics(&registry);
+    // Replicated two-station backend on the pipelined ship path: offers
+    // enqueue on per-station ship queues and background workers drain
+    // them, so the rollup also carries ship_queue_depth / ship_inflight /
+    // ship_backpressure and the group-commit batch-size histogram.
+    let stations = StationSetConfig {
+        queue: ShipQueueConfig {
+            pipelined: true,
+            ..ShipQueueConfig::default()
+        },
+        ..StationSetConfig::default()
+    };
     let ground = GroundServiceConfig::default()
         .with_targets(targets)
-        .with_persistence(&store_dir)
+        .with_stations(&store_dir, stations)
         .with_telemetry(registry.sink())
         .with_tracing(recorder.sink());
     let mut earthplus =

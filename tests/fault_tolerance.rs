@@ -27,7 +27,7 @@ use earthplus::prelude::*;
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
 use earthplus_ground::{
     shard_index, ContactWindow, FaultPlan, GroundService, GroundServiceConfig, OutageWindow,
-    ReferenceImage, SegmentCorruption, StationSetConfig,
+    ReferenceImage, SegmentCorruption, ShipQueueConfig, StationSetConfig,
 };
 use earthplus_orbit::SatelliteId;
 use earthplus_raster::{Band, LocationId, Raster};
@@ -76,6 +76,20 @@ fn reference(location: u32, day: f64, value: f32) -> ReferenceImage {
     ReferenceImage::from_capture(LocationId(location), red(), day, &full, 8).unwrap()
 }
 
+/// The ship path the suite runs on: synchronous by default, or the
+/// pipelined queue/worker path when `EARTHPLUS_SHIP_MODE=pipelined` —
+/// the CI chaos job runs this whole suite once per mode, asserting the
+/// fault properties hold identically on both.
+fn ship_queue_from_env() -> ShipQueueConfig {
+    match std::env::var("EARTHPLUS_SHIP_MODE").as_deref() {
+        Ok("pipelined") => ShipQueueConfig {
+            pipelined: true,
+            ..ShipQueueConfig::default()
+        },
+        _ => ShipQueueConfig::default(),
+    }
+}
+
 /// Small shards + replicated two-station topology shared by the
 /// service-level properties.
 fn two_station_config() -> StationSetConfig {
@@ -86,6 +100,7 @@ fn two_station_config() -> StationSetConfig {
             segment_max_bytes: 4096, // rotate often so ships span files
             ..RefLogConfig::default()
         },
+        queue: ship_queue_from_env(),
         ..StationSetConfig::default()
     }
 }
@@ -240,6 +255,140 @@ fn fault_interrupted_transfers_retry_resume_and_lose_nothing() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Every file under `root` as `(relative path, contents)`, sorted — the
+/// byte-level ground truth two drain disciplines must agree on.
+fn tree_snapshot(root: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(dir: &std::path::Path, base: &std::path::Path, out: &mut Vec<(String, Vec<u8>)>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, base, out);
+            } else {
+                let rel = path
+                    .strip_prefix(base)
+                    .expect("walked path is under base")
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn fault_pipelined_drain_permutations_converge() {
+    // Property: with the pipelined ship path in manual-drain mode, any
+    // seeded permutation of pump order — under transfer fault injection —
+    // produces the same uplink schedules and, once caught up, the same
+    // on-disk bytes. Shipping is idempotent and ledger-driven, and the
+    // scheduler reads only primary log state, so drain order must never
+    // be observable.
+    let mut rng = Rng::new(0xD4A1_4001);
+    let manual_config = || StationSetConfig {
+        queue: ShipQueueConfig {
+            pipelined: true,
+            workers: false,
+            queue_depth: 8,
+            inflight_window: 2,
+        },
+        ..two_station_config()
+    };
+    let plan = |seed| FaultPlan {
+        seed,
+        ship_interrupt_probability: 0.3,
+        ship_corrupt_probability: 0.1,
+        disk_stall_probability: 0.1,
+        ..FaultPlan::default()
+    };
+    for case in 0..3u64 {
+        let dir_a = test_dir(&format!("perm-a-{case}"));
+        let dir_b = test_dir(&format!("perm-b-{case}"));
+        let base = GroundServiceConfig {
+            shards: 4,
+            ingest_threads: 2,
+            ..GroundServiceConfig::default()
+        };
+        let a = GroundService::new(
+            base.clone()
+                .with_stations(&dir_a, manual_config())
+                .with_fault_plan(plan(0xAB + case)),
+        );
+        let b = GroundService::new(
+            base.with_stations(&dir_b, manual_config())
+                .with_fault_plan(plan(0xAB + case)),
+        );
+        for round in 0..6 {
+            let batch: Vec<ReferenceImage> = (0..rng.range(4, 12))
+                .map(|_| {
+                    let loc = rng.range(0, 9) as u32;
+                    let day = rng.range(1, 30) as f64;
+                    let value = (rng.next_u64() % 97) as f32 / 97.0;
+                    reference(loc, day, value)
+                })
+                .collect();
+            assert_eq!(
+                a.ingest_downlink_batch(batch.clone()),
+                b.ingest_downlink_batch(batch),
+                "case {case} round {round}: grouped ingest reports differ"
+            );
+            // Permute the manual drains: each service pumps a different
+            // seeded sequence of stations before the pass.
+            let sa = a.stations().expect("replicated backend");
+            let sb = b.stations().expect("replicated backend");
+            for _ in 0..rng.range(0, 4) {
+                sa.pump_station(rng.range(0, 1));
+            }
+            for _ in 0..rng.range(0, 4) {
+                sb.pump_station(rng.range(0, 1));
+            }
+            let pass_day = 1.0 + round as f64 * 5.0;
+            let contacts: Vec<ContactWindow> = (0..2u32)
+                .map(|sat| ContactWindow {
+                    satellite: SatelliteId(sat),
+                    day: pass_day,
+                    budget_bytes: rng.range(500, 6000) as u64,
+                })
+                .collect();
+            assert_eq!(
+                a.plan_pass(&contacts),
+                b.plan_pass(&contacts),
+                "case {case} round {round}: drain order changed the schedule"
+            );
+            // plan_pass quiesces at the boundary, so nothing stays queued.
+            for station in 0..2 {
+                assert_eq!(sa.queued_shards(station), 0);
+                assert_eq!(sb.queued_shards(station), 0);
+            }
+        }
+        // Full catch-up on both (heals any transfer shortfall the fault
+        // plan forced), then archives and disk trees must agree exactly.
+        for service in [&a, &b] {
+            let stations = service.stations().expect("replicated backend");
+            stations.quiesce();
+            stations.replicate();
+        }
+        assert_eq!(
+            store_snapshot(&a),
+            store_snapshot(&b),
+            "case {case}: drain permutations diverged in the archive"
+        );
+        assert_eq!(
+            tree_snapshot(&dir_a),
+            tree_snapshot(&dir_b),
+            "case {case}: drain permutations diverged on disk"
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}
+
 #[test]
 fn fault_interrupted_pass_carries_undelivered_into_next_window() {
     // Measure the bytes a full six-reference pass needs on a clean run.
@@ -295,6 +444,7 @@ fn mission_ground_config(
     dir: &std::path::Path,
     targets: Vec<(LocationId, Band)>,
     registry: &MetricsRegistry,
+    queue: ShipQueueConfig,
 ) -> GroundServiceConfig {
     let log = RefLogConfig {
         segment_max_bytes: 8192,
@@ -318,6 +468,7 @@ fn mission_ground_config(
             stations: 2,
             replicas: 1,
             log,
+            queue,
             ..StationSetConfig::default()
         },
     )
@@ -373,15 +524,33 @@ fn fault_injected_mission_matches_clean_run_end_to_end() {
     let fault_registry = MetricsRegistry::new();
     let clean_registry = MetricsRegistry::new();
     let ep = EarthPlusConfig::paper();
+    // The faulted mission runs the pipelined ship path (background
+    // workers, bounded windows); the clean run stays on the synchronous
+    // path. Identical schedules below therefore also prove the async
+    // pipeline is observationally equivalent to inline shipping.
     let mut faulted = EarthPlusStrategy::with_ground_config(
         ep,
         detector.clone(),
-        mission_ground_config(&fault_dir, targets.clone(), &fault_registry).with_fault_plan(plan),
+        mission_ground_config(
+            &fault_dir,
+            targets.clone(),
+            &fault_registry,
+            ShipQueueConfig {
+                pipelined: true,
+                ..ShipQueueConfig::default()
+            },
+        )
+        .with_fault_plan(plan),
     );
     let mut clean = EarthPlusStrategy::with_ground_config(
         ep,
         detector,
-        mission_ground_config(&clean_dir, targets, &clean_registry),
+        mission_ground_config(
+            &clean_dir,
+            targets,
+            &clean_registry,
+            ShipQueueConfig::default(),
+        ),
     );
     let fault_report = sim.run(&mut [&mut faulted]);
     let clean_report = sim.run(&mut [&mut clean]);
@@ -455,6 +624,9 @@ fn fault_injected_mission_matches_clean_run_end_to_end() {
         "station-degraded-serves",
         "recovery-data-loss",
         "failover-storm",
+        // Pipelined run: the ship queues must drain at every day
+        // boundary, so the sampled depth gauge stays at zero.
+        "ship-queue-backlog",
     ] {
         let verdict = rollup
             .health

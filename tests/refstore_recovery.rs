@@ -15,7 +15,11 @@
 //! 4. **replay idempotence** — open/close cycles never change state;
 //! 5. **backend equivalence** — the same ingest stream through
 //!    `GroundService` on the in-memory and persistent backends yields the
-//!    same store state and *identical* uplink schedules.
+//!    same store state and *identical* uplink schedules;
+//! 6. **group-commit crash equivalence** — a log written by
+//!    `append_batch` and one written by per-record `append` recover to
+//!    identical state from the same torn-tail cut, and both keep
+//!    accepting writes afterwards.
 
 use earthplus_ground::{
     ContactWindow, GroundService, GroundServiceConfig, PersistentReferenceStore, ReferenceBackend,
@@ -262,6 +266,95 @@ fn replay_is_idempotent_over_repeated_reopens() {
         assert_eq!(log.stats(), stats, "round {round}");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batched_append_crash_recovery_matches_sequential() {
+    // Group commit writes the same bytes as one-at-a-time appends, so a
+    // crash mid-stream — a torn tail cut at an arbitrary byte of the
+    // newest segment — must recover to exactly the state a sequential
+    // log reaches from the same cut. Streams draw colliding generations
+    // so within-batch supersede is exercised too.
+    let mut rng = Rng::new(0xBA7C_4A54);
+    for case in 0..6 {
+        let stream = ingest_stream(&mut rng, 60);
+        let seq_dir = test_dir(&format!("batch-seq-{case}"));
+        let grp_dir = test_dir(&format!("batch-grp-{case}"));
+        let (mut seq, _) = RefLog::open(&seq_dir, small_segments()).unwrap();
+        let (mut grp, _) = RefLog::open(&grp_dir, small_segments()).unwrap();
+        let mut seq_outcomes = Vec::new();
+        for (key, day, payload) in &stream {
+            seq_outcomes.push(seq.append(*key, *day, payload).unwrap());
+        }
+        let mut grp_outcomes = Vec::new();
+        for group in stream.chunks(rng.range(3, 9)) {
+            let records: Vec<_> = group
+                .iter()
+                .map(|(key, day, payload)| (*key, *day, payload.as_slice()))
+                .collect();
+            grp_outcomes.extend(grp.append_batch(&records).unwrap());
+        }
+        assert_eq!(
+            seq_outcomes, grp_outcomes,
+            "case {case}: accept/reject outcomes differ between batch and sequential"
+        );
+        assert_eq!(seq.index_entries(), grp.index_entries(), "case {case}");
+        drop(seq);
+        drop(grp); // crash: no shutdown hook, no flush call
+
+        // Tear the same number of bytes off both logs' newest segment.
+        // The cut may land mid-frame (a torn batch tail) or swallow
+        // whole trailing frames; either way the two logs see identical
+        // bytes, so they must recover identically.
+        let cut = {
+            let segs = list_segments(&grp_dir).unwrap();
+            let len = std::fs::metadata(&segs.last().unwrap().1).unwrap().len();
+            rng.range(1, (len - SEGMENT_HEADER_LEN) as usize) as u64
+        };
+        for dir in [&seq_dir, &grp_dir] {
+            let path = list_segments(dir).unwrap().last().unwrap().1.clone();
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes.truncate(bytes.len() - cut as usize);
+            std::fs::write(&path, &bytes).unwrap();
+        }
+
+        let (mut seq, seq_report) = RefLog::open(&seq_dir, small_segments()).unwrap();
+        let (mut grp, grp_report) = RefLog::open(&grp_dir, small_segments()).unwrap();
+        assert_eq!(
+            seq_report, grp_report,
+            "case {case} (cut {cut}): recovery reports differ"
+        );
+        assert_eq!(
+            seq.index_entries(),
+            grp.index_entries(),
+            "case {case} (cut {cut}): recovered indexes differ"
+        );
+        assert_eq!(seq.stats(), grp.stats(), "case {case}");
+        for key in seq.keys() {
+            assert_eq!(
+                seq.get(&key).unwrap().unwrap().payload,
+                grp.get(&key).unwrap().unwrap().payload,
+                "case {case}: surviving payload differs for {key:?}"
+            );
+        }
+
+        // Both recovered logs keep accepting group commits, and stay in
+        // lockstep: re-deliver the whole stream as one batch (the
+        // at-least-once path a ground station takes after a crash).
+        let records: Vec<_> = stream
+            .iter()
+            .map(|(key, day, payload)| (*key, *day, payload.as_slice()))
+            .collect();
+        assert_eq!(
+            seq.append_batch(&records).unwrap(),
+            grp.append_batch(&records).unwrap(),
+            "case {case}: post-recovery batch outcomes differ"
+        );
+        assert_eq!(seq.index_entries(), grp.index_entries(), "case {case}");
+        assert_eq!(seq.len(), grp.len());
+        let _ = std::fs::remove_dir_all(&seq_dir);
+        let _ = std::fs::remove_dir_all(&grp_dir);
+    }
 }
 
 #[test]
