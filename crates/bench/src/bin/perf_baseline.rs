@@ -17,9 +17,10 @@
 //! * `--telemetry <path>` — also write the telemetry registry's snapshot
 //!   (the metrics recorded by the instrumented runs) as JSON lines.
 //! * `--check <path>` — after measuring, compare this run's
-//!   `encode_full_band.mpix_per_s` **and** `decode_full.mpix_per_s`
+//!   `encode_full_band.mpix_per_s` and **both formats'** decode
+//!   throughput (`decode_full.mpix_per_s`, `decode_full_epc1.mpix_per_s`)
 //!   against the committed baseline at `<path>` and exit non-zero below
-//!   [`CHECK_MIN_RATIO`]× of either. The generous ratio absorbs machine
+//!   [`CHECK_MIN_RATIO`]× of any. The generous ratio absorbs machine
 //!   differences (CI runners vs the container the baseline was committed
 //!   from) while still catching catastrophic codec regressions.
 //!
@@ -33,12 +34,23 @@
 //! reference before timing; EPC2 output is asserted to decode and patch.
 //!
 //! Since the streaming partial-decode pipeline the baseline also times the
-//! decode stage: a full-rate EPC2 full-band decode, and the LL-only
-//! partial decode interleaved with full-decode + `downsample_box` (the
-//! historical reference-ingest path it replaces) — the binary exits
-//! non-zero if the LL-only path is less than
-//! [`DECODE_LL_MIN_SPEEDUP`]× faster, or if either scratch arena grows in
-//! steady state.
+//! decode stage: full-rate EPC2 **and EPC1** full-band decodes through the
+//! zero-allocation [`decode_into`] entry point (steady state: reused
+//! scratch arena and output raster), and the LL-only partial decode
+//! interleaved with full-decode + `downsample_box` (the historical
+//! reference-ingest path it replaces) — the binary exits non-zero if the
+//! LL-only path is less than [`DECODE_LL_MIN_SPEEDUP`]× faster, or if
+//! either scratch arena grows in steady state.
+//!
+//! Since the word-parallel bitplane coder (schema 7) the report also
+//! carries a per-stage breakdown of the codec's own hot loops — DWT
+//! transform, bitplane pass coding, (de)quantization — from the scratch
+//! arenas' [`StageBreakdown`] accumulators, for the full-band EPC2 encode
+//! and both full decodes. The range coder is inlined into the bitplane
+//! passes, so its share cannot be split out by wall clock; instead the
+//! `range_coder` section characterizes its intrinsic rate (ns/decision,
+//! encode and decode) on a synthetic biased stream with no pass traversal
+//! around it.
 //!
 //! Since the telemetry subsystem the baseline also proves the
 //! instrumentation's hot-path claim: the full-band encode **and decode**
@@ -65,9 +77,10 @@
 use earthplus::prelude::*;
 use earthplus::{CaptureContext, StageTimings};
 use earthplus_cloud::{train_onboard_detector, TrainingConfig};
+use earthplus_codec::rangecoder::{BitModel, RangeDecoder, RangeEncoder};
 use earthplus_codec::{
-    decode_ll_only, decode_with_scratch, encode_roi_with_scratch, reference, CodecConfig,
-    CodecScratch, DecodeScratch, FormatVersion,
+    decode_into, decode_ll_only, decode_with_scratch, encode_roi_with_scratch, reference,
+    CodecConfig, CodecScratch, DecodeScratch, FormatVersion, StageBreakdown,
 };
 use earthplus_ground::{
     PersistentReferenceStore, ReferenceBackend, ReferenceImage, ReplicatedReferenceStore,
@@ -105,6 +118,45 @@ const TRACING_MIN_RATIO: f64 = 0.8;
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
     samples[samples.len() / 2]
+}
+
+/// Seconds per stage between two [`StageBreakdown`] snapshots of the same
+/// arena: `(dwt, bitplane, quantize)`.
+fn stage_delta(before: StageBreakdown, after: StageBreakdown) -> (f64, f64, f64) {
+    (
+        (after.dwt - before.dwt).as_secs_f64(),
+        (after.bitplane - before.bitplane).as_secs_f64(),
+        (after.quantize - before.quantize).as_secs_f64(),
+    )
+}
+
+/// Per-stage sample accumulator: one `(dwt, bitplane, quantize)` triple
+/// per rep, reduced to medians (plus the untracked remainder vs `total_s`)
+/// for the report.
+#[derive(Default)]
+struct StageSamples {
+    dwt: Vec<f64>,
+    bitplane: Vec<f64>,
+    quantize: Vec<f64>,
+}
+
+impl StageSamples {
+    fn push(&mut self, delta: (f64, f64, f64)) {
+        self.dwt.push(delta.0);
+        self.bitplane.push(delta.1);
+        self.quantize.push(delta.2);
+    }
+
+    /// `(dwt_s, bitplane_s, quantize_s, other_s)` medians; `other_s` is
+    /// the stage-untracked remainder of `total_s` (headers, subband
+    /// gathers, copies), floored at zero against timer jitter.
+    fn report(mut self, total_s: f64) -> (f64, f64, f64, f64) {
+        let dwt = median(&mut self.dwt);
+        let bitplane = median(&mut self.bitplane);
+        let quantize = median(&mut self.quantize);
+        let other = (total_s - dwt - bitplane - quantize).max(0.0);
+        (dwt, bitplane, quantize, other)
+    }
 }
 
 /// Pulls `"mpix_per_s": <float>` out of the named object of a committed
@@ -226,6 +278,7 @@ fn main() {
         .expect("EPC2 stream must decode");
     let (mut ref_times, mut epc1_times, mut epc2_times) = (Vec::new(), Vec::new(), Vec::new());
     let (mut epc2_vs_ref, mut epc2_vs_epc1) = (Vec::new(), Vec::new());
+    let mut enc_stages = StageSamples::default();
     for _ in 0..reps.max(8) {
         let t = Instant::now();
         let _ = reference::encode_roi_reference(&band_raster, &grid, &all, &epc1, budget);
@@ -233,9 +286,11 @@ fn main() {
         let t = Instant::now();
         let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc1, budget, &mut scratch);
         let n1 = t.elapsed().as_secs_f64();
+        let s0 = scratch.stages();
         let t = Instant::now();
         let _ = encode_roi_with_scratch(&band_raster, &grid, &all, &epc2, budget, &mut scratch);
         let n2 = t.elapsed().as_secs_f64();
+        enc_stages.push(stage_delta(s0, scratch.stages()));
         ref_times.push(r);
         epc1_times.push(n1);
         epc2_times.push(n2);
@@ -251,12 +306,17 @@ fn main() {
     let full_encode_mpix_s = band_mpix / epc2_s;
     let epc1_mpix_s = band_mpix / epc1_s;
 
-    // 3. Decode throughput: the full band as one full-rate EPC2 stream.
-    //    Full decode, and the LL-only partial decode interleaved with the
-    //    historical full-decode + downsample_box reference-ingest path so
-    //    the speedup ratio is load-immune.
+    // 3. Decode throughput: the full band as one full-rate stream per
+    //    format, decoded through the zero-allocation `decode_into` entry
+    //    point (reused scratch arena and output raster — steady state, no
+    //    per-rep allocation). EPC2 and EPC1 full decodes, plus the LL-only
+    //    partial decode, are interleaved with the historical full-decode +
+    //    downsample_box reference-ingest path so every ratio is
+    //    load-immune.
     let full_enc = earthplus_codec::encode(&band_raster, &epc2).expect("full-band encode");
+    let full_enc1 = earthplus_codec::encode(&band_raster, &epc1).expect("full-band EPC1 encode");
     let mut dscratch = DecodeScratch::new();
+    let mut dec_out = Raster::new(0, 0);
     // Warm every path and prove correctness before timing.
     let ll = decode_ll_only(&full_enc, &mut dscratch).expect("LL-only decode");
     assert_eq!(
@@ -265,33 +325,88 @@ fn main() {
         "LL-only geometry drifted"
     );
     let ds_factor = 1usize << full_enc.levels();
-    let warm_full = decode_with_scratch(&full_enc, &mut dscratch).expect("full decode");
-    let _ = downsample_box(&warm_full, ds_factor).expect("downsample");
-    drop(warm_full);
+    decode_into(&full_enc, 0, &mut dscratch, &mut dec_out).expect("full decode");
+    let _ = downsample_box(&dec_out, ds_factor).expect("downsample");
+    decode_into(&full_enc1, 0, &mut dscratch, &mut dec_out).expect("full EPC1 decode");
     let decode_grow_before = dscratch.grow_events();
-    let (mut dec_full_times, mut dec_ll_times, mut ll_speedups) =
-        (Vec::new(), Vec::new(), Vec::new());
+    let (mut dec_full_times, mut dec_epc1_times, mut dec_ll_times, mut ll_speedups) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut dec_stages = StageSamples::default();
+    let mut dec_epc1_stages = StageSamples::default();
     for _ in 0..reps.max(8) {
+        let s0 = dscratch.stages();
         let t = Instant::now();
-        let dec = decode_with_scratch(&full_enc, &mut dscratch).expect("full decode");
+        decode_into(&full_enc, 0, &mut dscratch, &mut dec_out).expect("full decode");
         let full_s = t.elapsed().as_secs_f64();
+        dec_stages.push(stage_delta(s0, dscratch.stages()));
         let t = Instant::now();
-        let _ = downsample_box(&dec, ds_factor).expect("downsample");
+        let _ = downsample_box(&dec_out, ds_factor).expect("downsample");
         let ds_s = t.elapsed().as_secs_f64();
-        drop(dec);
+        let s0 = dscratch.stages();
+        let t = Instant::now();
+        decode_into(&full_enc1, 0, &mut dscratch, &mut dec_out).expect("full EPC1 decode");
+        let epc1_s = t.elapsed().as_secs_f64();
+        dec_epc1_stages.push(stage_delta(s0, dscratch.stages()));
         let t = Instant::now();
         let _ = decode_ll_only(&full_enc, &mut dscratch).expect("LL-only decode");
         let ll_s = t.elapsed().as_secs_f64();
         dec_full_times.push(full_s);
+        dec_epc1_times.push(epc1_s);
         dec_ll_times.push(ll_s);
         ll_speedups.push((full_s + ds_s) / ll_s);
     }
     let decode_steady_grow_events = dscratch.grow_events() - decode_grow_before;
     let dec_full_s = median(&mut dec_full_times);
+    let dec_epc1_s = median(&mut dec_epc1_times);
     let dec_ll_s = median(&mut dec_ll_times);
     let ll_speedup = median(&mut ll_speedups);
     let decode_full_mpix_s = band_mpix / dec_full_s;
+    let decode_epc1_mpix_s = band_mpix / dec_epc1_s;
     let decode_ll_mpix_s = band_mpix / dec_ll_s;
+
+    // 3b. Range-coder intrinsic rate: the coder is inlined into the
+    //     bitplane passes, so its wall-clock share cannot be separated
+    //     from pass traversal above — instead, measure its per-decision
+    //     cost alone: a synthetic significance-like biased bit stream
+    //     (~12% ones) through one adaptive context, no traversal around
+    //     it. The decode loop feeds every decision back into the next
+    //     (the real serial dependency chain).
+    let rc_decisions: usize = if quick { 1 << 16 } else { 1 << 20 };
+    let mut rc_bits = Vec::with_capacity(rc_decisions);
+    let mut rc_state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..rc_decisions {
+        rc_state ^= rc_state << 13;
+        rc_state ^= rc_state >> 7;
+        rc_state ^= rc_state << 17;
+        rc_bits.push(rc_state.is_multiple_of(8));
+    }
+    let (mut rc_enc_times, mut rc_dec_times) = (Vec::new(), Vec::new());
+    let mut rc_payload = Vec::new();
+    for _ in 0..reps.max(8) {
+        let mut model = BitModel::new();
+        let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut rc_payload));
+        let t = Instant::now();
+        for &bit in &rc_bits {
+            enc.encode(&mut model, bit);
+        }
+        rc_enc_times.push(t.elapsed().as_secs_f64());
+        rc_payload = enc.finish();
+        let mut model = BitModel::new();
+        let mut dec = RangeDecoder::new(&rc_payload);
+        let mut ones = 0usize;
+        let t = Instant::now();
+        for _ in 0..rc_decisions {
+            ones += dec.decode(&mut model) as usize;
+        }
+        rc_dec_times.push(t.elapsed().as_secs_f64());
+        assert_eq!(
+            ones,
+            rc_bits.iter().filter(|&&b| b).count(),
+            "range-coder microbench round-trip drifted"
+        );
+    }
+    let rc_enc_ns = median(&mut rc_enc_times) * 1e9 / rc_decisions as f64;
+    let rc_dec_ns = median(&mut rc_dec_times) * 1e9 / rc_decisions as f64;
 
     // 4. Telemetry overhead: the same full-band EPC2 encode and decode
     //    with a live registry recording every codec span, interleaved
@@ -459,9 +574,13 @@ fn main() {
     let ship_sync_s = median(&mut ship_sync_times);
     let ship_pipelined_s = median(&mut ship_pipelined_times);
 
+    let (enc_dwt_s, enc_bitplane_s, enc_quant_s, enc_other_s) = enc_stages.report(epc2_s);
+    let (dec_dwt_s, dec_bitplane_s, dec_quant_s, dec_other_s) = dec_stages.report(dec_full_s);
+    let (dec1_dwt_s, dec1_bitplane_s, dec1_quant_s, dec1_other_s) =
+        dec_epc1_stages.report(dec_epc1_s);
     let json = format!(
         r#"{{
-  "schema": 6,
+  "schema": 7,
   "scenario": "pipeline_runtime quick scene (seed 7, agriculture, {w}x{h}, {bands} bands)",
   "mode": "{mode}",
   "samples": {reps},
@@ -482,7 +601,13 @@ fn main() {
     "speedup_vs_reference": {speedup_vs_reference:.3},
     "speedup_vs_epc1": {speedup_vs_epc1:.3},
     "tiles": {tiles},
-    "budget_bytes_per_tile": {budget}
+    "budget_bytes_per_tile": {budget},
+    "stages": {{
+      "dwt_s": {enc_dwt_s:.6},
+      "bitplane_s": {enc_bitplane_s:.6},
+      "quantize_s": {enc_quant_s:.6},
+      "other_s": {enc_other_s:.6}
+    }}
   }},
   "encode_full_band_epc1": {{
     "format": "EPC1",
@@ -492,7 +617,29 @@ fn main() {
   "decode_full": {{
     "format": "EPC2",
     "seconds": {dec_full_s:.6},
-    "mpix_per_s": {decode_full_mpix_s:.3}
+    "mpix_per_s": {decode_full_mpix_s:.3},
+    "stages": {{
+      "bitplane_s": {dec_bitplane_s:.6},
+      "dequantize_s": {dec_quant_s:.6},
+      "inverse_dwt_s": {dec_dwt_s:.6},
+      "other_s": {dec_other_s:.6}
+    }}
+  }},
+  "decode_full_epc1": {{
+    "format": "EPC1",
+    "seconds": {dec_epc1_s:.6},
+    "mpix_per_s": {decode_epc1_mpix_s:.3},
+    "stages": {{
+      "bitplane_s": {dec1_bitplane_s:.6},
+      "dequantize_s": {dec1_quant_s:.6},
+      "inverse_dwt_s": {dec1_dwt_s:.6},
+      "other_s": {dec1_other_s:.6}
+    }}
+  }},
+  "range_coder": {{
+    "decisions": {rc_decisions},
+    "encode_ns_per_decision": {rc_enc_ns:.3},
+    "decode_ns_per_decision": {rc_dec_ns:.3}
   }},
   "decode_ll_only": {{
     "seconds": {dec_ll_s:.6},
@@ -613,6 +760,7 @@ fn main() {
         for (section, measured) in [
             ("encode_full_band", full_encode_mpix_s),
             ("decode_full", decode_full_mpix_s),
+            ("decode_full_epc1", decode_epc1_mpix_s),
         ] {
             let committed_rate = committed_mpix_per_s(&committed, section)
                 .unwrap_or_else(|| panic!("--check: no {section}.mpix_per_s in {path}"));

@@ -25,9 +25,6 @@ const LOOKAHEAD: usize = 5;
 /// Maximum magnitude bitplanes supported.
 pub const MAX_PLANES: u8 = 28;
 
-/// Mask of the magnitude bits carried in a packed traversal entry.
-const LOW_MAG_MASK: u32 = (1 << MAX_PLANES) - 1;
-
 /// Result of bitplane-encoding a coefficient block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedPlanes {
@@ -129,66 +126,65 @@ pub fn encode_planes(coefficients: &[i32], width: usize) -> EncodedPlanes {
 }
 
 /// Scratch-arena encoder: bit-identical to [`encode_planes`], but every
-/// intermediate buffer (context counts, traversal lists, range-coder
+/// intermediate buffer (significance word masks, context masks, range-coder
 /// output) lives in `scratch` and is reused across calls. The payload ends
 /// up in `scratch.payload` with per-pass offsets in `scratch.pass_offsets`;
 /// the number of magnitude bitplanes is returned.
 ///
-/// Instead of scanning all `n` coefficients twice per plane and branching
-/// on a significance flag, the coder maintains two ascending packed lists —
-/// not-yet-significant (significance pass order) and significant
-/// (refinement pass order) — so each coefficient is visited exactly once
-/// per plane, streaming its sign and magnitude inside the list entry.
-/// Neighbour contexts come from an incrementally maintained per-coefficient
-/// count (`ctx_of`), published only between passes, which reproduces the
-/// original dense traversal's context modelling and skip rules exactly.
+/// The passes run over 64-coefficient `u64` word state: a significance
+/// mask (one bit per coefficient), a per-plane magnitude-bit mask packed 64
+/// coefficients at a time, and neighbour-context masks derived for a whole
+/// word from the shifted significance masks of the row above
+/// ([`derive_context_masks`]). The next candidate is found with
+/// `trailing_zeros`, a word with no candidate is skipped with a single
+/// load, and the context modelling reproduces the per-coefficient probe in
+/// [`neighbor_context`] bit for bit — frozen during a pass, published
+/// between passes — so the stream is byte-identical to the list-driven
+/// coder this replaces (and to `reference`).
 ///
 /// # Panics
 ///
 /// Panics if `width` is zero or does not divide `coefficients.len()`.
 pub fn encode_planes_into(coefficients: &[i32], width: usize, scratch: &mut CodecScratch) -> u8 {
+    let planes = plane_count(coefficients, width);
+    let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.payload));
+    let mut ctx = Contexts::new();
+    scratch.pass_offsets.clear();
+    prepare_encode_masks(coefficients.len(), width, scratch);
+    encode_planes_passes(coefficients, width, planes, &mut enc, &mut ctx, scratch);
+    finish_payload(enc, scratch);
+    planes
+}
+
+/// Number of magnitude bitplanes needed for `coefficients` (also validates
+/// the block shape).
+fn plane_count(coefficients: &[i32], width: usize) -> u8 {
     assert!(width > 0, "width must be positive");
     assert_eq!(
         coefficients.len() % width,
         0,
         "coefficient count must be a multiple of width"
     );
-    let n = coefficients.len();
     let max_mag = coefficients
         .iter()
         .map(|&c| c.unsigned_abs())
         .max()
         .unwrap_or(0);
-    let planes = (32 - max_mag.leading_zeros()).min(MAX_PLANES as u32) as u8;
+    (32 - max_mag.leading_zeros()).min(MAX_PLANES as u32) as u8
+}
 
-    let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.payload));
-    let mut ctx = Contexts::new();
-    scratch.ctx_of.clear();
-    scratch.ctx_of.resize(n, 0);
-    scratch.pass_offsets.clear();
-    // The traversal lists are fixed-length buffers with explicit logical
-    // lengths: appends in the per-coefficient loops are plain indexed
-    // stores (no capacity checks, no potential reallocation call in the
-    // hot loop), and all five swap roles across planes, so sizing them
-    // identically keeps steady-state reuse allocation-free.
-    prepare(&mut scratch.insignificant, n);
-    prepare(&mut scratch.next_insig, n);
-    prepare(&mut scratch.significant, n);
-    prepare(&mut scratch.merge, n);
-    prepare(&mut scratch.newly, n);
-    encode_planes_passes(coefficients, width, planes, &mut enc, &mut ctx, scratch);
-
+/// Finalizes the range coder into `scratch.payload`, padding to the final
+/// recorded offset: offsets include the decoder lookahead margin, so a
+/// full (untruncated) stream must physically contain every offset for the
+/// availability check to admit all passes.
+fn finish_payload(enc: RangeEncoder, scratch: &mut CodecScratch) {
     let mut payload = enc.finish();
-    // Pad to the final recorded offset: offsets include the decoder
-    // lookahead margin, so a full (untruncated) stream must physically
-    // contain every offset for the availability check to admit all passes.
     if let Some(&last) = scratch.pass_offsets.last() {
         if payload.len() < last as usize {
             payload.resize(last as usize, 0);
         }
     }
     scratch.payload = payload;
-    planes
 }
 
 fn prepare<T: Copy + Default>(buf: &mut Vec<T>, n: usize) {
@@ -197,11 +193,167 @@ fn prepare<T: Copy + Default>(buf: &mut Vec<T>, n: usize) {
     }
 }
 
-/// Runs the per-plane significance/refinement passes over packed entries
-/// (`index << 32 | sign << 31 | low 28 magnitude bits`): the plane masks
-/// never reach the sign bit (`MAX_PLANES = 28 < 31`), magnitude bits at
-/// or above `MAX_PLANES` are unencodable either way, and plain `u64`
-/// comparison orders entries by index.
+/// Number of 64-bit mask words covering `n` coefficients.
+#[inline]
+fn word_count(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// Mask of the bits of the last, possibly partial, word that map to real
+/// coefficients.
+#[inline]
+fn last_word_mask(n: usize) -> u64 {
+    match n % 64 {
+        0 => !0,
+        r => (1u64 << r) - 1,
+    }
+}
+
+/// Valid-coefficient mask of word `i` (all ones except the tail word).
+#[inline(always)]
+fn valid_mask(i: usize, wc: usize, last: u64) -> u64 {
+    if i + 1 == wc {
+        last
+    } else {
+        !0
+    }
+}
+
+fn zero_words(buf: &mut Vec<u64>, wc: usize) {
+    buf.clear();
+    buf.resize(wc, 0);
+}
+
+/// Sizes and clears the word-mask arenas for an `n`-coefficient block of
+/// row length `width` (encoder side). `snap`/`bits` are fully overwritten
+/// every plane, so they are only sized, not cleared.
+fn prepare_encode_masks(n: usize, width: usize, scratch: &mut CodecScratch) {
+    let wc = word_count(n);
+    zero_words(&mut scratch.sig_words, wc);
+    zero_words(&mut scratch.any_words, wc);
+    zero_words(&mut scratch.two_words, wc);
+    prepare(&mut scratch.snap_words, wc);
+    prepare(&mut scratch.bits_words, wc);
+    build_row_masks(
+        n,
+        width,
+        &mut scratch.rowstart_words,
+        &mut scratch.rowend_words,
+    );
+}
+
+/// Sets the row-boundary masks: `rowstart` has a bit at every position in
+/// column 0 (no left neighbour), `rowend` at every position in the last
+/// column (no up-right neighbour).
+fn build_row_masks(n: usize, width: usize, rowstart: &mut Vec<u64>, rowend: &mut Vec<u64>) {
+    let wc = word_count(n);
+    zero_words(rowstart, wc);
+    zero_words(rowend, wc);
+    if width == 1 {
+        rowstart[..wc].fill(!0);
+        rowend[..wc].fill(!0);
+        return;
+    }
+    let mut p = 0usize;
+    while p < n {
+        rowstart[p / 64] |= 1u64 << (p % 64);
+        p += width;
+    }
+    let mut p = width - 1;
+    while p < n {
+        rowend[p / 64] |= 1u64 << (p % 64);
+        p += width;
+    }
+}
+
+/// Word `i` of the linear bit mask `m` shifted towards higher positions by
+/// `64 * q + r` bits (`r < 64`); bits shifted in from before the start of
+/// the mask read as zero — exactly the "no row above the first row"
+/// boundary condition.
+#[inline(always)]
+fn shifted_word(m: &[u64], i: usize, q: usize, r: u32) -> u64 {
+    let lo = if i >= q { m[i - q] } else { 0 };
+    if r == 0 {
+        lo
+    } else {
+        let hi = if i > q { m[i - q - 1] } else { 0 };
+        (lo << r) | (hi >> (64 - r))
+    }
+}
+
+/// Derives whole-word neighbour-context masks from a frozen significance
+/// mask: bit `j` of `any[i]` (resp. `two[i]`) says coefficient `64*i + j`
+/// has at least one (resp. at least two) significant causal neighbours —
+/// left, up, up-right — matching [`neighbor_context`] bit for bit. The
+/// three neighbour masks are the significance mask shifted by 1, `width`,
+/// and `width - 1` positions, with the row-boundary masks clearing shifts
+/// that would cross a row edge.
+fn derive_context_masks(
+    sig: &[u64],
+    width: usize,
+    rowstart: &[u64],
+    rowend: &[u64],
+    any: &mut [u64],
+    two: &mut [u64],
+) {
+    let (uq, ur) = (width / 64, (width % 64) as u32);
+    let (rq, rr) = ((width - 1) / 64, ((width - 1) % 64) as u32);
+    let mut prev = 0u64;
+    for i in 0..sig.len() {
+        let s = sig[i];
+        let l = ((s << 1) | (prev >> 63)) & !rowstart[i];
+        prev = s;
+        let u = shifted_word(sig, i, uq, ur);
+        let r = shifted_word(sig, i, rq, rr) & !rowend[i];
+        any[i] = l | u | r;
+        two[i] = (l & u) | (l & r) | (u & r);
+    }
+}
+
+/// Packs this plane's magnitude bit of 64 consecutive coefficients per
+/// word: bit `j` of `bits[i]` = `|coefficients[64*i + j]| & bit_mask != 0`.
+fn pack_plane_bits(coefficients: &[i32], bit_mask: u32, bits: &mut [u64]) {
+    for (slot, chunk) in bits.iter_mut().zip(coefficients.chunks(64)) {
+        let mut m = 0u64;
+        for (j, &c) in chunk.iter().enumerate() {
+            m |= (((c.unsigned_abs() & bit_mask) != 0) as u64) << j;
+        }
+        *slot = m;
+    }
+}
+
+/// The lowest `k` set bits of `m` (`k` not exceeding the popcount).
+#[inline]
+fn keep_lowest(m: u64, k: usize) -> u64 {
+    let mut rest = m;
+    for _ in 0..k {
+        rest &= rest - 1;
+    }
+    m & !rest
+}
+
+/// Bit position of the `k`-th (0-based) set bit of `m`.
+#[inline]
+fn nth_set_bit(m: u64, k: usize) -> u32 {
+    let mut rest = m;
+    for _ in 0..k {
+        rest &= rest - 1;
+    }
+    rest.trailing_zeros()
+}
+
+/// Mask of the bit positions strictly above `j`.
+#[inline(always)]
+fn above_bit(j: u32) -> u64 {
+    (!0u64).checked_shl(j + 1).unwrap_or(0)
+}
+
+/// Runs the per-plane significance/refinement passes over word masks.
+/// Each plane: pack the plane's magnitude bits, snapshot the significance
+/// mask (contexts and the refinement set are frozen during a pass), then
+/// walk candidate words — `magnitude & bit_mask` is folded 64 coefficients
+/// at a time into `becomes_w`, and the context is two mask-bit extractions
+/// instead of a neighbour probe.
 fn encode_planes_passes(
     coefficients: &[i32],
     width: usize,
@@ -211,135 +363,216 @@ fn encode_planes_passes(
     scratch: &mut CodecScratch,
 ) {
     let CodecScratch {
-        ctx_of,
-        insignificant,
-        next_insig,
-        significant,
-        merge,
-        newly,
+        sig_words,
+        snap_words,
+        any_words,
+        two_words,
+        bits_words,
+        rowstart_words,
+        rowend_words,
         pass_offsets,
         ..
     } = &mut *scratch;
-    let ctx_of = &mut ctx_of[..];
     let n = coefficients.len();
-    for (k, (slot, &c)) in insignificant[..n].iter_mut().zip(coefficients).enumerate() {
-        let low = (c.unsigned_abs() & LOW_MAG_MASK) | (((c < 0) as u32) << 31);
-        *slot = ((k as u64) << 32) | low as u64;
-    }
-    let mut insig_len = n;
-    let mut sig_len = 0usize;
+    let wc = word_count(n);
+    let last = last_word_mask(n);
+    let sig = &mut sig_words[..wc];
+    let snap = &mut snap_words[..wc];
+    let any = &mut any_words[..wc];
+    let two = &mut two_words[..wc];
+    let bits = &mut bits_words[..wc];
+    let rowstart = &rowstart_words[..wc];
+    let rowend = &rowend_words[..wc];
+    let mut have_sig = false;
 
     for plane in (0..planes).rev() {
         let bit_mask = 1u32 << plane;
-        // Pass 1: significance, over not-yet-significant coefficients in
-        // raster order. Contexts read the counts as of the end of the
-        // previous plane (`ctx_of` is only updated after the pass).
-        // Coefficients that stay insignificant stream straight into the
-        // next plane's list, so no separate compaction sweep is needed.
-        let mut newly_len = 0usize;
-        let mut next_len = 0usize;
-        if sig_len == 0 {
-            // No coefficient is significant yet, so every neighbour
-            // context is 0 — skip the context load entirely (this covers
-            // every plane above the first significant magnitude).
-            for &e in &insignificant[..insig_len] {
-                let becomes = e as u32 & bit_mask != 0;
-                enc.encode(&mut ctx.significance[0], becomes);
-                if becomes {
-                    enc.encode_raw((e as u32 as i32) < 0);
-                    newly[newly_len] = e;
-                    newly_len += 1;
-                } else {
-                    next_insig[next_len] = e;
-                    next_len += 1;
-                }
-            }
-        } else {
-            // `ctx_of[i]` already holds the number of significant causal
-            // neighbours (maintained below as coefficients become
-            // significant), so the context is a single byte load — no
-            // neighbour probing, no row bookkeeping, no branches on
-            // noise-like significance data.
-            for &e in &insignificant[..insig_len] {
-                let c = usize::from(ctx_of[(e >> 32) as usize]);
-                let becomes = e as u32 & bit_mask != 0;
-                enc.encode(&mut ctx.significance[c], becomes);
-                if becomes {
-                    enc.encode_raw((e as u32 as i32) < 0);
-                    newly[newly_len] = e;
-                    newly_len += 1;
-                } else {
-                    next_insig[next_len] = e;
-                    next_len += 1;
-                }
-            }
+        pack_plane_bits(coefficients, bit_mask, bits);
+        snap.copy_from_slice(sig);
+        // Until the first coefficient becomes significant every context is
+        // 0 and `any`/`two` stay all-clear from initialization, so the
+        // derivation is skipped for every plane above the first
+        // significant magnitude.
+        if have_sig {
+            derive_context_masks(snap, width, rowstart, rowend, any, two);
         }
-        std::mem::swap(insignificant, next_insig);
-        insig_len = next_len;
-        // Publish this plane's significance: each newly-significant
-        // coefficient bumps the context of the (at most three)
-        // coefficients whose causal neighbourhood contains it — the exact
-        // inverse of the left/up/up-right probe in [`neighbor_context`].
-        for &e in &newly[..newly_len] {
-            let i = (e >> 32) as usize;
-            let x = i % width;
-            // Counts saturate at 2: the model array has three contexts
-            // (0, 1, 2+), so storing the clamped value keeps the hot
-            // loop's context a plain byte load.
-            if x + 1 < width {
-                ctx_of[i + 1] = (ctx_of[i + 1] + 1).min(2);
+        // Pass 1: significance over not-yet-significant coefficients in
+        // raster order, contexts frozen from the snapshot.
+        for i in 0..wc {
+            let cand = !sig[i] & valid_mask(i, wc, last);
+            if cand == 0 {
+                continue;
             }
-            if i + width < n {
-                ctx_of[i + width] = (ctx_of[i + width] + 1).min(2);
+            let becomes_w = cand & bits[i];
+            let (a, t) = (any[i], two[i]);
+            let mut b = cand;
+            while b != 0 {
+                let j = b.trailing_zeros();
+                let c = (((a >> j) & 1) + ((t >> j) & 1)) as usize;
+                let becomes = (becomes_w >> j) & 1 != 0;
+                enc.encode_biased(&mut ctx.significance[c], becomes);
+                if becomes {
+                    enc.encode_raw(coefficients[i * 64 + j as usize] < 0);
+                }
+                b &= b - 1;
             }
-            if x > 0 && i + width - 1 < n {
-                ctx_of[i + width - 1] = (ctx_of[i + width - 1] + 1).min(2);
+            if becomes_w != 0 {
+                sig[i] |= becomes_w;
+                have_sig = true;
             }
         }
         pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
-        // Pass 2: refinement. The list holds exactly the coefficients that
-        // were significant *before* this plane (this plane's arrivals are
-        // merged below), so the original "skip those that became
-        // significant in THIS plane" rule needs no per-coefficient check,
-        // and the packed magnitudes stream sequentially.
-        for &e in &significant[..sig_len] {
-            enc.encode(&mut ctx.refinement, e as u32 & bit_mask != 0);
+        // Pass 2: refinement over the snapshot — exactly the coefficients
+        // significant *before* this plane, so the original "skip those
+        // that became significant in THIS plane" rule needs no
+        // per-coefficient check.
+        for i in 0..wc {
+            let bw = bits[i];
+            let mut s = snap[i];
+            while s != 0 {
+                let j = s.trailing_zeros();
+                enc.encode(&mut ctx.refinement, (bw >> j) & 1 != 0);
+                s &= s - 1;
+            }
         }
         pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
-        sig_len = merge_ascending(significant, sig_len, &newly[..newly_len], merge);
     }
 }
 
-/// Merges the ascending packed run `add` into the first `dst_len` entries
-/// of `dst` (also ascending) via the equally-sized buffer `tmp`, swapping
-/// buffers when a true merge is needed; returns the merged length. The
-/// index lives in the entries' high bits, so packed comparison orders by
-/// index.
-fn merge_ascending(dst: &mut Vec<u64>, dst_len: usize, add: &[u64], tmp: &mut Vec<u64>) -> usize {
-    if add.is_empty() {
-        return dst_len;
-    }
-    if dst_len == 0 || dst[dst_len - 1] < add[0] {
-        dst[dst_len..dst_len + add.len()].copy_from_slice(add);
-        return dst_len + add.len();
-    }
-    let (mut a, mut b, mut k) = (0usize, 0usize, 0usize);
-    while a < dst_len && b < add.len() {
-        if dst[a] < add[b] {
-            tmp[k] = dst[a];
-            a += 1;
-        } else {
-            tmp[k] = add[b];
-            b += 1;
+/// One gathered EPC2 zero-run chunk: up to [`RUN_MAX`] consecutive
+/// context-0 candidates of the significance pass, recorded as per-word bit
+/// segments so hit testing and position lookup stay word operations.
+struct RunScan {
+    /// Entries in the chunk (1..=`RUN_MAX`).
+    len: usize,
+    /// Segments actually used.
+    nseg: usize,
+    /// Word index of each segment.
+    seg_word: [u32; RUN_MAX],
+    /// The chunk's candidate bits within that word.
+    seg_bits: [u64; RUN_MAX],
+    /// Word where the scan stopped (the word count when it ran off the
+    /// end of the block).
+    end_word: usize,
+    /// Candidates of `end_word` remaining after the chunk (the stopper
+    /// and everything above it, or bits past the `RUN_MAX` cap).
+    end_cur: u64,
+}
+
+impl RunScan {
+    fn new() -> Self {
+        RunScan {
+            len: 0,
+            nseg: 0,
+            seg_word: [0; RUN_MAX],
+            seg_bits: [0; RUN_MAX],
+            end_word: 0,
+            end_cur: 0,
         }
-        k += 1;
     }
-    tmp[k..k + dst_len - a].copy_from_slice(&dst[a..dst_len]);
-    k += dst_len - a;
-    tmp[k..k + add.len() - b].copy_from_slice(&add[b..]);
-    k += add.len() - b;
-    std::mem::swap(dst, tmp);
-    k
+}
+
+/// Scans the maximal context-0 chunk starting at the lowest set bit of
+/// `cur` (a context-0 candidate in word `start`): candidates extend the
+/// chunk until the first candidate with a non-zero context, the
+/// [`RUN_MAX`] cap, or the end of the block — whole candidate-free words
+/// cost one load, and an all-candidate context-0 word is one 64-entry
+/// segment. Only state frozen at the start of the pass is read, so the
+/// encoder and the decoder gather identical chunks.
+///
+/// `scan` is caller-owned and reused across calls (only the scalar fields
+/// are reset; the segment arrays are write-before-read up to `nseg`) so
+/// the hot path never re-zeroes the 64-entry segment buffers.
+#[inline]
+fn gather_run(
+    scan: &mut RunScan,
+    sig: &[u64],
+    any: &[u64],
+    wc: usize,
+    last: u64,
+    start: usize,
+    cur: u64,
+) {
+    scan.len = 0;
+    scan.nseg = 0;
+    scan.end_word = wc;
+    scan.end_cur = 0;
+    let (mut gi, mut gcur) = (start, cur);
+    loop {
+        let r0 = gcur & !any[gi];
+        let stop = gcur & any[gi];
+        let mut run_bits = if stop != 0 {
+            r0 & ((1u64 << stop.trailing_zeros()) - 1)
+        } else {
+            r0
+        };
+        let avail = run_bits.count_ones() as usize;
+        if scan.len + avail >= RUN_MAX {
+            let need = RUN_MAX - scan.len;
+            if need < avail {
+                run_bits = keep_lowest(run_bits, need);
+            }
+            scan.seg_word[scan.nseg] = gi as u32;
+            scan.seg_bits[scan.nseg] = run_bits;
+            scan.nseg += 1;
+            scan.len = RUN_MAX;
+            scan.end_word = gi;
+            scan.end_cur = gcur & !run_bits;
+            return;
+        }
+        if run_bits != 0 {
+            scan.seg_word[scan.nseg] = gi as u32;
+            scan.seg_bits[scan.nseg] = run_bits;
+            scan.nseg += 1;
+            scan.len += avail;
+        }
+        if stop != 0 {
+            scan.end_word = gi;
+            scan.end_cur = gcur & !run_bits;
+            return;
+        }
+        gi += 1;
+        if gi >= wc {
+            return;
+        }
+        gcur = !sig[gi] & valid_mask(gi, wc, last);
+    }
+}
+
+/// Ordinal position, word, and bit of the first chunk entry whose plane
+/// bit is set, if any (encoder side: one word AND per segment).
+#[inline]
+fn first_run_hit(scan: &RunScan, bits: &[u64]) -> Option<(usize, usize, u32)> {
+    let mut before = 0usize;
+    for s in 0..scan.nseg {
+        let seg = scan.seg_bits[s];
+        let h = seg & bits[scan.seg_word[s] as usize];
+        if h != 0 {
+            let j = h.trailing_zeros();
+            let below = (seg & ((1u64 << j) - 1)).count_ones() as usize;
+            return Some((before + below, scan.seg_word[s] as usize, j));
+        }
+        before += seg.count_ones() as usize;
+    }
+    None
+}
+
+/// Word and bit of the `p`-th (0-based) chunk entry (decoder side, after
+/// reading a hit position).
+#[inline]
+fn run_entry_at(scan: &RunScan, p: usize) -> (usize, u32) {
+    let (mut s, mut acc) = (0usize, 0usize);
+    loop {
+        let cnt = scan.seg_bits[s].count_ones() as usize;
+        if acc + cnt > p {
+            return (
+                scan.seg_word[s] as usize,
+                nth_set_bit(scan.seg_bits[s], p - acc),
+            );
+        }
+        acc += cnt;
+        s += 1;
+    }
 }
 
 /// EPC2 encoder: the v1 list-driven coder plus the zero-run significance
@@ -352,10 +585,26 @@ fn merge_ascending(dst: &mut Vec<u64>, dst_len: usize, add: &[u64], tmp: &mut Ve
 /// chunk resumes after it.
 ///
 /// Chunk boundaries depend only on state frozen at the start of the pass
-/// (the insignificant list and the neighbour counts, which are published
-/// between passes), so the decoder reproduces them exactly.
+/// (the context masks derived from the significance snapshot, and the
+/// candidates at or after the cursor, which the pass never revisits), so
+/// the decoder reproduces them exactly.
 ///
-/// Output layout matches [`encode_planes_into`]: payload in
+/// Allocating wrapper over [`encode_planes_v2_into`].
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `coefficients.len()`.
+pub fn encode_planes_v2(coefficients: &[i32], width: usize) -> EncodedPlanes {
+    let mut scratch = CodecScratch::new();
+    let planes = encode_planes_v2_into(coefficients, width, &mut scratch);
+    EncodedPlanes {
+        payload: std::mem::take(&mut scratch.payload),
+        planes,
+        pass_offsets: std::mem::take(&mut scratch.pass_offsets),
+    }
+}
+
+/// Scratch-arena form of [`encode_planes_v2`]: payload in
 /// `scratch.payload`, per-pass offsets (lookahead included) in
 /// `scratch.pass_offsets`, planes returned.
 ///
@@ -363,44 +612,20 @@ fn merge_ascending(dst: &mut Vec<u64>, dst_len: usize, add: &[u64], tmp: &mut Ve
 ///
 /// Panics if `width` is zero or does not divide `coefficients.len()`.
 pub fn encode_planes_v2_into(coefficients: &[i32], width: usize, scratch: &mut CodecScratch) -> u8 {
-    assert!(width > 0, "width must be positive");
-    assert_eq!(
-        coefficients.len() % width,
-        0,
-        "coefficient count must be a multiple of width"
-    );
-    let n = coefficients.len();
-    let max_mag = coefficients
-        .iter()
-        .map(|&c| c.unsigned_abs())
-        .max()
-        .unwrap_or(0);
-    let planes = (32 - max_mag.leading_zeros()).min(MAX_PLANES as u32) as u8;
-
+    let planes = plane_count(coefficients, width);
     let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.payload));
     let mut ctx = Contexts::new();
-    scratch.ctx_of.clear();
-    scratch.ctx_of.resize(n, 0);
     scratch.pass_offsets.clear();
-    prepare(&mut scratch.insignificant, n);
-    prepare(&mut scratch.next_insig, n);
-    prepare(&mut scratch.significant, n);
-    prepare(&mut scratch.merge, n);
-    prepare(&mut scratch.newly, n);
+    prepare_encode_masks(coefficients.len(), width, scratch);
     encode_planes_passes_v2(coefficients, width, planes, &mut enc, &mut ctx, scratch);
-
-    let mut payload = enc.finish();
-    if let Some(&last) = scratch.pass_offsets.last() {
-        if payload.len() < last as usize {
-            payload.resize(last as usize, 0);
-        }
-    }
-    scratch.payload = payload;
+    finish_payload(enc, scratch);
     planes
 }
 
 /// The per-plane passes of the EPC2 coder (see [`encode_planes_v2_into`]).
-/// Identical to the v1 passes except for the zero-run significance mode.
+/// Identical to the v1 passes except for the zero-run significance mode:
+/// the cursor walks candidate words, and a context-0 candidate opens a
+/// [`gather_run`] chunk whose hit test is one `u64` AND per segment.
 fn encode_planes_passes_v2(
     coefficients: &[i32],
     width: usize,
@@ -410,104 +635,100 @@ fn encode_planes_passes_v2(
     scratch: &mut CodecScratch,
 ) {
     let CodecScratch {
-        ctx_of,
-        insignificant,
-        next_insig,
-        significant,
-        merge,
-        newly,
+        sig_words,
+        snap_words,
+        any_words,
+        two_words,
+        bits_words,
+        rowstart_words,
+        rowend_words,
         pass_offsets,
         ..
     } = &mut *scratch;
-    let ctx_of = &mut ctx_of[..];
     let n = coefficients.len();
-    for (k, (slot, &c)) in insignificant[..n].iter_mut().zip(coefficients).enumerate() {
-        let low = (c.unsigned_abs() & LOW_MAG_MASK) | (((c < 0) as u32) << 31);
-        *slot = ((k as u64) << 32) | low as u64;
-    }
-    let mut insig_len = n;
-    let mut sig_len = 0usize;
+    let wc = word_count(n);
+    let last = last_word_mask(n);
+    let sig = &mut sig_words[..wc];
+    let snap = &mut snap_words[..wc];
+    let any = &mut any_words[..wc];
+    let two = &mut two_words[..wc];
+    let bits = &mut bits_words[..wc];
+    let rowstart = &rowstart_words[..wc];
+    let rowend = &rowend_words[..wc];
+    let mut have_sig = false;
+    let mut scan = RunScan::new();
 
     for plane in (0..planes).rev() {
         let bit_mask = 1u32 << plane;
+        pack_plane_bits(coefficients, bit_mask, bits);
+        snap.copy_from_slice(sig);
+        if have_sig {
+            derive_context_masks(snap, width, rowstart, rowend, any, two);
+        }
         // Pass 1: significance with zero-run chunking over context-0
-        // stretches. Contexts are frozen for the duration of the pass
-        // (`ctx_of` is published only between passes), so the chunk
-        // boundaries are a pure function of pass-start state.
-        let mut newly_len = 0usize;
-        let mut next_len = 0usize;
-        let list = &insignificant[..insig_len];
-        let mut k = 0usize;
-        while k < insig_len {
-            let e = list[k];
-            let c = usize::from(ctx_of[(e >> 32) as usize]);
-            if c != 0 {
-                let becomes = e as u32 & bit_mask != 0;
-                enc.encode(&mut ctx.significance[c], becomes);
-                if becomes {
-                    enc.encode_raw((e as u32 as i32) < 0);
-                    newly[newly_len] = e;
-                    newly_len += 1;
-                } else {
-                    next_insig[next_len] = e;
-                    next_len += 1;
+        // stretches. Contexts are frozen for the duration of the pass, so
+        // the chunk boundaries are a pure function of pass-start state.
+        let mut i = 0usize;
+        let mut cur = if wc > 0 {
+            !sig[0] & valid_mask(0, wc, last)
+        } else {
+            0
+        };
+        'pass: loop {
+            while cur == 0 {
+                i += 1;
+                if i >= wc {
+                    break 'pass;
                 }
-                k += 1;
+                cur = !sig[i] & valid_mask(i, wc, last);
+            }
+            let j = cur.trailing_zeros();
+            if (any[i] >> j) & 1 != 0 {
+                let c = 1 + ((two[i] >> j) & 1) as usize;
+                let becomes = (bits[i] >> j) & 1 != 0;
+                enc.encode_biased(&mut ctx.significance[c], becomes);
+                if becomes {
+                    enc.encode_raw(coefficients[i * 64 + j as usize] < 0);
+                    sig[i] |= 1u64 << j;
+                }
+                cur &= cur - 1;
                 continue;
             }
-            // Context-0 chunk: up to RUN_MAX consecutive context-0 entries.
-            let mut len = 1usize;
-            while len < RUN_MAX
-                && k + len < insig_len
-                && ctx_of[(list[k + len] >> 32) as usize] == 0
-            {
-                len += 1;
-            }
-            let chunk = &list[k..k + len];
-            let first_hit = chunk.iter().position(|&e| e as u32 & bit_mask != 0);
-            enc.encode(&mut ctx.run, first_hit.is_none());
-            match first_hit {
+            gather_run(&mut scan, sig, any, wc, last, i, cur);
+            let hit = first_run_hit(&scan, bits);
+            enc.encode_biased(&mut ctx.run, hit.is_none());
+            match hit {
                 None => {
-                    next_insig[next_len..next_len + len].copy_from_slice(chunk);
-                    next_len += len;
-                    k += len;
+                    i = scan.end_word;
+                    cur = scan.end_cur;
                 }
-                Some(p) => {
-                    for b in (0..run_position_bits(len)).rev() {
+                Some((p, hw, hj)) => {
+                    for b in (0..run_position_bits(scan.len)).rev() {
                         enc.encode_raw((p >> b) & 1 == 1);
                     }
-                    next_insig[next_len..next_len + p].copy_from_slice(&chunk[..p]);
-                    next_len += p;
-                    let hit = chunk[p];
-                    enc.encode_raw((hit as u32 as i32) < 0);
-                    newly[newly_len] = hit;
-                    newly_len += 1;
-                    k += p + 1;
+                    enc.encode_raw(coefficients[hw * 64 + hj as usize] < 0);
+                    sig[hw] |= 1u64 << hj;
+                    have_sig = true;
+                    // Resume just above the hit: the run entries below it
+                    // in this word stayed insignificant and are behind the
+                    // cursor, so they must not re-enter the candidate set.
+                    i = hw;
+                    cur = !sig[hw] & valid_mask(hw, wc, last) & above_bit(hj);
                 }
-            }
-        }
-        std::mem::swap(insignificant, next_insig);
-        insig_len = next_len;
-        for &e in &newly[..newly_len] {
-            let i = (e >> 32) as usize;
-            let x = i % width;
-            if x + 1 < width {
-                ctx_of[i + 1] = (ctx_of[i + 1] + 1).min(2);
-            }
-            if i + width < n {
-                ctx_of[i + width] = (ctx_of[i + width] + 1).min(2);
-            }
-            if x > 0 && i + width - 1 < n {
-                ctx_of[i + width - 1] = (ctx_of[i + width - 1] + 1).min(2);
             }
         }
         pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
         // Pass 2: refinement, unchanged from v1.
-        for &e in &significant[..sig_len] {
-            enc.encode(&mut ctx.refinement, e as u32 & bit_mask != 0);
+        for i in 0..wc {
+            let bw = bits[i];
+            let mut s = snap[i];
+            while s != 0 {
+                let j = s.trailing_zeros();
+                enc.encode(&mut ctx.refinement, (bw >> j) & 1 != 0);
+                s &= s - 1;
+            }
         }
         pass_offsets.push((enc.len() + LOOKAHEAD) as u32);
-        sig_len = merge_ascending(significant, sig_len, &newly[..newly_len], merge);
     }
 }
 
@@ -531,12 +752,12 @@ pub fn decode_planes_v2(
 }
 
 /// Scratch-arena EPC2 decoder: identical output to [`decode_planes_v2`],
-/// but every intermediate buffer (context counts, traversal lists, the
-/// magnitude/sign planes) lives in `scratch` and is reused across calls;
-/// the decoded coefficients land in `scratch.quantized`.
+/// but every intermediate buffer (significance/sign word masks, context
+/// masks, the magnitude plane) lives in `scratch` and is reused across
+/// calls; the decoded coefficients land in `scratch.quantized`.
 ///
-/// Mirrors the encoder's list-driven traversal — including the zero-run
-/// chunking, whose boundaries are recomputed from the decoder's own frozen
+/// Mirrors the encoder's word-mask traversal — including the zero-run
+/// chunking, whose boundaries are regathered from the decoder's own frozen
 /// per-pass state — so the context sequence matches decision for decision.
 /// A `planes` value beyond [`MAX_PLANES`] (only corrupt headers produce
 /// one; the image-level decoder rejects them first) is clamped rather than
@@ -545,8 +766,32 @@ pub fn decode_planes_v2(
 /// # Panics
 ///
 /// Panics if `width` is zero, does not divide `count`, or `count` exceeds
-/// `u32::MAX` (the traversal lists hold `u32` indices).
+/// `u32::MAX` (indices are range-checked against the `u32` domain the
+/// format was designed for).
 pub fn decode_planes_v2_with(
+    payload: &[u8],
+    count: usize,
+    width: usize,
+    planes: u8,
+    pass_offsets: &[u32],
+    scratch: &mut DecodeScratch,
+) {
+    decode_planes_v2_core(payload, count, width, planes, pass_offsets, scratch);
+    let DecodeScratch {
+        mag,
+        neg_words,
+        quantized,
+        ..
+    } = &mut *scratch;
+    emit_quantized(&mag[..count], neg_words, quantized);
+}
+
+/// [`decode_planes_v2_with`] without the signed-coefficient emission:
+/// leaves the decoded magnitudes in `scratch.mag` and the sign bits in
+/// `scratch.neg_words`. The image-level decoder dequantizes straight from
+/// that representation, skipping a full write+read pass over an
+/// intermediate `i32` plane.
+pub(crate) fn decode_planes_v2_core(
     payload: &[u8],
     count: usize,
     width: usize,
@@ -556,8 +801,6 @@ pub fn decode_planes_v2_with(
 ) {
     assert!(width > 0, "width must be positive");
     assert_eq!(count % width, 0, "count must be a multiple of width");
-    // The traversal lists hold u32 indices (the image-level entry points
-    // bound pixel counts far below this already).
     assert!(count <= u32::MAX as usize, "count exceeds the index domain");
     let planes = planes.min(MAX_PLANES);
     let available: usize = pass_offsets
@@ -565,137 +808,128 @@ pub fn decode_planes_v2_with(
         .take_while(|&&o| o as usize <= payload.len())
         .count();
     let mut dec = RangeDecoder::new(payload);
-    let mut ctx = Contexts::new();
+    // Destructured into locals so the hot models live in registers across
+    // the pass loops instead of round-tripping through memory per decision.
+    let Contexts {
+        mut significance,
+        mut refinement,
+        mut run,
+    } = Contexts::new();
     let DecodeScratch {
-        ctx_of,
-        neg,
         mag,
-        insig,
-        next_insig,
-        sig_list,
-        merged,
-        newly,
-        quantized,
+        sig_words,
+        snap_words,
+        any_words,
+        two_words,
+        neg_words,
+        rowstart_words,
+        rowend_words,
         ..
     } = &mut *scratch;
-    ctx_of.clear();
-    ctx_of.resize(count, 0);
-    neg.clear();
-    neg.resize(count, false);
     mag.clear();
     mag.resize(count, 0);
-    prepare(insig, count);
-    for (k, slot) in insig[..count].iter_mut().enumerate() {
-        *slot = k as u32;
-    }
-    prepare(next_insig, count);
-    prepare(sig_list, count);
-    prepare(merged, count);
-    prepare(newly, count);
-    let ctx_of = &mut ctx_of[..];
-    let mut insig_len = count;
-    let mut sig_len = 0usize;
+    let wc = word_count(count);
+    let last = last_word_mask(count);
+    zero_words(sig_words, wc);
+    zero_words(any_words, wc);
+    zero_words(two_words, wc);
+    zero_words(neg_words, wc);
+    prepare(snap_words, wc);
+    build_row_masks(count, width, rowstart_words, rowend_words);
+    let sig = &mut sig_words[..wc];
+    let snap = &mut snap_words[..wc];
+    let any = &mut any_words[..wc];
+    let two = &mut two_words[..wc];
+    let neg = &mut neg_words[..wc];
+    let rowstart = &rowstart_words[..wc];
+    let rowend = &rowend_words[..wc];
+    let mag = &mut mag[..count];
+    let mut have_sig = false;
+    let mut scan = RunScan::new();
     let mut pass_idx = 0usize;
     for plane in (0..planes).rev() {
         let bit = 1u32 << plane;
-        // Significance pass.
+        // Significance pass: the same cursor walk and zero-run chunking as
+        // the encoder, gathered from the decoder's own frozen state.
         if pass_idx >= available {
             break;
         }
-        let mut newly_len = 0usize;
-        let mut next_len = 0usize;
-        let mut k = 0usize;
-        while k < insig_len {
-            let i = insig[k] as usize;
-            let c = usize::from(ctx_of[i]);
-            if c != 0 {
-                if dec.decode(&mut ctx.significance[c]) {
-                    neg[i] = dec.decode_raw();
-                    mag[i] |= bit;
-                    newly[newly_len] = i as u32;
-                    newly_len += 1;
-                } else {
-                    next_insig[next_len] = i as u32;
-                    next_len += 1;
+        snap.copy_from_slice(sig);
+        if have_sig {
+            derive_context_masks(snap, width, rowstart, rowend, any, two);
+        }
+        let mut i = 0usize;
+        let mut cur = if wc > 0 {
+            !sig[0] & valid_mask(0, wc, last)
+        } else {
+            0
+        };
+        'pass: loop {
+            while cur == 0 {
+                i += 1;
+                if i >= wc {
+                    break 'pass;
                 }
-                k += 1;
+                cur = !sig[i] & valid_mask(i, wc, last);
+            }
+            let j = cur.trailing_zeros();
+            if (any[i] >> j) & 1 != 0 {
+                let c = 1 + ((two[i] >> j) & 1) as usize;
+                if dec.decode_biased(&mut significance[c]) {
+                    neg[i] |= (dec.decode_raw() as u64) << j;
+                    mag[i * 64 + j as usize] |= bit;
+                    sig[i] |= 1u64 << j;
+                }
+                cur &= cur - 1;
                 continue;
             }
-            let mut len = 1usize;
-            while len < RUN_MAX && k + len < insig_len && ctx_of[insig[k + len] as usize] == 0 {
-                len += 1;
-            }
-            if dec.decode(&mut ctx.run) {
-                next_insig[next_len..next_len + len].copy_from_slice(&insig[k..k + len]);
-                next_len += len;
-                k += len;
+            gather_run(&mut scan, sig, any, wc, last, i, cur);
+            if dec.decode_biased(&mut run) {
+                i = scan.end_word;
+                cur = scan.end_cur;
             } else {
                 let mut p = 0usize;
-                for _ in 0..run_position_bits(len) {
+                for _ in 0..run_position_bits(scan.len) {
                     p = (p << 1) | dec.decode_raw() as usize;
                 }
                 // A valid stream always addresses inside the chunk; clamp
                 // so corrupt input cannot index out of bounds.
-                let p = p.min(len - 1);
-                next_insig[next_len..next_len + p].copy_from_slice(&insig[k..k + p]);
-                next_len += p;
-                let i = insig[k + p] as usize;
-                neg[i] = dec.decode_raw();
-                mag[i] |= bit;
-                newly[newly_len] = i as u32;
-                newly_len += 1;
-                k += p + 1;
-            }
-        }
-        std::mem::swap(insig, next_insig);
-        insig_len = next_len;
-        for &iu in &newly[..newly_len] {
-            let i = iu as usize;
-            let x = i % width;
-            if x + 1 < width {
-                ctx_of[i + 1] = (ctx_of[i + 1] + 1).min(2);
-            }
-            if i + width < count {
-                ctx_of[i + width] = (ctx_of[i + width] + 1).min(2);
-            }
-            if x > 0 && i + width - 1 < count {
-                ctx_of[i + width - 1] = (ctx_of[i + width - 1] + 1).min(2);
+                let p = p.min(scan.len - 1);
+                let (hw, hj) = run_entry_at(&scan, p);
+                neg[hw] |= (dec.decode_raw() as u64) << hj;
+                mag[hw * 64 + hj as usize] |= bit;
+                sig[hw] |= 1u64 << hj;
+                have_sig = true;
+                i = hw;
+                cur = !sig[hw] & valid_mask(hw, wc, last) & above_bit(hj);
             }
         }
         pass_idx += 1;
-        // Refinement pass over the pre-merge significant list.
+        // Refinement pass over the snapshot (the pre-merge significant set).
         if pass_idx >= available {
             break;
         }
-        for &iu in &sig_list[..sig_len] {
-            if dec.decode(&mut ctx.refinement) {
-                mag[iu as usize] |= bit;
+        for i in 0..wc {
+            let mut s = snap[i];
+            while s != 0 {
+                let j = s.trailing_zeros();
+                // Unconditional store: the refinement bit is ~50/50 noise,
+                // so a conditional write would mispredict constantly.
+                mag[i * 64 + j as usize] |= (dec.decode(&mut refinement) as u32) << plane;
+                s &= s - 1;
             }
         }
         pass_idx += 1;
-        // Merge this plane's arrivals (both lists ascending).
-        let (mut a, mut b, mut m) = (0usize, 0usize, 0usize);
-        while a < sig_len && b < newly_len {
-            if sig_list[a] < newly[b] {
-                merged[m] = sig_list[a];
-                a += 1;
-            } else {
-                merged[m] = newly[b];
-                b += 1;
-            }
-            m += 1;
-        }
-        merged[m..m + sig_len - a].copy_from_slice(&sig_list[a..sig_len]);
-        m += sig_len - a;
-        merged[m..m + newly_len - b].copy_from_slice(&newly[b..newly_len]);
-        m += newly_len - b;
-        std::mem::swap(sig_list, merged);
-        sig_len = m;
     }
+}
+
+/// Rebuilds signed quantized coefficients from the magnitude plane and the
+/// per-word sign masks.
+fn emit_quantized(mag: &[u32], neg: &[u64], quantized: &mut Vec<i32>) {
     quantized.clear();
-    quantized.extend(mag[..count].iter().zip(&neg[..count]).map(|(&m, &n)| {
+    quantized.extend(mag.iter().enumerate().map(|(i, &m)| {
         let m = m as i32;
-        if n {
+        if (neg[i / 64] >> (i % 64)) & 1 != 0 {
             -m
         } else {
             m
@@ -726,16 +960,44 @@ pub fn decode_planes(
 }
 
 /// Scratch-arena EPC1 decoder: identical output to [`decode_planes`], with
-/// every intermediate buffer (significance map, sign/magnitude planes, the
-/// per-plane arrival list) living in `scratch`; the decoded coefficients
-/// land in `scratch.quantized`. A `planes` value beyond [`MAX_PLANES`] is
+/// every intermediate buffer (significance/sign word masks, context masks,
+/// the magnitude plane) living in `scratch`; the decoded coefficients land
+/// in `scratch.quantized`. A `planes` value beyond [`MAX_PLANES`] is
 /// clamped rather than shifted out of range.
+///
+/// The significance pass iterates candidates from the pass-start snapshot
+/// (contexts in the original dense loop were probed against the
+/// significance map as of the previous plane, arrivals applied after the
+/// pass) and the refinement pass iterates the snapshot directly — exactly
+/// the coefficients significant before this plane, which is the original
+/// "skip those that became significant in THIS plane" rule.
 ///
 /// # Panics
 ///
 /// Panics if `width` is zero, does not divide `count`, or `count` exceeds
-/// `u32::MAX` (the traversal lists hold `u32` indices).
+/// `u32::MAX` (indices are range-checked against the `u32` domain the
+/// format was designed for).
 pub fn decode_planes_with(
+    payload: &[u8],
+    count: usize,
+    width: usize,
+    planes: u8,
+    pass_offsets: &[u32],
+    scratch: &mut DecodeScratch,
+) {
+    decode_planes_core(payload, count, width, planes, pass_offsets, scratch);
+    let DecodeScratch {
+        mag,
+        neg_words,
+        quantized,
+        ..
+    } = &mut *scratch;
+    emit_quantized(&mag[..count], neg_words, quantized);
+}
+
+/// [`decode_planes_with`] without the signed-coefficient emission (see
+/// [`decode_planes_v2_core`]).
+pub(crate) fn decode_planes_core(
     payload: &[u8],
     count: usize,
     width: usize,
@@ -745,8 +1007,6 @@ pub fn decode_planes_with(
 ) {
     assert!(width > 0, "width must be positive");
     assert_eq!(count % width, 0, "count must be a multiple of width");
-    // The arrival list holds u32 indices (the image-level entry points
-    // bound pixel counts far below this already).
     assert!(count <= u32::MAX as usize, "count exceeds the index domain");
     let planes = planes.min(MAX_PLANES);
     let available: usize = pass_offsets
@@ -754,72 +1014,96 @@ pub fn decode_planes_with(
         .take_while(|&&o| o as usize <= payload.len())
         .count();
     let mut dec = RangeDecoder::new(payload);
-    let mut ctx = Contexts::new();
+    // Destructured into locals so the hot models live in registers across
+    // the pass loops instead of round-tripping through memory per decision.
+    let Contexts {
+        mut significance,
+        mut refinement,
+        run: _,
+    } = Contexts::new();
     let DecodeScratch {
-        sig,
-        neg,
         mag,
-        newly,
-        quantized,
+        sig_words,
+        snap_words,
+        any_words,
+        two_words,
+        neg_words,
+        rowstart_words,
+        rowend_words,
         ..
     } = &mut *scratch;
-    sig.clear();
-    sig.resize(count, false);
-    neg.clear();
-    neg.resize(count, false);
     mag.clear();
     mag.resize(count, 0);
-    prepare(newly, count);
+    let wc = word_count(count);
+    let last = last_word_mask(count);
+    zero_words(sig_words, wc);
+    zero_words(any_words, wc);
+    zero_words(two_words, wc);
+    zero_words(neg_words, wc);
+    prepare(snap_words, wc);
+    build_row_masks(count, width, rowstart_words, rowend_words);
+    let sig = &mut sig_words[..wc];
+    let snap = &mut snap_words[..wc];
+    let any = &mut any_words[..wc];
+    let two = &mut two_words[..wc];
+    let neg = &mut neg_words[..wc];
+    let rowstart = &rowstart_words[..wc];
+    let rowend = &rowend_words[..wc];
+    let mag = &mut mag[..count];
+    let mut have_sig = false;
     let mut pass_idx = 0usize;
-    'outer: for plane in (0..planes).rev() {
+    for plane in (0..planes).rev() {
         let bit = 1u32 << plane;
-        // Significance pass.
+        // Significance pass: one decision per not-yet-significant
+        // coefficient in raster order, contexts frozen from the snapshot.
         if pass_idx >= available {
-            break 'outer;
+            break;
         }
-        let mut newly_len = 0usize;
-        for i in 0..count {
-            if sig[i] {
+        snap.copy_from_slice(sig);
+        if have_sig {
+            derive_context_masks(snap, width, rowstart, rowend, any, two);
+        }
+        for i in 0..wc {
+            let mut b = !snap[i] & valid_mask(i, wc, last);
+            if b == 0 {
                 continue;
             }
-            let c = neighbor_context(sig, width, i);
-            if dec.decode(&mut ctx.significance[c]) {
-                neg[i] = dec.decode_raw();
-                mag[i] |= bit;
-                newly[newly_len] = i as u32;
-                newly_len += 1;
+            let (a, t) = (any[i], two[i]);
+            let mut set = 0u64;
+            let mut negs = 0u64;
+            while b != 0 {
+                let j = b.trailing_zeros();
+                let c = (((a >> j) & 1) + ((t >> j) & 1)) as usize;
+                if dec.decode_biased(&mut significance[c]) {
+                    negs |= (dec.decode_raw() as u64) << j;
+                    mag[i * 64 + j as usize] |= bit;
+                    set |= 1u64 << j;
+                }
+                b &= b - 1;
             }
-        }
-        for &i in &newly[..newly_len] {
-            sig[i as usize] = true;
+            if set != 0 {
+                sig[i] |= set;
+                neg[i] |= negs;
+                have_sig = true;
+            }
         }
         pass_idx += 1;
-        // Refinement pass.
+        // Refinement pass over the snapshot.
         if pass_idx >= available {
-            break 'outer;
+            break;
         }
-        for i in 0..count {
-            if !sig[i] {
-                continue;
-            }
-            if (mag[i] >> plane).count_ones() == 1 && mag[i] & bit != 0 {
-                continue;
-            }
-            if dec.decode(&mut ctx.refinement) {
-                mag[i] |= bit;
+        for i in 0..wc {
+            let mut s = snap[i];
+            while s != 0 {
+                let j = s.trailing_zeros();
+                // Unconditional store: the refinement bit is ~50/50 noise,
+                // so a conditional write would mispredict constantly.
+                mag[i * 64 + j as usize] |= (dec.decode(&mut refinement) as u32) << plane;
+                s &= s - 1;
             }
         }
         pass_idx += 1;
     }
-    quantized.clear();
-    quantized.extend(mag[..count].iter().zip(&neg[..count]).map(|(&m, &n)| {
-        let m = m as i32;
-        if n {
-            -m
-        } else {
-            m
-        }
-    }));
 }
 
 #[cfg(test)]

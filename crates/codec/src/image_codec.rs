@@ -24,10 +24,7 @@
 //! [`EncodedImage::truncated`] / [`EncodedImage::with_layers`] clamp
 //! offsets for both formats, so size accounting agrees with the bytes.
 
-use crate::bitplane::{
-    decode_planes_v2_with, decode_planes_with, encode_planes_into, encode_planes_v2_into,
-    MAX_PLANES,
-};
+use crate::bitplane::{self, encode_planes_into, encode_planes_v2_into, MAX_PLANES};
 use crate::dwt::{self, Wavelet};
 use crate::scratch::{CodecScratch, DecodeScratch};
 use crate::{CodecError, DecodeError};
@@ -663,6 +660,7 @@ fn encode_view_impl(
             .samples
             .extend(row.iter().map(|&v| (v * scale).round()));
     }
+    let t = std::time::Instant::now();
     dwt::forward_into(
         &mut scratch.samples,
         w,
@@ -672,7 +670,9 @@ fn encode_view_impl(
         &mut scratch.dwt_line,
         &mut scratch.dwt_block,
     );
+    scratch.stages.dwt += t.elapsed();
     let step = config.quant_step.max(1e-6);
+    let t = std::time::Instant::now();
     scratch.quantized.clear();
     // Deadzone quantizer: truncate toward zero (`as` truncates, which
     // equals the floor of the non-negative quotient). Unit step — the
@@ -697,12 +697,15 @@ fn encode_view_impl(
             }
         }));
     }
+    scratch.stages.quantize += t.elapsed();
     let image = match config.format {
         FormatVersion::Epc1 => {
             // The coefficient buffer moves out of the arena for the borrow
             // and straight back in — no allocation.
             let quantized = std::mem::take(&mut scratch.quantized);
+            let t = std::time::Instant::now();
             let planes = encode_planes_into(&quantized, w, scratch);
+            scratch.stages.bitplane += t.elapsed();
             scratch.quantized = quantized;
             // Historical EPC1 wire form: the payload is cut at the largest
             // pass boundary inside the budget, but the header keeps the
@@ -784,7 +787,9 @@ fn encode_epc2(
                 .extend_from_slice(&quantized[base..base + rect.w]);
         }
         let sb_coeffs = std::mem::take(&mut scratch.sb_coeffs);
+        let t = std::time::Instant::now();
         let planes = encode_planes_v2_into(&sb_coeffs, rect.w, scratch);
+        scratch.stages.bitplane += t.elapsed();
         scratch.sb_coeffs = sb_coeffs;
         // Append exactly the chunk's recorded length — the padding in the
         // plane coder guarantees `payload.len()` reaches the last offset.
@@ -976,6 +981,7 @@ pub fn decode_into(
             result?;
         }
     }
+    let t = std::time::Instant::now();
     {
         let DecodeScratch {
             coeffs,
@@ -993,11 +999,13 @@ pub fn decode_into(
             dwt_planar,
         );
     }
+    scratch.stages.dwt += t.elapsed();
     // The stopped inverse leaves level-k low-pass samples, which still
     // carry the analysis low-pass DC gain once per discarded level per
     // axis; divide it back out along with the input scaling. With k = 0
     // the gain factor is exactly 1 and this is the historical full-decode
     // mapping, bit for bit.
+    let t = std::time::Instant::now();
     let norm =
         encoded.input_levels as f32 * dwt::low_pass_dc_gain(encoded.wavelet).powi(2 * k as i32);
     for (dst, &v) in out
@@ -1007,19 +1015,38 @@ pub fn decode_into(
     {
         *dst = (v / norm).clamp(0.0, 1.0);
     }
+    scratch.stages.quantize += t.elapsed();
     scratch.track_growth();
     Ok(())
 }
 
-/// Dequantizes one coefficient with the mid-tread reconstruction bias.
+/// Dequantizes a row straight from the decoder's magnitude plane and sign
+/// word mask — the fused form of mid-tread reconstruction over
+/// `emit_quantized`-style signed coefficients, skipping the intermediate
+/// `i32` plane entirely. Bit-identical to the unfused
+/// `(±q as f32 ± bias) * step` path: `mag as f32` rounds like `±q as f32`
+/// in magnitude, IEEE addition is symmetric under negation, and the sign
+/// and the zero case are applied as integer bit operations on the float
+/// representation (no data-dependent branches — signs are near-random).
+///
+/// The sign word is expanded into a per-lane mask before the arithmetic
+/// loop so the body is a straight-line map the compiler can vectorize.
 #[inline]
-fn dequantize(q: i32, bias: f32, step: f32) -> f32 {
-    if q == 0 {
-        0.0
-    } else if q > 0 {
-        (q as f32 + bias) * step
-    } else {
-        (q as f32 - bias) * step
+fn dequantize_row_fused(
+    mag: &[u32],
+    neg: &[u64],
+    base: usize,
+    dst: &mut [f32],
+    bias: f32,
+    step: f32,
+) {
+    let src = &mag[base..base + dst.len()];
+    for (k, (d, &m)) in dst.iter_mut().zip(src).enumerate() {
+        let i = base + k;
+        let v = (m as f32 + bias) * step;
+        let sign = ((neg[i >> 6] >> (i & 63)) as u32 & 1) << 31;
+        let nonzero = ((m != 0) as u32).wrapping_neg();
+        *d = f32::from_bits((v.to_bits() ^ sign) & nonzero);
     }
 }
 
@@ -1062,7 +1089,8 @@ fn decode_epc1_reduced(
         .iter()
         .take_while(|&&o| o as usize <= payload.len())
         .count();
-    decode_planes_with(
+    let t = std::time::Instant::now();
+    bitplane::decode_planes_core(
         payload,
         count,
         w,
@@ -1070,20 +1098,23 @@ fn decode_epc1_reduced(
         &encoded.pass_offsets,
         scratch,
     );
+    scratch.stages.bitplane += t.elapsed();
     let total_passes = encoded.planes as usize * 2;
     let lowest_plane = encoded.planes as usize - available_passes.min(total_passes).div_ceil(2);
     let bias = reconstruction_bias(encoded, lowest_plane);
     let step = encoded.quant_step;
+    let t = std::time::Instant::now();
     let DecodeScratch {
-        quantized, coeffs, ..
+        mag,
+        neg_words,
+        coeffs,
+        ..
     } = &mut *scratch;
     for r in 0..rh {
-        let src = &quantized[r * w..r * w + rw];
         let dst = &mut coeffs[r * rw..(r + 1) * rw];
-        for (d, &q) in dst.iter_mut().zip(src) {
-            *d = dequantize(q, bias, step);
-        }
+        dequantize_row_fused(mag, neg_words, r * w, dst, bias, step);
     }
+    scratch.stages.quantize += t.elapsed();
     Ok(())
 }
 
@@ -1145,7 +1176,8 @@ fn decode_epc2_reduced(
             .iter()
             .take_while(|&&o| o as usize <= slice.len())
             .count();
-        decode_planes_v2_with(
+        let t = std::time::Instant::now();
+        bitplane::decode_planes_v2_core(
             slice,
             rect.count(),
             rect.w,
@@ -1153,18 +1185,23 @@ fn decode_epc2_reduced(
             &chunk.offsets,
             scratch,
         );
+        scratch.stages.bitplane += t.elapsed();
         let total_passes = chunk.planes as usize * 2;
         let lowest_plane = chunk.planes as usize - available.min(total_passes).div_ceil(2);
         let bias = reconstruction_bias(encoded, lowest_plane);
+        let t = std::time::Instant::now();
         let DecodeScratch {
-            quantized, coeffs, ..
+            mag,
+            neg_words,
+            coeffs,
+            ..
         } = &mut *scratch;
-        for (r, row) in quantized[..rect.count()].chunks_exact(rect.w).enumerate() {
+        for r in 0..rect.count() / rect.w {
             let base = (rect.y0 + r) * rw + rect.x0;
-            for (dst, &q) in coeffs[base..base + rect.w].iter_mut().zip(row) {
-                *dst = dequantize(q, bias, step);
-            }
+            let dst = &mut coeffs[base..base + rect.w];
+            dequantize_row_fused(mag, neg_words, r * rect.w, dst, bias, step);
         }
+        scratch.stages.quantize += t.elapsed();
     }
     Ok(())
 }

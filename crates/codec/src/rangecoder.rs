@@ -14,7 +14,7 @@
 /// Number of probability bits in a context state.
 const PROB_BITS: u32 = 12;
 /// Initial probability: one half.
-const PROB_ONE_HALF: u16 = (1 << PROB_BITS) / 2;
+const PROB_ONE_HALF: u32 = (1 << PROB_BITS) / 2;
 /// Adaptation rate shift: smaller adapts faster.
 const ADAPT_SHIFT: u32 = 5;
 /// Renormalization threshold.
@@ -23,8 +23,10 @@ const TOP: u32 = 1 << 24;
 /// An adaptive probability model for one binary decision context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitModel {
-    /// Probability that the next bit is 0, in `[32, 2^12 - 32]`.
-    p0: u16,
+    /// Probability that the next bit is 0, in `[32, 2^12 - 32]`. Kept in
+    /// a full register-width word: 16-bit arithmetic costs extra
+    /// zero-extensions on the adaptation chain.
+    p0: u32,
 }
 
 impl BitModel {
@@ -35,12 +37,14 @@ impl BitModel {
 
     #[inline(always)]
     fn update(&mut self, bit: bool) {
-        // Select-style (branchless) update: refinement and sign bits are
+        // Mask-select (branchless) update: refinement and sign bits are
         // near-random, so a data-dependent branch here mispredicts half
-        // the time.
+        // the time, and an if/else is not reliably lowered to cmov at
+        // every inlined call site.
+        let m = (bit as u32).wrapping_neg();
         let toward_one = self.p0 - (self.p0 >> ADAPT_SHIFT);
         let toward_zero = self.p0 + (((1 << PROB_BITS) - self.p0) >> ADAPT_SHIFT);
-        let p0 = if bit { toward_one } else { toward_zero };
+        let p0 = (toward_one & m) | (toward_zero & !m);
         // Keep probabilities away from 0/1 so the range never collapses.
         self.p0 = p0.clamp(32, (1 << PROB_BITS) - 32);
     }
@@ -86,11 +90,37 @@ impl RangeEncoder {
     /// Encodes one bit under an adaptive context.
     #[inline(always)]
     pub fn encode(&mut self, model: &mut BitModel, bit: bool) {
-        let bound = (self.range >> PROB_BITS) * model.p0 as u32;
-        // Select-style updates compile to conditional moves: the bit value
-        // is data (not control), so mispredictable branches are avoided.
-        self.low += if bit { bound as u64 } else { 0 };
-        self.range = if bit { self.range - bound } else { bound };
+        let bound = (self.range >> PROB_BITS) * model.p0;
+        // Mask arithmetic rather than if/else: the bit value is data (not
+        // control) and often near-random, and an if/else select is not
+        // reliably lowered to cmov at every inlined call site.
+        let m = (bit as u32).wrapping_neg();
+        self.low += (bound & m) as u64;
+        self.range = ((self.range - bound) & m) | (bound & !m);
+        model.update(bit);
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    /// Encodes one bit under an adaptive context whose bit stream is
+    /// heavily biased (significance and zero-run decisions, which are
+    /// mostly 0). Arithmetic is identical to [`RangeEncoder::encode`] —
+    /// same wire format, interchangeable per decision — but the update is
+    /// an if/else: on predictable data the branch predictor speculates
+    /// straight through the serial range dependency chain. Use `encode`
+    /// for near-random bits (refinement, signs), where this branch would
+    /// mispredict half the time.
+    #[inline(always)]
+    pub fn encode_biased(&mut self, model: &mut BitModel, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * model.p0;
+        if bit {
+            self.low += bound as u64;
+            self.range -= bound;
+        } else {
+            self.range = bound;
+        }
         model.update(bit);
         while self.range < TOP {
             self.shift_low();
@@ -103,8 +133,9 @@ impl RangeEncoder {
     #[inline(always)]
     pub fn encode_raw(&mut self, bit: bool) {
         let bound = self.range >> 1;
-        self.low += if bit { bound as u64 } else { 0 };
-        self.range = if bit { self.range - bound } else { bound };
+        let m = (bit as u32).wrapping_neg();
+        self.low += (bound & m) as u64;
+        self.range = ((self.range - bound) & m) | (bound & !m);
         while self.range < TOP {
             self.shift_low();
             self.range <<= 8;
@@ -183,7 +214,7 @@ impl<'a> RangeDecoder<'a> {
         d
     }
 
-    #[inline]
+    #[inline(always)]
     fn next_byte(&mut self) -> u8 {
         let b = self.input.get(self.pos).copied().unwrap_or(0);
         self.pos += 1;
@@ -194,7 +225,54 @@ impl<'a> RangeDecoder<'a> {
     /// context sequence exactly).
     #[inline]
     pub fn decode(&mut self, model: &mut BitModel) -> bool {
-        let bound = (self.range >> PROB_BITS) * model.p0 as u32;
+        let bound = (self.range >> PROB_BITS) * model.p0;
+        let bit = self.code >= bound;
+        // Branchless arithmetic rather than if/else: the decoded bit is
+        // data, and at full rate it is near-random (refinement, signs), so
+        // a branch here mispredicts ~50% of the time, and an if/else is
+        // not reliably compiled to cmov at every inlined call site. The
+        // unsigned-min form selects without materializing a mask: when
+        // `code < bound` the subtraction wraps above `code`, so `min`
+        // keeps the original — one compare+cmov on the critical chain
+        // instead of setcc/neg/and.
+        self.code = self.code.min(self.code.wrapping_sub(bound));
+        let m = (bit as u32).wrapping_neg();
+        self.range = ((self.range - bound) & m) | (bound & !m);
+        model.update(bit);
+        self.normalize();
+        bit
+    }
+
+    /// Branchless single-step renormalization. One byte always suffices:
+    /// `p0` is clamped to `[32, 2^12 - 32]`, so a decision shrinks `range`
+    /// by at most a factor of 128 — from `>= 2^24` to `>= 2^17`, within one
+    /// byte shift of the threshold. Whether a byte is needed is as random
+    /// as the compressed payload (~1 byte per 8 bits of entropy), so a
+    /// branch here mispredicts constantly; mask arithmetic keeps the
+    /// pipeline full.
+    #[inline(always)]
+    fn normalize(&mut self) {
+        debug_assert!(self.range >= TOP >> 8);
+        let need = (self.range < TOP) as u32;
+        let m = need.wrapping_neg();
+        let b = self.input.get(self.pos).copied().unwrap_or(0) as u32;
+        let sh = need * 8;
+        self.code = (self.code << sh) | (b & m);
+        self.range <<= sh;
+        self.pos += need as usize;
+    }
+
+    /// Decodes one bit under an adaptive context whose bit stream is
+    /// heavily biased (significance and zero-run decisions, which are
+    /// mostly 0). Arithmetic is identical to [`RangeDecoder::decode`] —
+    /// same wire format, interchangeable per decision — but the update is
+    /// an if/else: on predictable data the branch predictor speculates
+    /// straight through the serial range/code dependency chain, which the
+    /// branchless form cannot do. Use `decode` for near-random bits
+    /// (refinement), where this branch would mispredict half the time.
+    #[inline]
+    pub fn decode_biased(&mut self, model: &mut BitModel) -> bool {
+        let bound = (self.range >> PROB_BITS) * model.p0;
         let bit = self.code >= bound;
         if bit {
             self.code -= bound;
@@ -203,10 +281,7 @@ impl<'a> RangeDecoder<'a> {
             self.range = bound;
         }
         model.update(bit);
-        while self.range < TOP {
-            self.code = (self.code << 8) | self.next_byte() as u32;
-            self.range <<= 8;
-        }
+        self.normalize();
         bit
     }
 
@@ -216,21 +291,17 @@ impl<'a> RangeDecoder<'a> {
     pub fn decode_raw(&mut self) -> bool {
         let bound = self.range >> 1;
         let bit = self.code >= bound;
-        if bit {
-            self.code -= bound;
-            self.range -= bound;
-        } else {
-            self.range = bound;
-        }
-        while self.range < TOP {
-            self.code = (self.code << 8) | self.next_byte() as u32;
-            self.range <<= 8;
-        }
+        // Same forced-branchless form as `decode`: raw bits are signs and
+        // run positions, the least predictable data in the stream.
+        self.code = self.code.min(self.code.wrapping_sub(bound));
+        let m = (bit as u32).wrapping_neg();
+        self.range = ((self.range - bound) & m) | (bound & !m);
+        self.normalize();
         bit
     }
 
     /// Bytes consumed from the real input so far (excluding virtual zero
-    /// fill).
+    /// fill past a truncated end).
     pub fn bytes_consumed(&self) -> usize {
         self.pos.min(self.input.len())
     }

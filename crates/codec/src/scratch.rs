@@ -23,6 +23,39 @@
 
 use earthplus_telemetry::{names, Histogram, TelemetrySink, TraceSink};
 
+/// Cumulative wall-clock time per codec stage, accumulated across every
+/// encode or decode call threaded through the owning arena. A measured
+/// window is `reset()` + N calls + read: `perf_baseline` divides the
+/// accumulated durations by N for its per-stage report. The bracketing
+/// `Instant` reads (at most two per subband chunk) are noise against the
+/// millisecond-scale stages they time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageBreakdown {
+    /// Forward (encode) or inverse (decode) wavelet transform.
+    pub dwt: std::time::Duration,
+    /// Bitplane pass coding. The range-coder arithmetic is inlined into
+    /// the passes, so its time is included here — the coder's intrinsic
+    /// per-decision rate is characterized separately (see the
+    /// `range_coder` section of the `perf_baseline` report).
+    pub bitplane: std::time::Duration,
+    /// Deadzone quantization (encode) or fused dequantization plus output
+    /// normalization (decode).
+    pub quantize: std::time::Duration,
+}
+
+impl StageBreakdown {
+    /// Zeroes the accumulators (start of a measured window).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Sum of the tracked stages; subtract from end-to-end wall clock to
+    /// get the untracked remainder (headers, gathers, copies).
+    pub fn tracked(&self) -> std::time::Duration {
+        self.dwt + self.bitplane + self.quantize
+    }
+}
+
 /// Reusable buffers for the DWT → quantize → bitplane → range-code path.
 ///
 /// Create one per encoding context (e.g. per strategy instance) and pass
@@ -38,24 +71,24 @@ pub struct CodecScratch {
     pub(crate) dwt_line: Vec<f32>,
     /// Block buffer for the DWT vertical deinterleave.
     pub(crate) dwt_block: Vec<f32>,
-    /// Per-coefficient significant-neighbour count (the significance
-    /// context, maintained incrementally as coefficients become
-    /// significant).
-    pub(crate) ctx_of: Vec<u8>,
-    /// Not-yet-significant coefficients in ascending index order, packed
-    /// as `index | sign | magnitude` words so the significance pass reads
-    /// one sequential stream instead of gathering magnitudes.
-    pub(crate) insignificant: Vec<u64>,
-    /// The next plane's `insignificant` list, built during the pass.
-    pub(crate) next_insig: Vec<u64>,
-    /// Significant coefficients in ascending index order (refinement
-    /// order); the refinement pass streams magnitudes without indexed
-    /// loads.
-    pub(crate) significant: Vec<u64>,
-    /// Merge buffer for maintaining `significant` in ascending order.
-    pub(crate) merge: Vec<u64>,
-    /// Packed entries that became significant in the current plane.
-    pub(crate) newly: Vec<u64>,
+    /// Significance mask, one bit per coefficient (live during a pass).
+    pub(crate) sig_words: Vec<u64>,
+    /// Significance mask snapshot taken at the start of each plane; the
+    /// contexts and the refinement set are frozen against it.
+    pub(crate) snap_words: Vec<u64>,
+    /// Derived context mask: bit set ⇔ at least one significant causal
+    /// neighbour (context ≥ 1).
+    pub(crate) any_words: Vec<u64>,
+    /// Derived context mask: bit set ⇔ at least two significant causal
+    /// neighbours (context 2).
+    pub(crate) two_words: Vec<u64>,
+    /// This plane's magnitude bits, packed 64 coefficients per word.
+    pub(crate) bits_words: Vec<u64>,
+    /// Bit set at every row-start position (column 0: no left neighbour).
+    pub(crate) rowstart_words: Vec<u64>,
+    /// Bit set at every row-end position (last column: no up-right
+    /// neighbour).
+    pub(crate) rowend_words: Vec<u64>,
     /// Range-coder output, reused across tiles via `clear()`. For EPC2
     /// this holds one subband chunk at a time.
     pub(crate) payload: Vec<u8>,
@@ -76,6 +109,8 @@ pub struct CodecScratch {
     pub(crate) enc_bytes: Histogram,
     /// Per-call trace spans on the flight recorder (disabled by default).
     pub(crate) tracing: TraceSink,
+    /// Per-stage wall-clock accumulators (see [`StageBreakdown`]).
+    pub(crate) stages: StageBreakdown,
     /// Capacity sum observed after the previous encode call.
     last_capacity: usize,
     grow_events: u64,
@@ -93,12 +128,13 @@ impl CodecScratch {
             + self.quantized.capacity() * std::mem::size_of::<i32>()
             + self.dwt_line.capacity() * std::mem::size_of::<f32>()
             + self.dwt_block.capacity() * std::mem::size_of::<f32>()
-            + self.ctx_of.capacity()
-            + self.insignificant.capacity() * std::mem::size_of::<u64>()
-            + self.next_insig.capacity() * std::mem::size_of::<u64>()
-            + self.significant.capacity() * std::mem::size_of::<u64>()
-            + self.merge.capacity() * std::mem::size_of::<u64>()
-            + self.newly.capacity() * std::mem::size_of::<u64>()
+            + self.sig_words.capacity() * std::mem::size_of::<u64>()
+            + self.snap_words.capacity() * std::mem::size_of::<u64>()
+            + self.any_words.capacity() * std::mem::size_of::<u64>()
+            + self.two_words.capacity() * std::mem::size_of::<u64>()
+            + self.bits_words.capacity() * std::mem::size_of::<u64>()
+            + self.rowstart_words.capacity() * std::mem::size_of::<u64>()
+            + self.rowend_words.capacity() * std::mem::size_of::<u64>()
             + self.payload.capacity()
             + self.pass_offsets.capacity() * std::mem::size_of::<u32>()
             + self.sb_coeffs.capacity() * std::mem::size_of::<i32>()
@@ -143,6 +179,17 @@ impl CodecScratch {
             self.last_capacity = now;
         }
     }
+
+    /// Per-stage wall-clock time accumulated by every encode call since
+    /// the last [`reset_stages`](Self::reset_stages).
+    pub fn stages(&self) -> StageBreakdown {
+        self.stages
+    }
+
+    /// Starts a new stage-timing window.
+    pub fn reset_stages(&mut self) {
+        self.stages.reset();
+    }
 }
 
 /// Reusable buffers for the decode path: seek → bitplane-decode →
@@ -173,24 +220,22 @@ pub struct DecodeScratch {
     pub(crate) dwt_line: Vec<f32>,
     /// Planar buffer for the inverse-DWT interleave.
     pub(crate) dwt_planar: Vec<f32>,
-    /// Per-coefficient significant-neighbour count (EPC2 list decoder).
-    pub(crate) ctx_of: Vec<u8>,
-    /// Dense significance map (EPC1 decoder).
-    pub(crate) sig: Vec<bool>,
-    /// Decoded sign per coefficient.
-    pub(crate) neg: Vec<bool>,
     /// Decoded magnitude bits per coefficient.
     pub(crate) mag: Vec<u32>,
-    /// Not-yet-significant coefficient indices, ascending (EPC2).
-    pub(crate) insig: Vec<u32>,
-    /// The next plane's `insig` list, built during the pass (EPC2).
-    pub(crate) next_insig: Vec<u32>,
-    /// Significant coefficient indices in refinement order.
-    pub(crate) sig_list: Vec<u32>,
-    /// Merge buffer for maintaining `sig_list` in ascending order.
-    pub(crate) merged: Vec<u32>,
-    /// Indices that became significant in the current plane.
-    pub(crate) newly: Vec<u32>,
+    /// Significance mask, one bit per coefficient (live during a pass).
+    pub(crate) sig_words: Vec<u64>,
+    /// Significance mask snapshot taken at the start of each plane.
+    pub(crate) snap_words: Vec<u64>,
+    /// Derived context mask: at least one significant causal neighbour.
+    pub(crate) any_words: Vec<u64>,
+    /// Derived context mask: at least two significant causal neighbours.
+    pub(crate) two_words: Vec<u64>,
+    /// Decoded sign bits, one per coefficient.
+    pub(crate) neg_words: Vec<u64>,
+    /// Bit set at every row-start position (column 0).
+    pub(crate) rowstart_words: Vec<u64>,
+    /// Bit set at every row-end position (last column).
+    pub(crate) rowend_words: Vec<u64>,
     /// Subband rectangles of the stream being decoded (EPC2).
     pub(crate) sb_rects: Vec<crate::dwt::SubbandRect>,
     /// Full EPC1 decode latency span target (disabled by default).
@@ -202,6 +247,8 @@ pub struct DecodeScratch {
     pub(crate) dec_partial_ns: Histogram,
     /// Per-call trace spans on the flight recorder (disabled by default).
     pub(crate) tracing: TraceSink,
+    /// Per-stage wall-clock accumulators (see [`StageBreakdown`]).
+    pub(crate) stages: StageBreakdown,
     /// Payload bytes the last decode call handed to the bitplane decoders
     /// — the byte-access counter the seek tests assert against (an
     /// LL-only decode of an EPC2 stream must never touch bytes past the
@@ -224,15 +271,14 @@ impl DecodeScratch {
             + self.quantized.capacity() * std::mem::size_of::<i32>()
             + self.dwt_line.capacity() * std::mem::size_of::<f32>()
             + self.dwt_planar.capacity() * std::mem::size_of::<f32>()
-            + self.ctx_of.capacity()
-            + self.sig.capacity()
-            + self.neg.capacity()
             + self.mag.capacity() * std::mem::size_of::<u32>()
-            + self.insig.capacity() * std::mem::size_of::<u32>()
-            + self.next_insig.capacity() * std::mem::size_of::<u32>()
-            + self.sig_list.capacity() * std::mem::size_of::<u32>()
-            + self.merged.capacity() * std::mem::size_of::<u32>()
-            + self.newly.capacity() * std::mem::size_of::<u32>()
+            + self.sig_words.capacity() * std::mem::size_of::<u64>()
+            + self.snap_words.capacity() * std::mem::size_of::<u64>()
+            + self.any_words.capacity() * std::mem::size_of::<u64>()
+            + self.two_words.capacity() * std::mem::size_of::<u64>()
+            + self.neg_words.capacity() * std::mem::size_of::<u64>()
+            + self.rowstart_words.capacity() * std::mem::size_of::<u64>()
+            + self.rowend_words.capacity() * std::mem::size_of::<u64>()
             + self.sb_rects.capacity() * std::mem::size_of::<crate::dwt::SubbandRect>()
     }
 
@@ -280,6 +326,17 @@ impl DecodeScratch {
             self.grow_events += 1;
             self.last_capacity = now;
         }
+    }
+
+    /// Per-stage wall-clock time accumulated by every decode call since
+    /// the last [`reset_stages`](Self::reset_stages).
+    pub fn stages(&self) -> StageBreakdown {
+        self.stages
+    }
+
+    /// Starts a new stage-timing window.
+    pub fn reset_stages(&mut self) {
+        self.stages.reset();
     }
 }
 
